@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark) for the master-side data
+// structures that dominate scheduler decision cost: the swap-remove
+// task pool, the dynamic bitsets, and the engine's event loop.
+#include <benchmark/benchmark.h>
+
+#include "common/dynamic_bitset.hpp"
+#include "common/rng.hpp"
+#include "common/swap_remove_pool.hpp"
+#include "outer/outer_factory.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+void BM_PoolPopRandom(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  SwapRemovePool pool(n);
+  for (auto _ : state) {
+    if (pool.empty()) {
+      state.PauseTiming();
+      pool = SwapRemovePool(n);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(pool.pop_random(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolPopRandom)->Arg(10000)->Arg(1000000);
+
+void BM_PoolRemoveById(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(2);
+  SwapRemovePool pool(n);
+  for (auto _ : state) {
+    if (pool.empty()) {
+      state.PauseTiming();
+      pool = SwapRemovePool(n);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(pool.remove(rng.next_below(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolRemoveById)->Arg(1000000);
+
+void BM_BitsetSetTest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  DynamicBitset bits(n);
+  Rng rng(3);
+  for (auto _ : state) {
+    const std::size_t pos = rng.next_below(n);
+    benchmark::DoNotOptimize(bits.set_if_clear(pos));
+    benchmark::DoNotOptimize(bits.test(pos));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitsetSetTest)->Arg(1 << 20);
+
+void BM_FullSimulationOuter(benchmark::State& state) {
+  // End-to-end simulator throughput: one complete DynamicOuter2Phases
+  // run, n x n tasks on 16 heterogeneous workers.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(4);
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 16, rng);
+  OuterStrategyOptions options;
+  options.phase2_fraction = 0.02;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    auto strategy = make_outer_strategy("DynamicOuter2Phases", OuterConfig{n},
+                                        16, runs + 1, options);
+    benchmark::DoNotOptimize(simulate(*strategy, platform));
+    ++runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs) * n * n);
+  state.SetLabel("items = tasks simulated");
+}
+BENCHMARK(BM_FullSimulationOuter)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

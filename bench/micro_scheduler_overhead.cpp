@@ -1,0 +1,73 @@
+// Microbenchmark (google-benchmark): master-side decision cost per work
+// request for each strategy. The paper argues data-aware scheduling is
+// "not computationally expensive"; this quantifies it.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "matmul/matmul_factory.hpp"
+#include "outer/outer_factory.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+void BM_OuterRequest(benchmark::State& state, const std::string& name) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t workers = 16;
+  OuterStrategyOptions options;
+  options.phase2_fraction = 0.02;
+  std::unique_ptr<Strategy> strategy;
+  std::uint32_t next_worker = 0;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    if (!strategy || strategy->unassigned_tasks() == 0) {
+      state.PauseTiming();
+      strategy = make_outer_strategy(name, OuterConfig{n}, workers,
+                                     requests + 1, options);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(strategy->on_request(next_worker));
+    next_worker = (next_worker + 1) % workers;
+    ++requests;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+
+void BM_MatmulRequest(benchmark::State& state, const std::string& name) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t workers = 16;
+  MatmulStrategyOptions options;
+  options.phase2_fraction = 0.05;
+  std::unique_ptr<Strategy> strategy;
+  std::uint32_t next_worker = 0;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    if (!strategy || strategy->unassigned_tasks() == 0) {
+      state.PauseTiming();
+      strategy = make_matmul_strategy(name, MatmulConfig{n}, workers,
+                                      requests + 1, options);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(strategy->on_request(next_worker));
+    next_worker = (next_worker + 1) % workers;
+    ++requests;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_OuterRequest, RandomOuter, "RandomOuter")->Arg(100);
+BENCHMARK_CAPTURE(BM_OuterRequest, SortedOuter, "SortedOuter")->Arg(100);
+BENCHMARK_CAPTURE(BM_OuterRequest, DynamicOuter, "DynamicOuter")->Arg(100);
+BENCHMARK_CAPTURE(BM_OuterRequest, DynamicOuter2Phases, "DynamicOuter2Phases")
+    ->Arg(100);
+BENCHMARK_CAPTURE(BM_MatmulRequest, RandomMatrix, "RandomMatrix")->Arg(40);
+BENCHMARK_CAPTURE(BM_MatmulRequest, SortedMatrix, "SortedMatrix")->Arg(40);
+BENCHMARK_CAPTURE(BM_MatmulRequest, DynamicMatrix, "DynamicMatrix")->Arg(40);
+BENCHMARK_CAPTURE(BM_MatmulRequest, DynamicMatrix2Phases,
+                  "DynamicMatrix2Phases")
+    ->Arg(40);
+
+BENCHMARK_MAIN();

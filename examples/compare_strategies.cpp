@@ -1,0 +1,67 @@
+// Compare all eight schedulers of the paper on both kernels and print
+// an aligned table of normalized communication volumes — the
+// at-a-glance version of Figures 4 and 9.
+//
+//   $ ./compare_strategies [--p=50] [--n-outer=100] [--n-mm=30] [--reps=5]
+//
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "core/experiment.hpp"
+#include "matmul/matmul_factory.hpp"
+#include "outer/outer_factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+  const CliArgs args(argc, argv);
+  const auto p = static_cast<std::uint32_t>(args.get_int("p", 50));
+  const auto n_outer = static_cast<std::uint32_t>(args.get_int("n-outer", 100));
+  const auto n_mm = static_cast<std::uint32_t>(args.get_int("n-mm", 30));
+  const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 5));
+
+  auto run_kernel = [&](Kernel kernel, std::uint32_t n,
+                        const std::vector<std::string>& strategies) {
+    TableWriter table({"strategy", "normalized volume", "stddev",
+                       "vs best", "makespan"});
+    double best = 1e300;
+    std::vector<ExperimentResult> results;
+    for (const auto& name : strategies) {
+      ExperimentConfig config;
+      config.kernel = kernel;
+      config.strategy = name;
+      config.n = n;
+      config.p = p;
+      config.reps = reps;
+      config.seed = 7;
+      results.push_back(run_experiment(config));
+      best = std::min(best, results.back().normalized.mean);
+    }
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      const auto& r = results[s];
+      table.row({strategies[s], CsvWriter::format(r.normalized.mean, 4),
+                 CsvWriter::format(r.normalized.stddev, 3),
+                 CsvWriter::format(r.normalized.mean / best, 3) + "x",
+                 CsvWriter::format(r.makespan.mean, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "(volume normalized by the communication lower bound; "
+                 "analysis predicts "
+              << results.front().analysis_ratio.mean
+              << " for the two-phase strategy)\n\n";
+  };
+
+  std::cout << "=== Outer product: " << n_outer << "x" << n_outer
+            << " blocks, p=" << p << ", speeds U[10,100] ===\n";
+  run_kernel(Kernel::kOuter, n_outer,
+             {"DynamicOuter2Phases", "DynamicOuter", "SortedOuter",
+              "RandomOuter"});
+
+  std::cout << "=== Matrix multiplication: " << n_mm << "x" << n_mm
+            << " blocks, p=" << p << " ===\n";
+  run_kernel(Kernel::kMatmul, n_mm,
+             {"DynamicMatrix2Phases", "DynamicMatrix", "SortedMatrix",
+              "RandomMatrix"});
+  return 0;
+}

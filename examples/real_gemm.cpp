@@ -1,0 +1,59 @@
+// Real execution: multiply two actual block matrices on worker threads,
+// scheduled by DynamicMatrix2Phases, with every block physically copied
+// into per-worker caches exactly when the strategy ships it. The result
+// is verified element-wise against a sequential reference — proof that
+// the scheduler's data movement is sufficient, not just cheap.
+//
+//   $ ./real_gemm [--n=12] [--l=16] [--workers=4]
+//
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "matmul/matmul_factory.hpp"
+#include "runtime/executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 12));
+  const auto l = static_cast<std::uint32_t>(args.get_int("l", 16));
+  const auto workers = static_cast<std::uint32_t>(args.get_int("workers", 4));
+
+  std::cout << "C = A * B with " << n << "x" << n << " blocks of " << l << "x"
+            << l << " doubles on " << workers << " worker threads\n\n";
+
+  // Fill A and B with a deterministic pseudo-random pattern.
+  BlockMatrix a(n, l), b(n, l), c(n, l);
+  a.fill([](std::uint32_t r, std::uint32_t col) {
+    return 0.25 * (static_cast<double>((r * 131 + col * 29) % 47) - 23.0);
+  });
+  b.fill([](std::uint32_t r, std::uint32_t col) {
+    return 0.125 * (static_cast<double>((r * 37 + col * 113) % 53) - 26.0);
+  });
+
+  MatmulStrategyOptions options;
+  options.phase2_fraction = 0.05;  // ~ e^{-3}, the paper's ballpark
+  auto strategy = make_matmul_strategy("DynamicMatrix2Phases", MatmulConfig{n},
+                                       workers, 2024, options);
+
+  const RuntimeResult result = run_matmul_runtime(*strategy, a, b, c);
+
+  std::cout << "tasks executed      : " << result.tasks_executed << " (of "
+            << static_cast<std::uint64_t>(n) * n * n << ")\n";
+  std::cout << "blocks transferred  : " << result.blocks_transferred << " (of "
+            << 3u * n * n << " distinct blocks, replication factor "
+            << static_cast<double>(result.blocks_transferred) / (3.0 * n * n)
+            << ")\n";
+  std::cout << "max abs error vs ref: " << result.max_abs_error << "\n\n";
+
+  std::cout << "per-worker breakdown:\n";
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    std::cout << "  worker " << w << ": " << result.per_worker_tasks[w]
+              << " tasks, " << result.per_worker_blocks[w]
+              << " blocks received\n";
+  }
+  std::cout << (result.max_abs_error == 0.0
+                    ? "\nResult is bit-exact against the reference.\n"
+                    : "\nResult differs from the reference!\n");
+  return result.max_abs_error == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Tune the phase-switch parameter for your own platform: given p and N,
+// print the analysis curve R(beta), the optimal beta, and the resulting
+// switch threshold — everything a runtime needs to configure
+// DynamicOuter2Phases / DynamicMatrix2Phases without knowing speeds
+// (Section 3.6).
+//
+//   $ ./tune_beta [--kernel=outer|matmul] [--p=20] [--n=100]
+//
+#include <cmath>
+#include <iostream>
+
+#include "analysis/matmul_analysis.hpp"
+#include "analysis/outer_analysis.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+  const CliArgs args(argc, argv);
+  const Kernel kernel = kernel_from_string(args.get("kernel", "outer"));
+  const auto p = static_cast<std::uint32_t>(args.get_int("p", 20));
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 100));
+
+  const std::vector<double> rs(p, 1.0 / static_cast<double>(p));
+
+  std::cout << "Analysis-driven beta tuning: kernel=" << to_string(kernel)
+            << ", p=" << p << ", N/l=" << n
+            << " (homogeneous model — actual speeds not needed)\n\n";
+
+  TableWriter table({"beta", "predicted ratio", "phase-1 task share",
+                     "phase-2 tasks"});
+  auto ratio_at = [&](double beta) {
+    return kernel == Kernel::kOuter ? OuterAnalysis(rs, n).ratio(beta)
+                                    : MatmulAnalysis(rs, n).ratio(beta);
+  };
+  const std::uint64_t total =
+      kernel == Kernel::kOuter
+          ? static_cast<std::uint64_t>(n) * n
+          : static_cast<std::uint64_t>(n) * n * n;
+  for (double beta = 1.0; beta <= 8.0001; beta += 0.5) {
+    const double share = 1.0 - std::exp(-beta);
+    table.row({CsvWriter::format(beta, 3), CsvWriter::format(ratio_at(beta), 5),
+               CsvWriter::format(100.0 * share, 4) + "%",
+               std::to_string(static_cast<std::uint64_t>(
+                   std::exp(-beta) * static_cast<double>(total)))});
+  }
+  table.print(std::cout);
+
+  const auto opt = kernel == Kernel::kOuter
+                       ? OuterAnalysis(rs, n).optimal_beta()
+                       : MatmulAnalysis(rs, n).optimal_beta();
+  std::cout << "\noptimal beta         : " << opt.x << "\n";
+  std::cout << "predicted ratio      : " << opt.f << " (1.0 = lower bound)\n";
+  std::cout << "switch when          : " << static_cast<std::uint64_t>(
+                   std::exp(-opt.x) * static_cast<double>(total))
+            << " of " << total << " tasks remain unassigned\n";
+  std::cout << "\nPass --phase2-fraction=" << std::exp(-opt.x)
+            << " (or rely on the library default, which computes exactly "
+               "this).\n";
+  return 0;
+}

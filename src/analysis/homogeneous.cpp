@@ -1,0 +1,20 @@
+#include "analysis/homogeneous.hpp"
+
+#include <vector>
+
+#include "analysis/matmul_analysis.hpp"
+#include "analysis/outer_analysis.hpp"
+
+namespace hetsched {
+
+double beta_homogeneous_outer(std::uint32_t p, std::uint32_t n_blocks) {
+  const std::vector<double> rs(p, 1.0 / static_cast<double>(p));
+  return OuterAnalysis(rs, n_blocks).optimal_beta().x;
+}
+
+double beta_homogeneous_matmul(std::uint32_t p, std::uint32_t n_blocks) {
+  const std::vector<double> rs(p, 1.0 / static_cast<double>(p));
+  return MatmulAnalysis(rs, n_blocks).optimal_beta().x;
+}
+
+}  // namespace hetsched

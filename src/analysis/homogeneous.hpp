@@ -1,0 +1,20 @@
+// Speed-agnostic beta selection (Section 3.6).
+//
+// The optimal beta barely depends on the actual speed vector: computing
+// it for a homogeneous platform with the same worker count and matrix
+// size is within a few percent of the per-draw optimum. This is what
+// makes the two-phase schedulers practical — they need only p and N,
+// not the speeds.
+#pragma once
+
+#include <cstdint>
+
+namespace hetsched {
+
+/// Optimal beta for DynamicOuter2Phases assuming p equal-speed workers.
+double beta_homogeneous_outer(std::uint32_t p, std::uint32_t n_blocks);
+
+/// Optimal beta for DynamicMatrix2Phases assuming p equal-speed workers.
+double beta_homogeneous_matmul(std::uint32_t p, std::uint32_t n_blocks);
+
+}  // namespace hetsched

@@ -1,0 +1,127 @@
+#include "analysis/matmul_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+MatmulAnalysis::MatmulAnalysis(std::vector<double> rel_speeds,
+                               std::uint32_t n_blocks)
+    : rs_(std::move(rel_speeds)), n_(n_blocks) {
+  if (rs_.empty()) {
+    throw std::invalid_argument("MatmulAnalysis: need at least one worker");
+  }
+  if (n_ == 0) {
+    throw std::invalid_argument("MatmulAnalysis: n_blocks must be positive");
+  }
+  double total = 0.0;
+  for (const double rs : rs_) {
+    if (!(rs > 0.0)) {
+      throw std::invalid_argument("MatmulAnalysis: relative speeds must be > 0");
+    }
+    total += rs;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("MatmulAnalysis: relative speeds must sum to 1");
+  }
+  alpha_.reserve(rs_.size());
+  for (const double rs : rs_) {
+    alpha_.push_back((1.0 - rs) / rs);
+    sum_rs23_ += std::pow(rs, 2.0 / 3.0);
+    sum_rs53_ += std::pow(rs, 5.0 / 3.0);
+  }
+}
+
+double MatmulAnalysis::g(std::size_t k, double x) const {
+  if (x < 0.0 || x > 1.0) {
+    throw std::invalid_argument("MatmulAnalysis::g: x must be in [0, 1]");
+  }
+  return std::pow(1.0 - x * x * x, alpha_[k]);
+}
+
+double MatmulAnalysis::time_fraction(std::size_t k, double x) const {
+  if (x < 0.0 || x > 1.0) {
+    throw std::invalid_argument("MatmulAnalysis::time_fraction: x in [0, 1]");
+  }
+  return 1.0 - std::pow(1.0 - x * x * x, alpha_[k] + 1.0);
+}
+
+double MatmulAnalysis::switch_x(std::size_t k, double beta) const {
+  const double rs = rs_[k];
+  const double x3 = beta * rs - 0.5 * beta * beta * rs * rs;
+  return std::cbrt(std::clamp(x3, 0.0, 1.0));
+}
+
+double MatmulAnalysis::phase1_volume(double beta) const {
+  // Worker k holds an x_k N x x_k N square of each of A, B and C.
+  const double n2 = static_cast<double>(n_) * static_cast<double>(n_);
+  double sum_x2 = 0.0;
+  for (std::size_t k = 0; k < rs_.size(); ++k) {
+    const double x = switch_x(k, beta);
+    sum_x2 += x * x;
+  }
+  return 3.0 * n2 * sum_x2;
+}
+
+double MatmulAnalysis::phase2_volume(double beta) const {
+  // e^{-beta} N^3 tasks remain; a random task charged to worker k needs
+  // each of its three blocks with probability 1 - x_k^2.
+  const double n3 = std::pow(static_cast<double>(n_), 3.0);
+  double per_task = 0.0;
+  for (std::size_t k = 0; k < rs_.size(); ++k) {
+    const double x = switch_x(k, beta);
+    per_task += rs_[k] * 3.0 * (1.0 - x * x);
+  }
+  return std::exp(-beta) * n3 * per_task;
+}
+
+double MatmulAnalysis::ratio(double beta) const {
+  if (!(beta > 0.0)) {
+    throw std::invalid_argument("MatmulAnalysis::ratio: beta must be > 0");
+  }
+  return (phase1_volume(beta) + phase2_volume(beta)) / lower_bound();
+}
+
+double MatmulAnalysis::ratio_paper_first_order(double beta) const {
+  // Section 4.2's closing expression with the phase-2 term normalized
+  // by the full lower bound (see DESIGN.md).
+  const double first = std::pow(beta, 2.0 / 3.0);
+  const double second = std::pow(beta, 5.0 / 3.0) * sum_rs53_ / sum_rs23_;
+  const double third = std::exp(-beta) * static_cast<double>(n_) *
+                       (1.0 - std::pow(beta, 2.0 / 3.0) * sum_rs53_) /
+                       sum_rs23_;
+  return first - second + third;
+}
+
+double MatmulAnalysis::lower_bound() const {
+  const double n2 = static_cast<double>(n_) * static_cast<double>(n_);
+  return 3.0 * n2 * sum_rs23_;
+}
+
+MinimizeResult MatmulAnalysis::optimal_beta(double lo, double hi) const {
+  // Restrict to beta < 1/max(rs_k), the domain where the switch point
+  // x_k^3 = beta rs_k - (beta^2/2) rs_k^2 is still increasing (see
+  // OuterAnalysis::optimal_beta).
+  const double hi_valid = std::min(hi, validity_cap());
+  if (hi_valid <= lo) {
+    return MinimizeResult{hi_valid, ratio(hi_valid)};
+  }
+  return minimize_scalar([this](double b) { return ratio(b); }, lo, hi_valid);
+}
+
+double MatmulAnalysis::validity_cap() const {
+  return 1.0 / *std::max_element(rs_.begin(), rs_.end());
+}
+
+double MatmulAnalysis::phase2_fraction(double beta) { return std::exp(-beta); }
+
+double MatmulAnalysis::beta_for_phase2_fraction(double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument(
+        "MatmulAnalysis::beta_for_phase2_fraction: fraction in (0, 1]");
+  }
+  return -std::log(fraction);
+}
+
+}  // namespace hetsched

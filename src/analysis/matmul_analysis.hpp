@@ -1,0 +1,72 @@
+// Analytic model of DynamicMatrix2Phases (Section 4.2).
+//
+// For worker k with relative speed rs_k and alpha_k = (1 - rs_k)/rs_k:
+//
+//   Lemma 7:  g_k(x) = (1 - x^3)^{alpha_k}
+//   Lemma 8:  t_k(x) * sum_i s_i = N^2 (1 - (1 - x^3)^{alpha_k + 1})
+//   Switch:   x_k^3 = beta rs_k - (beta^2/2) rs_k^2 makes t_k(x_k)
+//             worker-independent at first order; e^{-beta} N^3 tasks
+//             remain for phase 2.
+//
+// Communication volumes (exact expectations):
+//   V1(beta) = 3 N^2 sum_k x_k^2
+//   V2(beta) = e^{-beta} N^3 sum_k rs_k * 3 (1 - x_k^2)
+// normalized by LB = 3 N^2 sum_k rs_k^{2/3}. A random phase-2 task
+// misses each of its three blocks independently with probability
+// 1 - x_k^2 (the worker holds an x_k N x x_k N square of each matrix).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/optimize.hpp"
+
+namespace hetsched {
+
+class MatmulAnalysis {
+ public:
+  MatmulAnalysis(std::vector<double> rel_speeds, std::uint32_t n_blocks);
+
+  std::size_t workers() const noexcept { return rs_.size(); }
+  std::uint32_t n_blocks() const noexcept { return n_; }
+  double alpha(std::size_t k) const noexcept { return alpha_[k]; }
+
+  /// Lemma 7: g_k(x) = (1 - x^3)^{alpha_k}, x in [0, 1].
+  double g(std::size_t k, double x) const;
+
+  /// Lemma 8, normalized: t_k(x) * sum_i s_i / N^2.
+  double time_fraction(std::size_t k, double x) const;
+
+  /// Switch point x_k(beta), clamped to [0, 1].
+  double switch_x(std::size_t k, double beta) const;
+
+  double phase1_volume(double beta) const;
+  double phase2_volume(double beta) const;
+
+  /// (V1 + V2) / LB — the "Analysis" curve on Figures 9-11.
+  double ratio(double beta) const;
+
+  /// The paper's literal Section 4.2 first-order expression.
+  double ratio_paper_first_order(double beta) const;
+
+  /// LB = 3 N^2 sum_k rs_k^{2/3}, in blocks.
+  double lower_bound() const;
+
+  MinimizeResult optimal_beta(double lo = 0.25, double hi = 16.0) const;
+
+  /// Largest beta inside the first-order model's validity domain
+  /// (see OuterAnalysis::validity_cap).
+  double validity_cap() const;
+
+  static double phase2_fraction(double beta);
+  static double beta_for_phase2_fraction(double fraction);
+
+ private:
+  std::vector<double> rs_;
+  std::vector<double> alpha_;
+  std::uint32_t n_;
+  double sum_rs23_ = 0.0;  // sum rs^(2/3)
+  double sum_rs53_ = 0.0;  // sum rs^(5/3)
+};
+
+}  // namespace hetsched

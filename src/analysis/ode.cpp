@@ -1,0 +1,58 @@
+#include "analysis/ode.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hetsched {
+
+double OdeSolution::at(double xq) const {
+  assert(!x.empty());
+  const bool increasing = x.back() >= x.front();
+  // Normalize to an increasing view for the search.
+  auto value_at = [&](std::size_t idx) { return y[idx]; };
+  if (increasing) {
+    if (xq <= x.front()) return y.front();
+    if (xq >= x.back()) return y.back();
+    const auto it = std::lower_bound(x.begin(), x.end(), xq);
+    const std::size_t hi = static_cast<std::size_t>(it - x.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (xq - x[lo]) / (x[hi] - x[lo]);
+    return value_at(lo) + t * (value_at(hi) - value_at(lo));
+  }
+  if (xq >= x.front()) return y.front();
+  if (xq <= x.back()) return y.back();
+  const auto it = std::lower_bound(x.begin(), x.end(), xq, std::greater<>());
+  const std::size_t hi = static_cast<std::size_t>(it - x.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (xq - x[lo]) / (x[hi] - x[lo]);
+  return value_at(lo) + t * (value_at(hi) - value_at(lo));
+}
+
+OdeSolution integrate_rk4(const std::function<double(double, double)>& f,
+                          double x0, double y0, double x1, int steps) {
+  if (steps < 1) {
+    throw std::invalid_argument("integrate_rk4: steps must be >= 1");
+  }
+  OdeSolution sol;
+  sol.x.reserve(static_cast<std::size_t>(steps) + 1);
+  sol.y.reserve(static_cast<std::size_t>(steps) + 1);
+  const double h = (x1 - x0) / steps;
+  double x = x0;
+  double y = y0;
+  sol.x.push_back(x);
+  sol.y.push_back(y);
+  for (int s = 0; s < steps; ++s) {
+    const double k1 = f(x, y);
+    const double k2 = f(x + 0.5 * h, y + 0.5 * h * k1);
+    const double k3 = f(x + 0.5 * h, y + 0.5 * h * k2);
+    const double k4 = f(x + h, y + h * k3);
+    y += (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    x = x0 + (s + 1) * h;
+    sol.x.push_back(x);
+    sol.y.push_back(y);
+  }
+  return sol;
+}
+
+}  // namespace hetsched

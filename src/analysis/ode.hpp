@@ -1,0 +1,28 @@
+// A small fixed-step Runge-Kutta 4 integrator.
+//
+// The paper derives closed forms for the ODEs governing the data-aware
+// phase (g_k' / g_k = -2 x alpha / (1 - x^2) and the cubic analogue).
+// We keep a generic integrator so tests can confirm the closed forms
+// actually solve the stated ODEs, and so future strategy variants whose
+// ODEs lack closed forms can still be analyzed numerically.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace hetsched {
+
+struct OdeSolution {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  /// Linear interpolation of y at position x (clamped to the range).
+  double at(double xq) const;
+};
+
+/// Integrates dy/dx = f(x, y) from (x0, y0) to x1 with `steps` RK4
+/// steps (steps >= 1). x1 may be less than x0 (integrates backwards).
+OdeSolution integrate_rk4(const std::function<double(double, double)>& f,
+                          double x0, double y0, double x1, int steps);
+
+}  // namespace hetsched

@@ -1,0 +1,56 @@
+#include "analysis/optimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+MinimizeResult minimize_scalar(const std::function<double(double)>& f,
+                               double lo, double hi, double tol,
+                               int grid_points) {
+  if (!(hi > lo)) {
+    throw std::invalid_argument("minimize_scalar: need lo < hi");
+  }
+  if (grid_points < 3) grid_points = 3;
+
+  // Coarse scan to bracket the global minimum on the interval.
+  double best_x = lo;
+  double best_f = f(lo);
+  const double step = (hi - lo) / (grid_points - 1);
+  for (int g = 1; g < grid_points; ++g) {
+    const double x = lo + g * step;
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  double a = std::max(lo, best_x - step);
+  double b = std::min(hi, best_x + step);
+
+  // Golden-section refinement inside [a, b].
+  constexpr double kInvPhi = 0.6180339887498949;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  const double x = 0.5 * (a + b);
+  return MinimizeResult{x, f(x)};
+}
+
+}  // namespace hetsched

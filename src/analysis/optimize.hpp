@@ -1,0 +1,22 @@
+// Scalar minimization used to pick the switch parameter beta.
+#pragma once
+
+#include <functional>
+
+namespace hetsched {
+
+struct MinimizeResult {
+  double x = 0.0;  // argmin
+  double f = 0.0;  // minimum value
+};
+
+/// Golden-section search for a minimum of `f` on [lo, hi]. `f` need not
+/// be strictly unimodal: the bracket is first refined with a coarse
+/// grid scan so a locally convex sub-interval around the best grid
+/// point is searched, which is robust for the analysis ratio curves
+/// (smooth with a single interior minimum in practice).
+MinimizeResult minimize_scalar(const std::function<double(double)>& f,
+                               double lo, double hi, double tol = 1e-8,
+                               int grid_points = 64);
+
+}  // namespace hetsched

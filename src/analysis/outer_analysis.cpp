@@ -1,0 +1,124 @@
+#include "analysis/outer_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+OuterAnalysis::OuterAnalysis(std::vector<double> rel_speeds,
+                             std::uint32_t n_blocks)
+    : rs_(std::move(rel_speeds)), n_(n_blocks) {
+  if (rs_.empty()) {
+    throw std::invalid_argument("OuterAnalysis: need at least one worker");
+  }
+  if (n_ == 0) {
+    throw std::invalid_argument("OuterAnalysis: n_blocks must be positive");
+  }
+  double total = 0.0;
+  for (const double rs : rs_) {
+    if (!(rs > 0.0)) {
+      throw std::invalid_argument("OuterAnalysis: relative speeds must be > 0");
+    }
+    total += rs;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("OuterAnalysis: relative speeds must sum to 1");
+  }
+  alpha_.reserve(rs_.size());
+  for (const double rs : rs_) {
+    alpha_.push_back((1.0 - rs) / rs);
+    sum_sqrt_rs_ += std::sqrt(rs);
+    sum_rs32_ += std::pow(rs, 1.5);
+  }
+}
+
+double OuterAnalysis::g(std::size_t k, double x) const {
+  if (x < 0.0 || x > 1.0) {
+    throw std::invalid_argument("OuterAnalysis::g: x must be in [0, 1]");
+  }
+  return std::pow(1.0 - x * x, alpha_[k]);
+}
+
+double OuterAnalysis::time_fraction(std::size_t k, double x) const {
+  if (x < 0.0 || x > 1.0) {
+    throw std::invalid_argument("OuterAnalysis::time_fraction: x in [0, 1]");
+  }
+  return 1.0 - std::pow(1.0 - x * x, alpha_[k] + 1.0);
+}
+
+double OuterAnalysis::switch_x(std::size_t k, double beta) const {
+  const double rs = rs_[k];
+  const double x2 = beta * rs - 0.5 * beta * beta * rs * rs;
+  return std::sqrt(std::clamp(x2, 0.0, 1.0));
+}
+
+double OuterAnalysis::phase1_volume(double beta) const {
+  // Worker k has learned x_k * N blocks of each of a and b.
+  double sum_x = 0.0;
+  for (std::size_t k = 0; k < rs_.size(); ++k) sum_x += switch_x(k, beta);
+  return 2.0 * static_cast<double>(n_) * sum_x;
+}
+
+double OuterAnalysis::phase2_volume(double beta) const {
+  // e^{-beta} N^2 tasks remain; worker k handles a fraction rs_k of
+  // them at an expected cost of 2/(1 + x_k) blocks per task (proof of
+  // Lemma 5).
+  const double n2 = static_cast<double>(n_) * static_cast<double>(n_);
+  double per_task = 0.0;
+  for (std::size_t k = 0; k < rs_.size(); ++k) {
+    per_task += rs_[k] * 2.0 / (1.0 + switch_x(k, beta));
+  }
+  return std::exp(-beta) * n2 * per_task;
+}
+
+double OuterAnalysis::ratio(double beta) const {
+  if (!(beta > 0.0)) {
+    throw std::invalid_argument("OuterAnalysis::ratio: beta must be > 0");
+  }
+  return (phase1_volume(beta) + phase2_volume(beta)) / lower_bound();
+}
+
+double OuterAnalysis::ratio_theorem6(double beta) const {
+  // Literal first-order statement of Theorem 6 with the phase-2 volume
+  // normalized by the full lower bound (see DESIGN.md).
+  const double first = std::sqrt(beta);
+  const double second = std::pow(beta, 1.5) * sum_rs32_ / (4.0 * sum_sqrt_rs_);
+  const double third = std::exp(-beta) * static_cast<double>(n_) *
+                       (1.0 - std::sqrt(beta) * sum_rs32_) /
+                       (2.0 * sum_sqrt_rs_);
+  return first + second + third;
+}
+
+double OuterAnalysis::lower_bound() const {
+  return 2.0 * static_cast<double>(n_) * sum_sqrt_rs_;
+}
+
+MinimizeResult OuterAnalysis::optimal_beta(double lo, double hi) const {
+  // The switch point x_k^2 = beta rs_k - (beta^2/2) rs_k^2 grows with
+  // beta only while beta < 1/rs_k; past 1/max_k(rs_k) the first-order
+  // model leaves its validity domain (x collapses back toward 0 and the
+  // predicted volume becomes spuriously small), so the search is
+  // restricted to the valid range.
+  const double hi_valid = std::min(hi, validity_cap());
+  if (hi_valid <= lo) {
+    return MinimizeResult{hi_valid, ratio(hi_valid)};
+  }
+  return minimize_scalar([this](double b) { return ratio(b); }, lo, hi_valid);
+}
+
+double OuterAnalysis::validity_cap() const {
+  return 1.0 / *std::max_element(rs_.begin(), rs_.end());
+}
+
+double OuterAnalysis::phase2_fraction(double beta) { return std::exp(-beta); }
+
+double OuterAnalysis::beta_for_phase2_fraction(double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument(
+        "OuterAnalysis::beta_for_phase2_fraction: fraction in (0, 1]");
+  }
+  return -std::log(fraction);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,86 @@
+// Analytic model of DynamicOuter2Phases (Section 3.3).
+//
+// For worker k with relative speed rs_k and alpha_k = (1 - rs_k)/rs_k:
+//
+//   Lemma 1:  g_k(x) = (1 - x^2)^{alpha_k}
+//             fraction of the "L"-shaped domain still unprocessed when
+//             worker k knows a fraction x of each input vector.
+//   Lemma 2:  t_k(x) * sum_i s_i = N^2 (1 - (1 - x^2)^{alpha_k + 1})
+//   Lemma 3:  switching at x_k^2 = beta rs_k - (beta^2/2) rs_k^2 makes
+//             t_k(x_k) worker-independent at first order; e^{-beta} N^2
+//             tasks then remain for phase 2.
+//
+// Communication volumes (exact expectations, see DESIGN.md for how they
+// relate to the paper's first-order statements):
+//   V1(beta) = 2 N sum_k x_k                     [phase 1]
+//   V2(beta) = e^{-beta} N^2 sum_k rs_k 2/(1+x_k) [phase 2]
+// and the predicted normalized volume is (V1 + V2) / LB with
+// LB = 2 N sum_k sqrt(rs_k).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/optimize.hpp"
+
+namespace hetsched {
+
+class OuterAnalysis {
+ public:
+  /// `rel_speeds` must be positive and sum to ~1; `n_blocks` is the
+  /// paper's N/l.
+  OuterAnalysis(std::vector<double> rel_speeds, std::uint32_t n_blocks);
+
+  std::size_t workers() const noexcept { return rs_.size(); }
+  std::uint32_t n_blocks() const noexcept { return n_; }
+  double alpha(std::size_t k) const noexcept { return alpha_[k]; }
+
+  /// Lemma 1: g_k(x) = (1 - x^2)^{alpha_k}, x in [0, 1].
+  double g(std::size_t k, double x) const;
+
+  /// Lemma 2, normalized: t_k(x) * sum_i s_i / N^2.
+  double time_fraction(std::size_t k, double x) const;
+
+  /// Lemma 3 switch point x_k(beta), clamped to [0, 1].
+  double switch_x(std::size_t k, double beta) const;
+
+  /// Expected phase-1 communication volume in blocks.
+  double phase1_volume(double beta) const;
+
+  /// Expected phase-2 communication volume in blocks.
+  double phase2_volume(double beta) const;
+
+  /// (V1 + V2) / LB — the "Analysis" curve on the paper's figures.
+  double ratio(double beta) const;
+
+  /// The paper's literal Theorem 6 first-order expression (kept for
+  /// comparison; see DESIGN.md).
+  double ratio_theorem6(double beta) const;
+
+  /// LB = 2 N sum_k sqrt(rs_k), in blocks.
+  double lower_bound() const;
+
+  /// Numerically minimizes ratio(beta) over [lo, min(hi, validity_cap())].
+  MinimizeResult optimal_beta(double lo = 0.25, double hi = 16.0) const;
+
+  /// The largest beta for which the switch point x_k(beta) is still
+  /// increasing for every worker: 1 / max_k(rs_k). Beyond it the
+  /// first-order model leaves its validity domain.
+  double validity_cap() const;
+
+  /// Fraction of tasks phase 2 handles when switching at beta.
+  static double phase2_fraction(double beta);
+
+  /// Inverse of phase2_fraction (beta = -ln f), for fraction-swept
+  /// experiments such as Figure 2.
+  static double beta_for_phase2_fraction(double fraction);
+
+ private:
+  std::vector<double> rs_;
+  std::vector<double> alpha_;
+  std::uint32_t n_;
+  double sum_sqrt_rs_ = 0.0;
+  double sum_rs32_ = 0.0;  // sum rs^(3/2)
+};
+
+}  // namespace hetsched

@@ -1,0 +1,85 @@
+#include "analysis/pure_dynamic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "platform/lower_bound.hpp"
+
+namespace hetsched {
+
+namespace {
+
+void check_inputs(const std::vector<double>& rel_speeds,
+                  std::uint32_t n_blocks) {
+  if (rel_speeds.empty()) {
+    throw std::invalid_argument("pure_dynamic: need at least one worker");
+  }
+  if (n_blocks == 0) {
+    throw std::invalid_argument("pure_dynamic: n_blocks must be positive");
+  }
+  double total = 0.0;
+  for (const double rs : rel_speeds) {
+    if (!(rs > 0.0)) {
+      throw std::invalid_argument("pure_dynamic: relative speeds must be > 0");
+    }
+    total += rs;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("pure_dynamic: relative speeds must sum to 1");
+  }
+}
+
+double depletion_x(double alpha, std::uint32_t n_blocks, double d) {
+  // (1 - x^d)^{alpha+1} = N^{-d}
+  const double n = static_cast<double>(n_blocks);
+  const double shell = std::pow(n, -d / (alpha + 1.0));
+  const double xd = 1.0 - shell;
+  return xd <= 0.0 ? 0.0 : std::pow(xd, 1.0 / d);
+}
+
+}  // namespace
+
+double pure_dynamic_outer_x(double alpha, std::uint32_t n_blocks) {
+  return depletion_x(alpha, n_blocks, 2.0);
+}
+
+double pure_dynamic_matmul_x(double alpha, std::uint32_t n_blocks) {
+  return depletion_x(alpha, n_blocks, 3.0);
+}
+
+double pure_dynamic_outer_volume(const std::vector<double>& rel_speeds,
+                                 std::uint32_t n_blocks) {
+  check_inputs(rel_speeds, n_blocks);
+  double sum_x = 0.0;
+  for (const double rs : rel_speeds) {
+    sum_x += pure_dynamic_outer_x((1.0 - rs) / rs, n_blocks);
+  }
+  return 2.0 * static_cast<double>(n_blocks) * sum_x;
+}
+
+double pure_dynamic_outer_ratio(const std::vector<double>& rel_speeds,
+                                std::uint32_t n_blocks) {
+  return pure_dynamic_outer_volume(rel_speeds, n_blocks) /
+         outer_lower_bound(n_blocks, rel_speeds);
+}
+
+double pure_dynamic_matmul_volume(const std::vector<double>& rel_speeds,
+                                  std::uint32_t n_blocks) {
+  check_inputs(rel_speeds, n_blocks);
+  const double n2 =
+      static_cast<double>(n_blocks) * static_cast<double>(n_blocks);
+  double sum_x2 = 0.0;
+  for (const double rs : rel_speeds) {
+    const double x = pure_dynamic_matmul_x((1.0 - rs) / rs, n_blocks);
+    sum_x2 += x * x;
+  }
+  return 3.0 * n2 * sum_x2;
+}
+
+double pure_dynamic_matmul_ratio(const std::vector<double>& rel_speeds,
+                                 std::uint32_t n_blocks) {
+  return pure_dynamic_matmul_volume(rel_speeds, n_blocks) /
+         matmul_lower_bound(n_blocks, rel_speeds);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,52 @@
+// Volume estimate for the *pure* data-aware strategies (no phase 2).
+//
+// The paper's model covers DynamicOuter2Phases up to the switch point;
+// the pure DynamicOuter/DynamicMatrix curves on its figures are
+// simulation-only. This module closes that gap with a first-order
+// estimate derived from the same lemmas:
+//
+// A worker keeps extending its known index sets until its own "L"
+// (resp. shell) region holds no unprocessed task. With
+// g_k(x) = (1 - x^d)^{alpha_k} (d = 2 outer, d = 3 matmul), the
+// expected number of unprocessed tasks available to worker k at ratio
+// x is g_k(x) (1 - x^d) N^d; the worker's acquisition stalls when this
+// drops below one task:
+//
+//     (1 - x_k^d)^{alpha_k + 1} = N^{-d}
+//  => x_k = (1 - N^{-d/(alpha_k+1)})^{1/d}
+//
+// giving V_outer = 2 N sum x_k and V_mm = 3 N^2 sum x_k^2. The cutoff
+// ignores the tail of wasted extensions past depletion, so it is a
+// heuristic first-order estimate — benchmarks show it tracks the
+// simulated pure-dynamic volume within ~10-20% over the paper's
+// parameter ranges (see bench/ext_pure_dynamic_model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetsched {
+
+/// Estimated x_k at depletion for the outer product (d = 2).
+double pure_dynamic_outer_x(double alpha, std::uint32_t n_blocks);
+
+/// Estimated x_k at depletion for matrix multiplication (d = 3).
+double pure_dynamic_matmul_x(double alpha, std::uint32_t n_blocks);
+
+/// Predicted communication volume of DynamicOuter (blocks).
+double pure_dynamic_outer_volume(const std::vector<double>& rel_speeds,
+                                 std::uint32_t n_blocks);
+
+/// Predicted volume normalized by the outer-product lower bound.
+double pure_dynamic_outer_ratio(const std::vector<double>& rel_speeds,
+                                std::uint32_t n_blocks);
+
+/// Predicted communication volume of DynamicMatrix (blocks).
+double pure_dynamic_matmul_volume(const std::vector<double>& rel_speeds,
+                                  std::uint32_t n_blocks);
+
+/// Predicted volume normalized by the matmul lower bound.
+double pure_dynamic_matmul_ratio(const std::vector<double>& rel_speeds,
+                                 std::uint32_t n_blocks);
+
+}  // namespace hetsched

@@ -1,0 +1,63 @@
+#include "common/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hetsched {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string CliArgs::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+}  // namespace hetsched

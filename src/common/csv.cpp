@@ -1,0 +1,89 @@
+#include "common/csv.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hetsched {
+
+namespace {
+
+void write_joined(std::ostream& out, const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out << ',';
+    out << c;
+    first = false;
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), columns_(std::move(columns)) {
+  write_joined(out_, columns_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("CsvWriter: cell count does not match header");
+  }
+  write_joined(out_, cells);
+}
+
+void CsvWriter::row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(format(v, precision));
+  row(formatted);
+}
+
+std::string CsvWriter::format(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+TableWriter::TableWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TableWriter::row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("TableWriter: cell count does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(CsvWriter::format(v, precision));
+  row(std::move(formatted));
+}
+
+void TableWriter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (r[c].size() > widths[c]) widths[c] = r[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out << r[c];
+      if (c + 1 < r.size()) {
+        out << std::string(widths[c] - r[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,53 @@
+// Minimal CSV/table emission for the benchmark harnesses.
+//
+// Every figure bench prints its series as CSV so the rows can be
+// plotted directly; TableWriter also supports an aligned human-readable
+// rendering for terminal inspection.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Appends one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  void row(const std::vector<double>& cells, int precision = 6);
+
+  std::size_t columns() const noexcept { return columns_.size(); }
+
+  /// Formats a double the way row(vector<double>) does.
+  static std::string format(double v, int precision = 6);
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> columns_;
+};
+
+/// Accumulates rows and renders them as an aligned text table,
+/// convenient for example programs.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> columns);
+
+  void row(std::vector<std::string> cells);
+  void row(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders with column alignment and a separator under the header.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hetsched

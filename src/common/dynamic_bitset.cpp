@@ -1,0 +1,47 @@
+#include "common/dynamic_bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hetsched {
+
+namespace {
+constexpr std::size_t words_for(std::size_t n_bits) {
+  return (n_bits + 63) / 64;
+}
+}  // namespace
+
+DynamicBitset::DynamicBitset(std::size_t n_bits, bool value)
+    : n_bits_(n_bits), words_(words_for(n_bits), value ? ~0ULL : 0ULL) {
+  if (value && n_bits_ % 64 != 0 && !words_.empty()) {
+    // Keep bits past the logical end clear so count()/all() stay exact.
+    words_.back() &= (1ULL << (n_bits_ % 64)) - 1;
+  }
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool DynamicBitset::none() const noexcept {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool DynamicBitset::all() const noexcept { return count() == n_bits_; }
+
+void DynamicBitset::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+void DynamicBitset::resize(std::size_t n_bits) {
+  words_.resize(words_for(n_bits), 0ULL);
+  if (n_bits < n_bits_ && n_bits % 64 != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (n_bits % 64)) - 1;
+  }
+  n_bits_ = n_bits;
+}
+
+}  // namespace hetsched

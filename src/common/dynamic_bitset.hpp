@@ -1,0 +1,64 @@
+// A compact runtime-sized bitset.
+//
+// Tracks per-worker block ownership (O(N) or O(N^2) bits) and the
+// master's processed-task map (up to N^3 bits for matrix multiply).
+// std::vector<bool> would work but gives no popcount and poor codegen;
+// this keeps the word array explicit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hetsched {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n_bits, bool value = false);
+
+  /// Number of bits.
+  std::size_t size() const noexcept { return n_bits_; }
+
+  bool test(std::size_t pos) const noexcept {
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+
+  void set(std::size_t pos) noexcept { words_[pos >> 6] |= 1ULL << (pos & 63); }
+
+  void reset(std::size_t pos) noexcept {
+    words_[pos >> 6] &= ~(1ULL << (pos & 63));
+  }
+
+  /// Sets the bit and reports whether it was previously clear.
+  bool set_if_clear(std::size_t pos) noexcept {
+    const std::uint64_t mask = 1ULL << (pos & 63);
+    std::uint64_t& w = words_[pos >> 6];
+    const bool was_clear = (w & mask) == 0;
+    w |= mask;
+    return was_clear;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept;
+
+  /// True when every bit is clear.
+  bool none() const noexcept;
+
+  /// True when every bit is set.
+  bool all() const noexcept;
+
+  /// Clears all bits; size is unchanged.
+  void clear() noexcept;
+
+  /// Grows or shrinks to n_bits; new bits are clear.
+  void resize(std::size_t n_bits);
+
+  friend bool operator==(const DynamicBitset&, const DynamicBitset&) = default;
+
+ private:
+  std::size_t n_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hetsched

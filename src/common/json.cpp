@@ -1,0 +1,141 @@
+#include "common/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace hetsched {
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+JsonWriter::~JsonWriter() { assert(scopes_.empty() && "unbalanced JSON"); }
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) return;  // value following a key: no comma here
+  if (!scopes_.empty() && scope_has_items_.back()) out_ << ',';
+  if (!scopes_.empty()) newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ << '\n';
+  for (std::size_t d = 0; d < scopes_.size(); ++d) out_ << "  ";
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  const bool had_items = scope_has_items_.back();
+  scopes_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ << '}';
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  const bool had_items = scope_has_items_.back();
+  scopes_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ << ']';
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  comma_if_needed();
+  out_ << '"' << escape(name) << "\":";
+  if (pretty_) out_ << ' ';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << '"' << escape(v) << '"';
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  pending_key_ = false;
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no NaN/Inf
+  }
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << v;
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << v;
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+void JsonWriter::value(bool v) {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << (v ? "true" : "false");
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+void JsonWriter::null() {
+  comma_if_needed();
+  pending_key_ = false;
+  out_ << "null";
+  if (!scope_has_items_.empty()) scope_has_items_.back() = true;
+}
+
+std::string JsonWriter::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hetsched

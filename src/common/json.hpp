@@ -1,0 +1,67 @@
+// A minimal streaming JSON writer (no DOM, no parsing).
+//
+// Benches and the CLI export machine-readable results; a writer with
+// explicit object/array scopes is all that needs, and keeping it tiny
+// avoids an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetsched {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = true);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Object/array scopes. Every begin must be closed; the destructor
+  // asserts balance in debug builds.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Introduces a key inside an object; must be followed by a value or
+  /// a begin_object/begin_array.
+  void key(std::string_view name);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  // Convenience: key + scalar value.
+  template <typename T>
+  void field(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// JSON string escaping (exposed for tests).
+  static std::string escape(std::string_view raw);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void comma_if_needed();
+  void newline_indent();
+
+  std::ostream& out_;
+  bool pretty_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> scope_has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,42 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace hetsched {
+
+void RunningStats::push(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+Summary summarize(const std::vector<double>& values) noexcept {
+  RunningStats rs;
+  for (const double v : values) rs.push(v);
+  return Summary{rs.mean(), rs.stddev(), rs.count() ? rs.min() : 0.0,
+                 rs.count() ? rs.max() : 0.0, rs.count()};
+}
+
+}  // namespace hetsched

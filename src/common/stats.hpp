@@ -1,0 +1,50 @@
+// Online statistics accumulators.
+//
+// Every figure point in the paper is an average over >= 10 simulation
+// repetitions with the standard deviation reported as "always very
+// small"; RunningStats provides numerically stable mean/variance
+// (Welford) so benches can report exactly that.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace hetsched {
+
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel aggregation).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Simple descriptive summary of a sample vector.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& values) noexcept;
+
+}  // namespace hetsched

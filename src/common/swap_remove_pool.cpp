@@ -1,0 +1,62 @@
+#include "common/swap_remove_pool.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hetsched {
+
+SwapRemovePool::SwapRemovePool(std::uint64_t n) {
+  ids_.resize(n);
+  position_.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ids_[i] = i;
+    position_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+bool SwapRemovePool::remove(std::uint64_t id) noexcept {
+  if (!contains(id)) return false;
+  const std::uint32_t pos = position_[id];
+  const std::uint64_t last = ids_.back();
+  ids_[pos] = last;
+  position_[last] = pos;
+  ids_.pop_back();
+  position_[id] = kAbsent;
+  return true;
+}
+
+bool SwapRemovePool::insert(std::uint64_t id) {
+  if (id >= position_.size()) {
+    throw std::out_of_range("SwapRemovePool::insert: id beyond capacity");
+  }
+  if (contains(id)) return false;
+  position_[id] = static_cast<std::uint32_t>(ids_.size());
+  ids_.push_back(id);
+  if (id < first_cursor_) first_cursor_ = id;
+  return true;
+}
+
+std::uint64_t SwapRemovePool::pop_random(Rng& rng) noexcept {
+  assert(!ids_.empty());
+  const auto pos = static_cast<std::uint32_t>(rng.next_below(ids_.size()));
+  const std::uint64_t id = ids_[pos];
+  const std::uint64_t last = ids_.back();
+  ids_[pos] = last;
+  position_[last] = pos;
+  ids_.pop_back();
+  position_[id] = kAbsent;
+  return id;
+}
+
+std::uint64_t SwapRemovePool::pop_first() noexcept {
+  assert(!ids_.empty());
+  while (first_cursor_ < position_.size() && position_[first_cursor_] == kAbsent) {
+    ++first_cursor_;
+  }
+  assert(first_cursor_ < position_.size());
+  const std::uint64_t id = first_cursor_;
+  remove(id);
+  return id;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,62 @@
+// The master's pool of unprocessed task identifiers.
+//
+// Dynamic strategies need three operations to stay cheap at the
+// paper's scales (up to 10^6 tasks): O(1) membership test, O(1)
+// removal of an arbitrary task (when a data-aware allocation marks a
+// whole row/column), and O(1) uniform random extraction (the random
+// phase). A dense id->position index over a swap-remove vector gives
+// all three. Ids enter once at construction and only ever leave, which
+// also lets lexicographic extraction run behind a monotone cursor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hetsched {
+
+class SwapRemovePool {
+ public:
+  SwapRemovePool() = default;
+
+  /// Fills the pool with ids 0..n-1.
+  explicit SwapRemovePool(std::uint64_t n);
+
+  std::uint64_t size() const noexcept { return ids_.size(); }
+  bool empty() const noexcept { return ids_.empty(); }
+  std::uint64_t capacity_ids() const noexcept { return position_.size(); }
+
+  bool contains(std::uint64_t id) const noexcept {
+    return id < position_.size() && position_[id] != kAbsent;
+  }
+
+  /// Removes id if present; returns whether it was present.
+  bool remove(std::uint64_t id) noexcept;
+
+  /// Re-inserts a previously removed id (task requeue after a worker
+  /// failure). Returns false if the id is already present. The
+  /// lexicographic cursor is rewound so pop_first stays correct.
+  bool insert(std::uint64_t id);
+
+  /// Removes and returns a uniformly random element. Pool must be
+  /// non-empty.
+  std::uint64_t pop_random(Rng& rng) noexcept;
+
+  /// Removes and returns the smallest id still present (lexicographic
+  /// service order). Amortized O(1) over the pool's lifetime because
+  /// ids never re-enter. Pool must be non-empty.
+  std::uint64_t pop_first() noexcept;
+
+  /// Present ids in unspecified order (for inspection/testing).
+  const std::vector<std::uint64_t>& ids() const noexcept { return ids_; }
+
+ private:
+  static constexpr std::uint32_t kAbsent = ~0u;
+
+  std::vector<std::uint64_t> ids_;        // dense array of present ids
+  std::vector<std::uint32_t> position_;   // id -> index in ids_, kAbsent if gone
+  std::uint64_t first_cursor_ = 0;        // lower bound for pop_first scan
+};
+
+}  // namespace hetsched

@@ -1,0 +1,86 @@
+#include "core/campaign.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.hpp"
+
+namespace hetsched {
+
+Campaign::Campaign(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) {
+    throw std::invalid_argument("Campaign: name must be non-empty");
+  }
+}
+
+void Campaign::add(std::string label, ExperimentConfig config) {
+  if (label.empty()) {
+    throw std::invalid_argument("Campaign::add: label must be non-empty");
+  }
+  for (const auto& entry : entries_) {
+    if (entry.label == label) {
+      throw std::invalid_argument("Campaign::add: duplicate label " + label);
+    }
+  }
+  entries_.push_back(CampaignEntry{std::move(label), std::move(config)});
+}
+
+std::vector<CampaignOutcome> Campaign::run(unsigned parallelism) const {
+  if (parallelism == 0) {
+    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<CampaignOutcome> outcomes(entries_.size());
+
+  // Simple bounded fan-out: launch up to `parallelism` futures, harvest
+  // the oldest when the window is full. Each run_experiment call is
+  // self-contained and deterministic, so ordering cannot matter.
+  std::vector<std::pair<std::size_t, std::future<ExperimentResult>>> window;
+  auto harvest_front = [&]() {
+    auto& [idx, future] = window.front();
+    outcomes[idx].result = future.get();
+    window.erase(window.begin());
+  };
+
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    outcomes[e].label = entries_[e].label;
+    outcomes[e].config = entries_[e].config;
+    if (window.size() >= parallelism) harvest_front();
+    const ExperimentConfig& config = entries_[e].config;
+    window.emplace_back(e, std::async(std::launch::async, [config] {
+                          return run_experiment(config);
+                        }));
+  }
+  while (!window.empty()) harvest_front();
+  return outcomes;
+}
+
+void write_campaign_json(std::ostream& out, const std::string& name,
+                         const std::vector<CampaignOutcome>& outcomes) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("campaign", name);
+  json.field("entries", static_cast<std::uint64_t>(outcomes.size()));
+  json.key("results");
+  json.begin_array();
+  for (const auto& outcome : outcomes) {
+    json.begin_object();
+    json.field("label", outcome.label);
+    json.field("kernel", to_string(outcome.config.kernel));
+    json.field("strategy", outcome.config.strategy);
+    json.field("n", static_cast<std::uint64_t>(outcome.config.n));
+    json.field("p", static_cast<std::uint64_t>(outcome.config.p));
+    json.field("scenario", outcome.config.scenario.name);
+    json.field("beta", outcome.result.beta);
+    json.field("normalized_mean", outcome.result.normalized.mean);
+    json.field("normalized_sd", outcome.result.normalized.stddev);
+    json.field("analysis_mean", outcome.result.analysis_ratio.mean);
+    json.field("makespan_mean", outcome.result.makespan.mean);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace hetsched

@@ -1,0 +1,55 @@
+// Declarative experiment campaigns.
+//
+// A campaign is a named list of experiment configurations executed as a
+// batch — repetitions of independent configs run concurrently on a
+// bounded pool of std::async workers (each experiment is already
+// internally deterministic, so concurrency cannot change results) — and
+// reported as one JSON document. This is the "reproduce everything with
+// one command" entry point used by bench/campaign_paper.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace hetsched {
+
+struct CampaignEntry {
+  std::string label;  // unique within the campaign
+  ExperimentConfig config;
+};
+
+struct CampaignOutcome {
+  std::string label;
+  ExperimentConfig config;
+  ExperimentResult result;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(std::string name);
+
+  /// Adds one experiment; labels must be unique.
+  void add(std::string label, ExperimentConfig config);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Runs every entry, at most `parallelism` concurrently (0 = hardware
+  /// concurrency). Outcomes are returned in insertion order regardless
+  /// of completion order.
+  std::vector<CampaignOutcome> run(unsigned parallelism = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<CampaignEntry> entries_;
+};
+
+/// Serializes campaign outcomes as one JSON document.
+void write_campaign_json(std::ostream& out, const std::string& name,
+                         const std::vector<CampaignOutcome>& outcomes);
+
+}  // namespace hetsched

@@ -1,0 +1,75 @@
+// High-level experiment API: one call = one paper data point.
+//
+// Wraps platform draw -> strategy construction -> simulation ->
+// normalization into a repeatable, seeded experiment with aggregation
+// over repetitions, exactly the protocol behind every figure: each
+// point is the average over `reps` independent draws, normalized by the
+// kernel's communication lower bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "platform/platform.hpp"
+#include "platform/scenario.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+
+enum class Kernel { kOuter, kMatmul };
+
+/// Parses "outer" / "matmul".
+Kernel kernel_from_string(const std::string& s);
+std::string to_string(Kernel kernel);
+
+struct ExperimentConfig {
+  Kernel kernel = Kernel::kOuter;
+  /// Strategy name understood by the kernel's factory.
+  std::string strategy = "DynamicOuter";
+  std::uint32_t n = 100;  // blocks per dimension (the paper's N/l)
+  std::uint32_t p = 20;   // workers
+  Scenario scenario = paper_default_scenario();
+  /// Fraction of tasks served by phase 2 for the 2-phase strategies.
+  /// nullopt = derive from the homogeneous-platform optimal beta
+  /// (Section 3.6), the speed-agnostic default.
+  std::optional<double> phase2_fraction;
+  std::uint64_t seed = 42;
+  std::uint32_t reps = 10;
+};
+
+struct RepOutcome {
+  SimResult sim;
+  double lower_bound = 0.0;
+  double normalized = 0.0;       // total blocks / lower bound
+  double analysis_ratio = 0.0;   // model prediction for this draw's speeds
+  double beta = 0.0;             // beta used (0 for non-2-phase strategies)
+  std::vector<double> speeds;    // the platform draw
+};
+
+struct ExperimentResult {
+  Summary normalized;       // over repetitions
+  Summary analysis_ratio;   // model prediction, same repetitions
+  Summary makespan;
+  Summary finish_spread;
+  double beta = 0.0;        // beta used (0 if not applicable)
+  std::vector<RepOutcome> reps;
+};
+
+/// Runs one repetition with an explicit per-rep seed.
+RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed);
+
+/// Runs config.reps repetitions with derived seeds and aggregates.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// The beta the experiment will use: the explicit phase2_fraction if
+/// set, else the homogeneous-platform optimum for (kernel, p, n).
+double resolve_beta(const ExperimentConfig& config);
+
+/// Analysis-curve prediction for one concrete speed draw.
+double analysis_ratio_for(Kernel kernel, std::uint32_t n,
+                          const std::vector<double>& speeds, double beta);
+
+}  // namespace hetsched

@@ -1,0 +1,51 @@
+// Figure-series helpers: each paper figure is a sweep of
+// run_experiment over one axis with several strategies per point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+
+namespace hetsched {
+
+/// One x-position of a multi-series figure.
+struct SweepPoint {
+  double x = 0.0;  // p, beta, heterogeneity h, ... depending on the sweep
+  std::map<std::string, Summary> normalized;  // series name -> value
+};
+
+/// Normalized-communication vs worker count for a set of strategies,
+/// with the "Analysis" series evaluated on the same speed draws
+/// (Figures 1, 4, 5, 9, 10). `include_analysis` adds that series using
+/// the homogeneous-platform beta for each p.
+std::vector<SweepPoint> sweep_worker_count(
+    Kernel kernel, std::uint32_t n, const std::vector<std::uint32_t>& ps,
+    const Scenario& scenario, const std::vector<std::string>& strategies,
+    bool include_analysis, std::uint64_t seed, std::uint32_t reps);
+
+/// Normalized communication of the 2-phase strategy vs beta, plus the
+/// analysis curve, on a single fixed speed draw (Figures 6 and 11).
+std::vector<SweepPoint> sweep_beta(Kernel kernel, std::uint32_t n,
+                                   std::uint32_t p,
+                                   const std::vector<double>& betas,
+                                   const Scenario& scenario,
+                                   std::uint64_t seed, std::uint32_t reps);
+
+/// Normalized communication of the 2-phase strategy vs the fraction of
+/// tasks processed in phase 1 (Figure 2), with flat reference series
+/// for the other strategies.
+std::vector<SweepPoint> sweep_phase1_fraction(
+    Kernel kernel, std::uint32_t n, std::uint32_t p,
+    const std::vector<double>& phase1_fractions, const Scenario& scenario,
+    std::uint64_t seed, std::uint32_t reps);
+
+/// CSV column order helper: "x" followed by the union of series names
+/// (mean and stddev columns per series).
+void print_sweep_csv(const std::vector<SweepPoint>& points,
+                     const std::string& x_name, std::ostream& out);
+
+}  // namespace hetsched

@@ -1,0 +1,26 @@
+// Machine-readable experiment reports.
+//
+// Serializes experiment results (and figure sweeps) to JSON so external
+// tooling — tools/plot_figures.py, dashboards, regression checks — can
+// consume bench output without scraping CSV.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/figure.hpp"
+
+namespace hetsched {
+
+/// Writes one experiment result as a JSON object.
+void write_experiment_json(std::ostream& out, const ExperimentConfig& config,
+                           const ExperimentResult& result,
+                           bool include_reps = false);
+
+/// Writes a figure sweep as {"x_name": ..., "points": [...]}.
+void write_sweep_json(std::ostream& out, const std::string& x_name,
+                      const std::vector<SweepPoint>& points);
+
+}  // namespace hetsched

@@ -1,0 +1,49 @@
+// Tiled Cholesky factorization task graph (right-looking variant).
+//
+// For a T x T tile matrix, iteration k produces:
+//   POTRF(k)        : A[k][k]  <- chol(A[k][k])
+//   TRSM(i,k), i>k  : A[i][k]  <- A[i][k] * A[k][k]^-T
+//   SYRK(j,k), j>k  : A[j][j]  <- A[j][j] - A[j][k] A[j][k]^T
+//   GEMM(i,j,k), i>j>k : A[i][j] <- A[i][j] - A[i][k] A[j][k]^T
+//
+// Task counts: T POTRFs, T(T-1)/2 TRSMs, T(T-1)/2 SYRKs,
+// T(T-1)(T-2)/6 GEMMs. Work weights follow the kernels' flop counts
+// relative to GEMM (2 l^3 flops = 1 unit by default).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "dag/task_graph.hpp"
+
+namespace hetsched {
+
+struct CholeskyWeights {
+  double potrf = 1.0 / 6.0;  // l^3/3 flops
+  double trsm = 0.5;         // l^3
+  double syrk = 0.5;         // l^3 (symmetric update)
+  double gemm = 1.0;         // 2 l^3
+};
+
+struct CholeskyGraph {
+  TaskGraph graph;
+  std::uint32_t tiles = 0;  // T
+
+  /// Tile id of lower-triangular position (i, j), i >= j.
+  TileId tile(std::uint32_t i, std::uint32_t j) const;
+
+  /// Inverse of tile(): the (i, j) coordinates of a tile id.
+  std::pair<std::uint32_t, std::uint32_t> tile_coords(TileId id) const;
+};
+
+/// Builds the dependency graph for a T x T tiled Cholesky.
+CholeskyGraph build_cholesky_graph(std::uint32_t tiles,
+                                   const CholeskyWeights& weights = {});
+
+/// Expected task counts for structural checks.
+std::size_t cholesky_potrf_count(std::uint32_t tiles);
+std::size_t cholesky_trsm_count(std::uint32_t tiles);
+std::size_t cholesky_syrk_count(std::uint32_t tiles);
+std::size_t cholesky_gemm_count(std::uint32_t tiles);
+
+}  // namespace hetsched

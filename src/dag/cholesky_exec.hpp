@@ -1,0 +1,37 @@
+// Numeric replay of a scheduled Cholesky: executes the factorization's
+// block kernels in any completion order produced by the DAG engine and
+// verifies L L^T against the original matrix. Since a dependency
+// violation corrupts the numbers, this is an end-to-end proof that the
+// engine's schedules are valid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/cholesky.hpp"
+#include "runtime/block_matrix.hpp"
+
+namespace hetsched {
+
+/// Builds a symmetric positive-definite matrix of n_blocks x n_blocks
+/// tiles of size l (A = M M^T + dim * I with pseudo-random M).
+BlockMatrix make_spd_matrix(std::uint32_t n_blocks, std::uint32_t l,
+                            std::uint64_t seed);
+
+struct CholeskyExecResult {
+  std::uint64_t tasks_executed = 0;
+  /// max |(L L^T)_{rc} - A_{rc}| over the full matrix.
+  double factorization_error = 0.0;
+};
+
+/// Executes the graph's tasks in `order` (must be a permutation of all
+/// task ids consistent with the dependencies — e.g. the engine's
+/// completion_order) on a copy of `a`, then measures ||L L^T - A||_max.
+/// Throws std::invalid_argument on malformed orders and
+/// std::runtime_error if a POTRF hits a non-SPD block (the symptom of a
+/// dependency-violating order).
+CholeskyExecResult execute_cholesky_order(const CholeskyGraph& cholesky,
+                                          const BlockMatrix& a,
+                                          const std::vector<DagTaskId>& order);
+
+}  // namespace hetsched

@@ -1,0 +1,187 @@
+#include "dag/dag_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace hetsched {
+
+RandomDagPolicy::RandomDagPolicy(std::uint64_t seed)
+    : rng_(derive_stream(seed, "dag.random")) {}
+
+DagTaskId RandomDagPolicy::select(const std::vector<DagTaskId>& ready,
+                                  const DagPolicyContext&) {
+  return ready[rng_.next_below(ready.size())];
+}
+
+DagTaskId CriticalPathDagPolicy::select(const std::vector<DagTaskId>& ready,
+                                        const DagPolicyContext& context) {
+  DagTaskId best = ready.front();
+  for (const DagTaskId t : ready) {
+    if (context.bottom_levels[t] > context.bottom_levels[best] ||
+        (context.bottom_levels[t] == context.bottom_levels[best] && t < best)) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+DagTaskId DataAwareDagPolicy::select(const std::vector<DagTaskId>& ready,
+                                     const DagPolicyContext& context) {
+  // Maximize the number of input tiles already valid on the requesting
+  // worker (fewer transfers); break ties toward the critical path.
+  DagTaskId best = ready.front();
+  auto cached_inputs = [&](DagTaskId t) {
+    int hits = 0;
+    for (const TileId tile : context.graph.task(t).inputs) {
+      if (context.worker_tiles.test(tile)) ++hits;
+    }
+    return hits;
+  };
+  int best_hits = cached_inputs(best);
+  for (const DagTaskId t : ready) {
+    const int hits = cached_inputs(t);
+    if (hits > best_hits ||
+        (hits == best_hits &&
+         context.bottom_levels[t] > context.bottom_levels[best])) {
+      best = t;
+      best_hits = hits;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<DagPolicy> make_dag_policy(const std::string& name,
+                                           std::uint64_t seed) {
+  if (name == "RandomDag") return std::make_unique<RandomDagPolicy>(seed);
+  if (name == "CriticalPathDag") {
+    return std::make_unique<CriticalPathDagPolicy>();
+  }
+  if (name == "DataAwareDag") return std::make_unique<DataAwareDagPolicy>();
+  throw std::invalid_argument("unknown DAG policy: " + name);
+}
+
+const std::vector<std::string>& dag_policy_names() {
+  static const std::vector<std::string> names = {"RandomDag", "CriticalPathDag",
+                                                 "DataAwareDag"};
+  return names;
+}
+
+double DagSimResult::makespan_lower_bound(const TaskGraph& graph,
+                                          const Platform& platform) {
+  const double fastest =
+      *std::max_element(platform.speeds().begin(), platform.speeds().end());
+  return std::max(graph.critical_path() / fastest,
+                  graph.total_work() / platform.total_speed());
+}
+
+namespace {
+
+struct DagEvent {
+  double time;
+  std::uint64_t seq;
+  std::uint32_t worker;
+  DagTaskId task;
+
+  bool operator>(const DagEvent& o) const noexcept {
+    return time != o.time ? time > o.time : seq > o.seq;
+  }
+};
+
+}  // namespace
+
+DagSimResult simulate_dag(const TaskGraph& graph, const Platform& platform,
+                          DagPolicy& policy, std::uint64_t /*seed*/) {
+  graph.validate();
+  const auto p = static_cast<std::uint32_t>(platform.size());
+  const auto n_tasks = static_cast<DagTaskId>(graph.num_tasks());
+
+  DagSimResult result;
+  result.workers.resize(p);
+  result.completion_order.reserve(n_tasks);
+
+  const auto levels = graph.bottom_levels();
+  const auto& successors = graph.successors();
+
+  std::vector<std::uint32_t> indegree(n_tasks);
+  std::vector<DagTaskId> ready;
+  for (DagTaskId t = 0; t < n_tasks; ++t) {
+    indegree[t] = static_cast<std::uint32_t>(graph.task(t).deps.size());
+    if (indegree[t] == 0) ready.push_back(t);
+  }
+
+  std::vector<DynamicBitset> caches(p, DynamicBitset(graph.num_tiles()));
+  std::priority_queue<DagEvent, std::vector<DagEvent>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  std::deque<std::uint32_t> idle;
+
+  auto assign = [&](std::uint32_t worker, double now) {
+    assert(!ready.empty());
+    const DagPolicyContext context{graph, levels, caches[worker]};
+    const DagTaskId chosen = policy.select(ready, context);
+    const auto it = std::find(ready.begin(), ready.end(), chosen);
+    assert(it != ready.end());
+    *it = ready.back();
+    ready.pop_back();
+
+    // Charge the tile transfers this worker needs.
+    for (const TileId tile : graph.task(chosen).inputs) {
+      if (caches[worker].set_if_clear(tile)) {
+        ++result.total_transfers;
+        ++result.workers[worker].tiles_received;
+      }
+    }
+    const double duration = graph.task(chosen).work / platform.speed(worker);
+    result.workers[worker].busy_time += duration;
+    events.push(DagEvent{now + duration, seq++, worker, chosen});
+  };
+
+  // Hand out initial work in worker-id order; the rest start idle
+  // (a fresh Cholesky graph has a single ready task, POTRF(0)).
+  std::uint32_t first_idle = 0;
+  while (first_idle < p && !ready.empty()) assign(first_idle++, 0.0);
+  for (std::uint32_t k = first_idle; k < p; ++k) idle.push_back(k);
+
+  while (!events.empty()) {
+    const DagEvent ev = events.top();
+    events.pop();
+    DagWorkerStats& stats = result.workers[ev.worker];
+    ++stats.tasks_done;
+    ++result.total_tasks_done;
+    stats.finish_time = ev.time;
+    result.makespan = std::max(result.makespan, ev.time);
+    result.completion_order.push_back(ev.task);
+
+    // Write-invalidate: the writer keeps the only valid copy of every
+    // tile it produced.
+    for (const TileId out : graph.task(ev.task).outputs) {
+      for (std::uint32_t k = 0; k < p; ++k) {
+        if (k != ev.worker) caches[k].reset(out);
+      }
+      caches[ev.worker].set(out);
+    }
+
+    // Unlock successors.
+    for (const DagTaskId s : successors[ev.task]) {
+      assert(indegree[s] > 0);
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+
+    // Serve earlier-idled workers first, then this one.
+    idle.push_back(ev.worker);
+    while (!idle.empty() && !ready.empty()) {
+      const std::uint32_t k = idle.front();
+      idle.pop_front();
+      assign(k, ev.time);
+    }
+  }
+
+  if (result.total_tasks_done != n_tasks) {
+    throw std::logic_error("simulate_dag: not all tasks completed");
+  }
+  return result;
+}
+
+}  // namespace hetsched

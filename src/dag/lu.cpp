@@ -1,0 +1,101 @@
+#include "dag/lu.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace hetsched {
+
+TileId LuGraph::tile(std::uint32_t i, std::uint32_t j) const {
+  if (i >= tiles || j >= tiles) {
+    throw std::invalid_argument("LuGraph::tile: index out of range");
+  }
+  return static_cast<TileId>(static_cast<std::size_t>(i) * tiles + j);
+}
+
+LuGraph build_lu_graph(std::uint32_t tiles, const LuWeights& weights) {
+  if (tiles == 0) {
+    throw std::invalid_argument("build_lu_graph: need at least 1 tile");
+  }
+  LuGraph result;
+  result.tiles = tiles;
+  TaskGraph& g = result.graph;
+
+  const std::size_t n_tiles = static_cast<std::size_t>(tiles) * tiles;
+  for (std::size_t t = 0; t < n_tiles; ++t) g.add_tile();
+
+  constexpr DagTaskId kNoWriter = std::numeric_limits<DagTaskId>::max();
+  std::vector<DagTaskId> last_writer(n_tiles, kNoWriter);
+  auto dep_on = [&](std::vector<DagTaskId>& deps, TileId tile) {
+    const DagTaskId w = last_writer[tile];
+    if (w != kNoWriter) deps.push_back(w);
+  };
+
+  for (std::uint32_t k = 0; k < tiles; ++k) {
+    {
+      const TileId akk = result.tile(k, k);
+      DagTask task;
+      task.kind = "GETRF";
+      task.work = weights.getrf;
+      task.inputs = {akk};
+      task.outputs = {akk};
+      dep_on(task.deps, akk);
+      last_writer[akk] = g.add_task(std::move(task));
+    }
+    for (std::uint32_t j = k + 1; j < tiles; ++j) {
+      const TileId akk = result.tile(k, k);
+      const TileId akj = result.tile(k, j);
+      DagTask task;
+      task.kind = "TRSM_L";
+      task.work = weights.trsm;
+      task.inputs = {akk, akj};
+      task.outputs = {akj};
+      dep_on(task.deps, akk);
+      dep_on(task.deps, akj);
+      last_writer[akj] = g.add_task(std::move(task));
+    }
+    for (std::uint32_t i = k + 1; i < tiles; ++i) {
+      const TileId akk = result.tile(k, k);
+      const TileId aik = result.tile(i, k);
+      DagTask task;
+      task.kind = "TRSM_U";
+      task.work = weights.trsm;
+      task.inputs = {akk, aik};
+      task.outputs = {aik};
+      dep_on(task.deps, akk);
+      dep_on(task.deps, aik);
+      last_writer[aik] = g.add_task(std::move(task));
+    }
+    for (std::uint32_t i = k + 1; i < tiles; ++i) {
+      for (std::uint32_t j = k + 1; j < tiles; ++j) {
+        const TileId aik = result.tile(i, k);
+        const TileId akj = result.tile(k, j);
+        const TileId aij = result.tile(i, j);
+        DagTask task;
+        task.kind = "GEMM";
+        task.work = weights.gemm;
+        task.inputs = {aik, akj, aij};
+        task.outputs = {aij};
+        dep_on(task.deps, aik);
+        dep_on(task.deps, akj);
+        dep_on(task.deps, aij);
+        last_writer[aij] = g.add_task(std::move(task));
+      }
+    }
+  }
+  g.validate();
+  return result;
+}
+
+std::size_t lu_getrf_count(std::uint32_t t) { return t; }
+
+std::size_t lu_trsm_count(std::uint32_t t) {
+  return static_cast<std::size_t>(t) * (t - 1) / 2;
+}
+
+std::size_t lu_gemm_count(std::uint32_t t) {
+  if (t < 2) return 0;
+  return static_cast<std::size_t>(t - 1) * t * (2 * t - 1) / 6;
+}
+
+}  // namespace hetsched

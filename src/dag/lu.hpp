@@ -1,0 +1,40 @@
+// Tiled LU factorization task graph (no pivoting; intended for
+// diagonally dominant matrices where that is numerically safe).
+//
+// For a T x T tile matrix, iteration k produces:
+//   GETRF(k)          : A[k][k] <- L\U (in-place LU of the diagonal tile)
+//   TRSM_L(k,j), j>k  : A[k][j] <- L(k,k)^-1 A[k][j]   (U panel)
+//   TRSM_U(i,k), i>k  : A[i][k] <- A[i][k] U(k,k)^-1   (L panel)
+//   GEMM(i,j,k), i>k, j>k : A[i][j] <- A[i][j] - A[i][k] A[k][j]
+//
+// Counts: T GETRF, T(T-1)/2 of each TRSM flavour, and
+// sum_k (T-1-k)^2 = T(T-1)(2T-1)/6 GEMMs.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/task_graph.hpp"
+
+namespace hetsched {
+
+struct LuWeights {
+  double getrf = 1.0 / 3.0;  // 2/3 l^3 flops
+  double trsm = 0.5;         // l^3
+  double gemm = 1.0;         // 2 l^3
+};
+
+struct LuGraph {
+  TaskGraph graph;
+  std::uint32_t tiles = 0;  // T
+
+  /// Tile id of position (i, j) in the full T x T grid.
+  TileId tile(std::uint32_t i, std::uint32_t j) const;
+};
+
+LuGraph build_lu_graph(std::uint32_t tiles, const LuWeights& weights = {});
+
+std::size_t lu_getrf_count(std::uint32_t tiles);
+std::size_t lu_trsm_count(std::uint32_t tiles);  // per flavour
+std::size_t lu_gemm_count(std::uint32_t tiles);
+
+}  // namespace hetsched

@@ -1,0 +1,124 @@
+#include "dag/lu_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "runtime/lu_kernels.hpp"
+
+namespace hetsched {
+
+BlockMatrix make_dominant_matrix(std::uint32_t n_blocks, std::uint32_t l,
+                                 std::uint64_t seed) {
+  BlockMatrix a(n_blocks, l);
+  Rng rng(derive_stream(seed, "lu.matrix"));
+  const std::uint32_t dim = n_blocks * l;
+  for (std::uint32_t r = 0; r < dim; ++r) {
+    double row_sum = 0.0;
+    for (std::uint32_t c = 0; c < dim; ++c) {
+      if (c == r) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      a.at(r, c) = v;
+      row_sum += std::abs(v);
+    }
+    // Strict diagonal dominance keeps every pivot well away from zero.
+    a.at(r, r) = row_sum + 1.0 + rng.next_double();
+  }
+  return a;
+}
+
+LuExecResult execute_lu_order(const LuGraph& lu, const BlockMatrix& a,
+                              const std::vector<DagTaskId>& order) {
+  const TaskGraph& graph = lu.graph;
+  if (a.n_blocks() != lu.tiles) {
+    throw std::invalid_argument(
+        "execute_lu_order: matrix / graph tile count mismatch");
+  }
+  if (order.size() != graph.num_tasks()) {
+    throw std::invalid_argument(
+        "execute_lu_order: order must cover every task exactly once");
+  }
+  std::vector<bool> seen(graph.num_tasks(), false);
+  for (const DagTaskId t : order) {
+    if (t >= graph.num_tasks() || seen[t]) {
+      throw std::invalid_argument("execute_lu_order: not a permutation");
+    }
+    seen[t] = true;
+  }
+
+  const std::uint32_t l = a.block_size();
+  const std::uint32_t tiles = lu.tiles;
+  BlockMatrix work = a;
+  auto coords = [&](TileId id) {
+    return std::pair<std::uint32_t, std::uint32_t>(id / tiles, id % tiles);
+  };
+
+  LuExecResult result;
+  for (const DagTaskId id : order) {
+    const DagTask& task = graph.task(id);
+    if (task.kind == "GETRF") {
+      const auto [k, kc] = coords(task.outputs[0]);
+      (void)kc;
+      if (!getrf_block(work.block(k, k), l)) {
+        throw std::runtime_error(
+            "execute_lu_order: zero pivot (dependency-violating order?)");
+      }
+    } else if (task.kind == "TRSM_L") {
+      const auto [k, j] = coords(task.outputs[0]);
+      trsm_lower_left_block(work.block(k, k), work.block(k, j), l);
+    } else if (task.kind == "TRSM_U") {
+      const auto [i, k] = coords(task.outputs[0]);
+      trsm_upper_right_block(work.block(k, k), work.block(i, k), l);
+    } else if (task.kind == "GEMM") {
+      const auto [i, j] = coords(task.outputs[0]);
+      // Inputs are A(i,k), A(k,j), A(i,j): k is the column of the input
+      // sharing row i (and not the output itself).
+      std::uint32_t k = 0;
+      bool found = false;
+      for (const TileId input : task.inputs) {
+        if (input == task.outputs[0]) continue;
+        const auto [r, c] = coords(input);
+        if (r == i) {
+          k = c;
+          found = true;
+        }
+      }
+      if (!found) {
+        throw std::logic_error("execute_lu_order: malformed GEMM task");
+      }
+      gemm_nn_sub_block(work.block(i, k), work.block(k, j), work.block(i, j),
+                        l);
+    } else {
+      throw std::logic_error("execute_lu_order: unknown kernel kind");
+    }
+    ++result.tasks_executed;
+  }
+
+  // Verify L U == A over the full matrix.
+  const std::uint32_t dim = tiles * l;
+  auto l_at = [&](std::uint32_t r, std::uint32_t c) -> double {
+    if (c > r) return 0.0;
+    if (c == r) return 1.0;  // unit diagonal
+    return work.at(r, c);
+  };
+  auto u_at = [&](std::uint32_t r, std::uint32_t c) -> double {
+    return r <= c ? work.at(r, c) : 0.0;
+  };
+  double scale = 0.0;
+  double worst = 0.0;
+  for (std::uint32_t r = 0; r < dim; ++r) {
+    for (std::uint32_t c = 0; c < dim; ++c) {
+      double sum = 0.0;
+      const std::uint32_t kmax = std::min(r, c);
+      for (std::uint32_t k = 0; k <= kmax; ++k) sum += l_at(r, k) * u_at(k, c);
+      scale = std::max(scale, std::abs(a.at(r, c)));
+      worst = std::max(worst, std::abs(sum - a.at(r, c)));
+    }
+  }
+  result.relative_error = scale > 0.0 ? worst / scale : worst;
+  return result;
+}
+
+}  // namespace hetsched

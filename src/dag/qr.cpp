@@ -1,0 +1,123 @@
+#include "dag/qr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace hetsched {
+
+TileId QrGraph::tile(std::uint32_t i, std::uint32_t j) const {
+  if (i >= tiles || j >= tiles) {
+    throw std::invalid_argument("QrGraph::tile: index out of range");
+  }
+  return static_cast<TileId>(static_cast<std::size_t>(i) * tiles + j);
+}
+
+QrGraph build_qr_graph(std::uint32_t tiles, const QrWeights& weights) {
+  if (tiles == 0) {
+    throw std::invalid_argument("build_qr_graph: need at least 1 tile");
+  }
+  QrGraph result;
+  result.tiles = tiles;
+  TaskGraph& g = result.graph;
+
+  const std::size_t n_tiles = static_cast<std::size_t>(tiles) * tiles;
+  for (std::size_t t = 0; t < n_tiles; ++t) g.add_tile();
+
+  constexpr DagTaskId kNoWriter = std::numeric_limits<DagTaskId>::max();
+  std::vector<DagTaskId> last_writer(n_tiles, kNoWriter);
+
+  auto dep_on = [&](std::vector<DagTaskId>& deps, TileId tile) {
+    const DagTaskId w = last_writer[tile];
+    if (w != kNoWriter) deps.push_back(w);
+  };
+  auto dedupe = [](std::vector<DagTaskId>& deps) {
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  };
+
+  for (std::uint32_t k = 0; k < tiles; ++k) {
+    // GEQRT(k): factor the diagonal tile.
+    {
+      const TileId akk = result.tile(k, k);
+      DagTask task;
+      task.kind = "GEQRT";
+      task.work = weights.geqrt;
+      task.inputs = {akk};
+      task.outputs = {akk};
+      dep_on(task.deps, akk);
+      last_writer[akk] = g.add_task(std::move(task));
+    }
+    // UNMQR(k, j): apply Q(k)^T across row k.
+    for (std::uint32_t j = k + 1; j < tiles; ++j) {
+      const TileId akk = result.tile(k, k);
+      const TileId akj = result.tile(k, j);
+      DagTask task;
+      task.kind = "UNMQR";
+      task.work = weights.unmqr;
+      task.inputs = {akk, akj};
+      task.outputs = {akj};
+      dep_on(task.deps, akk);
+      dep_on(task.deps, akj);
+      dedupe(task.deps);
+      last_writer[akj] = g.add_task(std::move(task));
+    }
+    // Flat-tree panel reduction: TSQRT couples each sub-diagonal tile
+    // with the diagonal, serially in i; TSMQR propagates across row i.
+    for (std::uint32_t i = k + 1; i < tiles; ++i) {
+      {
+        const TileId akk = result.tile(k, k);
+        const TileId aik = result.tile(i, k);
+        DagTask task;
+        task.kind = "TSQRT";
+        task.work = weights.tsqrt;
+        task.inputs = {akk, aik};
+        task.outputs = {akk, aik};
+        dep_on(task.deps, akk);
+        dep_on(task.deps, aik);
+        dedupe(task.deps);
+        const DagTaskId id = g.add_task(std::move(task));
+        last_writer[akk] = id;
+        last_writer[aik] = id;
+      }
+      for (std::uint32_t j = k + 1; j < tiles; ++j) {
+        const TileId aik = result.tile(i, k);
+        const TileId akj = result.tile(k, j);
+        const TileId aij = result.tile(i, j);
+        DagTask task;
+        task.kind = "TSMQR";
+        task.work = weights.tsmqr;
+        task.inputs = {aik, akj, aij};
+        task.outputs = {akj, aij};
+        dep_on(task.deps, aik);
+        dep_on(task.deps, akj);
+        dep_on(task.deps, aij);
+        dedupe(task.deps);
+        const DagTaskId id = g.add_task(std::move(task));
+        last_writer[akj] = id;
+        last_writer[aij] = id;
+      }
+    }
+  }
+  g.validate();
+  return result;
+}
+
+std::size_t qr_geqrt_count(std::uint32_t t) { return t; }
+
+std::size_t qr_unmqr_count(std::uint32_t t) {
+  return static_cast<std::size_t>(t) * (t - 1) / 2;
+}
+
+std::size_t qr_tsqrt_count(std::uint32_t t) {
+  return static_cast<std::size_t>(t) * (t - 1) / 2;
+}
+
+std::size_t qr_tsmqr_count(std::uint32_t t) {
+  if (t < 2) return 0;
+  // sum_{k=0}^{T-1} (T-1-k)^2 = sum_{m=1}^{T-1} m^2
+  return static_cast<std::size_t>(t - 1) * t * (2 * t - 1) / 6;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,47 @@
+// Tiled QR factorization task graph (flat-tree / Householder variant,
+// the second extension named in the paper's conclusion).
+//
+// For a T x T tile matrix, iteration k produces:
+//   GEQRT(k)          : A[k][k]          <- QR(A[k][k])         (V,R in place)
+//   UNMQR(k,j), j>k   : A[k][j]          <- Q(k)^T A[k][j]      reads (k,k)
+//   TSQRT(i,k), i>k   : (A[k][k],A[i][k]) <- QR([R(k,k); A(i,k)])
+//   TSMQR(i,k,j), i>k, j>k :
+//     (A[k][j],A[i][j]) <- apply TS reflectors of (i,k) to the pair
+//
+// TSQRT and TSMQR each write two tiles, which is why DagTask supports
+// multiple outputs. Task counts: T GEQRT, T(T-1)/2 UNMQR, T(T-1)/2
+// TSQRT, and sum_{k} (T-1-k)^2 = T(T-1)(2T-1)/6 TSMQR.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "dag/task_graph.hpp"
+
+namespace hetsched {
+
+struct QrWeights {
+  double geqrt = 2.0 / 3.0;  // ~ 4/3 l^3 flops, half a GEMM pair
+  double unmqr = 1.0;
+  double tsqrt = 1.0;
+  double tsmqr = 2.0;  // touches two tiles
+};
+
+struct QrGraph {
+  TaskGraph graph;
+  std::uint32_t tiles = 0;  // T
+
+  /// Tile id of position (i, j) in the full T x T grid.
+  TileId tile(std::uint32_t i, std::uint32_t j) const;
+};
+
+/// Builds the dependency graph for a T x T tiled QR (flat reduction
+/// tree along each panel).
+QrGraph build_qr_graph(std::uint32_t tiles, const QrWeights& weights = {});
+
+std::size_t qr_geqrt_count(std::uint32_t tiles);
+std::size_t qr_unmqr_count(std::uint32_t tiles);
+std::size_t qr_tsqrt_count(std::uint32_t tiles);
+std::size_t qr_tsmqr_count(std::uint32_t tiles);
+
+}  // namespace hetsched

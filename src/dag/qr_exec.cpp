@@ -1,0 +1,126 @@
+#include "dag/qr_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "runtime/qr_kernels.hpp"
+
+namespace hetsched {
+
+BlockMatrix make_qr_test_matrix(std::uint32_t n_blocks, std::uint32_t l,
+                                std::uint64_t seed) {
+  BlockMatrix a(n_blocks, l);
+  Rng rng(derive_stream(seed, "qr.matrix"));
+  const std::uint32_t dim = n_blocks * l;
+  for (std::uint32_t r = 0; r < dim; ++r) {
+    for (std::uint32_t c = 0; c < dim; ++c) {
+      // Random entries with a diagonal bump keep R's pivots away from 0.
+      a.at(r, c) = rng.uniform(-1.0, 1.0) + (r == c ? 2.0 : 0.0);
+    }
+  }
+  return a;
+}
+
+QrExecResult execute_qr_order(const QrGraph& qr, const BlockMatrix& a,
+                              const std::vector<DagTaskId>& order) {
+  const TaskGraph& graph = qr.graph;
+  if (a.n_blocks() != qr.tiles) {
+    throw std::invalid_argument(
+        "execute_qr_order: matrix / graph tile count mismatch");
+  }
+  if (order.size() != graph.num_tasks()) {
+    throw std::invalid_argument(
+        "execute_qr_order: order must cover every task exactly once");
+  }
+  std::vector<bool> seen(graph.num_tasks(), false);
+  for (const DagTaskId t : order) {
+    if (t >= graph.num_tasks() || seen[t]) {
+      throw std::invalid_argument("execute_qr_order: not a permutation");
+    }
+    seen[t] = true;
+  }
+
+  const std::uint32_t l = a.block_size();
+  const std::uint32_t tiles = qr.tiles;
+  BlockMatrix work = a;
+
+  auto coords = [&](TileId id) {
+    return std::pair<std::uint32_t, std::uint32_t>(id / tiles, id % tiles);
+  };
+
+  // Side storage for the reflector scales: per diagonal tile (GEQRT)
+  // and per (i, k) coupling (TSQRT).
+  std::map<std::uint32_t, std::vector<double>> geqrt_tau;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>>
+      tsqrt_tau;
+
+  QrExecResult result;
+  for (const DagTaskId id : order) {
+    const DagTask& task = graph.task(id);
+    if (task.kind == "GEQRT") {
+      const auto [k, kc] = coords(task.outputs[0]);
+      (void)kc;
+      auto& tau = geqrt_tau[k];
+      tau.assign(l, 0.0);
+      geqrt_block(work.block(k, k), tau, l);
+    } else if (task.kind == "UNMQR") {
+      const auto [k, j] = coords(task.outputs[0]);
+      const auto it = geqrt_tau.find(k);
+      if (it == geqrt_tau.end()) {
+        throw std::logic_error("execute_qr_order: UNMQR before its GEQRT");
+      }
+      unmqr_block(work.block(k, k), it->second, work.block(k, j), l);
+    } else if (task.kind == "TSQRT") {
+      const auto [k, kc] = coords(task.outputs[0]);
+      (void)kc;
+      const auto [i, ic] = coords(task.outputs[1]);
+      (void)ic;
+      auto& tau = tsqrt_tau[{i, k}];
+      tau.assign(l, 0.0);
+      tsqrt_block(work.block(k, k), work.block(i, k), tau, l);
+    } else if (task.kind == "TSMQR") {
+      const auto [k, j] = coords(task.outputs[0]);
+      const auto [i, j2] = coords(task.outputs[1]);
+      (void)j2;
+      const auto it = tsqrt_tau.find({i, k});
+      if (it == tsqrt_tau.end()) {
+        throw std::logic_error("execute_qr_order: TSMQR before its TSQRT");
+      }
+      tsmqr_block(work.block(i, k), it->second, work.block(k, j),
+                  work.block(i, j), l);
+    } else {
+      throw std::logic_error("execute_qr_order: unknown kernel kind");
+    }
+    ++result.tasks_executed;
+  }
+
+  // Verify R^T R == A^T A, which characterizes A = QR with orthogonal
+  // Q (R is block-upper-triangular in `work`: tiles above the diagonal
+  // entirely, the upper triangles of diagonal tiles, zero below).
+  const std::uint32_t dim = tiles * l;
+  auto r_at = [&](std::uint32_t r, std::uint32_t c) -> double {
+    if (r > c) return 0.0;  // strictly-lower entries hold reflectors
+    return work.at(r, c);
+  };
+  double scale = 0.0;
+  double worst = 0.0;
+  for (std::uint32_t r = 0; r < dim; ++r) {
+    for (std::uint32_t c = r; c < dim; ++c) {  // A^T A is symmetric
+      double ata = 0.0;
+      for (std::uint32_t k = 0; k < dim; ++k) ata += a.at(k, r) * a.at(k, c);
+      double rtr = 0.0;
+      const std::uint32_t kmax = std::min(r, c);
+      for (std::uint32_t k = 0; k <= kmax; ++k) rtr += r_at(k, r) * r_at(k, c);
+      scale = std::max(scale, std::abs(ata));
+      worst = std::max(worst, std::abs(ata - rtr));
+    }
+  }
+  result.relative_error = scale > 0.0 ? worst / scale : worst;
+  return result;
+}
+
+}  // namespace hetsched

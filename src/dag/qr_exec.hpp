@@ -1,0 +1,30 @@
+// Numeric replay of a scheduled tiled QR: executes the factorization's
+// block kernels in a completion order produced by the DAG engine and
+// verifies R^T R == A^T A (which holds iff A = QR with orthogonal Q).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/qr.hpp"
+#include "runtime/block_matrix.hpp"
+
+namespace hetsched {
+
+/// A deterministic well-conditioned dense test matrix.
+BlockMatrix make_qr_test_matrix(std::uint32_t n_blocks, std::uint32_t l,
+                                std::uint64_t seed);
+
+struct QrExecResult {
+  std::uint64_t tasks_executed = 0;
+  /// max |(R^T R - A^T A)_{rc}| / scale over the full matrix, where
+  /// scale = max |(A^T A)_{rc}|.
+  double relative_error = 0.0;
+};
+
+/// Executes the graph's tasks in `order` (a dependency-consistent
+/// permutation, e.g. the engine's completion_order) on a copy of `a`.
+QrExecResult execute_qr_order(const QrGraph& qr, const BlockMatrix& a,
+                              const std::vector<DagTaskId>& order);
+
+}  // namespace hetsched

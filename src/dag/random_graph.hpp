@@ -1,0 +1,31 @@
+// Random task-graph generator for fuzzing the DAG engine and policies.
+//
+// Generates layered DAGs with random tile footprints: tasks in layer L
+// read tiles written by earlier layers (dependency edges follow the
+// last-writer rule, exactly like the factorization builders), so the
+// generic invariants — deps respected, transfers bounded, completion —
+// can be checked on graph shapes no hand-written kernel exercises.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "dag/task_graph.hpp"
+
+namespace hetsched {
+
+struct RandomGraphConfig {
+  std::uint32_t layers = 6;
+  std::uint32_t tasks_per_layer = 8;   // upper bound; >= 1 per layer
+  std::uint32_t tiles = 32;            // shared data pool
+  std::uint32_t max_inputs = 3;        // tiles read per task (>= 1)
+  double write_probability = 0.7;      // chance a task writes a tile
+  double work_lo = 0.5;                // task weight range
+  double work_hi = 2.0;
+};
+
+/// Builds a random DAG; deterministic for a given seed.
+TaskGraph build_random_graph(const RandomGraphConfig& config,
+                             std::uint64_t seed);
+
+}  // namespace hetsched

@@ -1,0 +1,145 @@
+#include "hier/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "rect/rect_analysis.hpp"
+#include "rect/rect_strategies.hpp"
+#include "sim/engine.hpp"
+#include "static_part/column_partition.hpp"
+
+namespace hetsched {
+
+double HierarchicalResult::inter_normalized(std::uint32_t n_blocks) const {
+  double total_speed = 0.0;
+  for (const auto& rack : racks) total_speed += rack.rack_speed;
+  double lb = 0.0;
+  for (const auto& rack : racks) {
+    lb += 2.0 * static_cast<double>(n_blocks) *
+          std::sqrt(rack.rack_speed / total_speed);
+  }
+  return static_cast<double>(inter_rack_blocks) / lb;
+}
+
+double HierarchicalResult::rack_imbalance() const {
+  double lo = 1e300, hi = 0.0;
+  for (const auto& rack : racks) {
+    if (rack.tasks == 0) continue;
+    lo = std::min(lo, rack.makespan);
+    hi = std::max(hi, rack.makespan);
+  }
+  return hi > 0.0 ? (hi - lo) / hi : 0.0;
+}
+
+namespace {
+
+/// Largest-remainder rounding of `shares` (summing to ~1) to integers
+/// summing exactly to `total`.
+std::vector<std::uint32_t> apportion(const std::vector<double>& shares,
+                                     std::uint32_t total) {
+  std::vector<std::uint32_t> counts(shares.size());
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::uint32_t assigned = 0;
+  for (std::size_t k = 0; k < shares.size(); ++k) {
+    const double exact = shares[k] * total;
+    counts[k] = static_cast<std::uint32_t>(std::floor(exact));
+    assigned += counts[k];
+    remainders.push_back({exact - std::floor(exact), k});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t r = 0; assigned < total; ++r, ++assigned) {
+    ++counts[remainders[r % remainders.size()].second];
+  }
+  return counts;
+}
+
+}  // namespace
+
+HierarchicalResult run_hierarchical_outer(const std::vector<Platform>& racks,
+                                          const HierarchicalConfig& config) {
+  if (racks.empty()) {
+    throw std::invalid_argument("run_hierarchical_outer: need >= 1 rack");
+  }
+  if (config.n == 0) {
+    throw std::invalid_argument("run_hierarchical_outer: n must be >= 1");
+  }
+
+  // Static inter-rack split proportional to aggregate speeds.
+  double total_speed = 0.0;
+  std::vector<double> shares(racks.size());
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    shares[r] = racks[r].total_speed();
+    total_speed += shares[r];
+  }
+  for (auto& s : shares) s /= total_speed;
+  const SquarePartition partition = partition_unit_square(shares);
+
+  // Discretize: integer column widths first (grouping rects by their x
+  // origin preserves the column structure), then integer heights within
+  // each column — the block rectangles tile the N x N domain exactly.
+  std::map<double, std::vector<std::size_t>> columns;  // x -> rack ids
+  for (std::size_t r = 0; r < partition.rects.size(); ++r) {
+    columns[partition.rects[r].x].push_back(r);
+  }
+  std::vector<double> column_widths;
+  std::vector<std::vector<std::size_t>> column_members;
+  for (const auto& [x, members] : columns) {
+    column_widths.push_back(partition.rects[members.front()].w);
+    column_members.push_back(members);
+  }
+  const std::vector<std::uint32_t> col_blocks =
+      apportion(column_widths, config.n);
+
+  HierarchicalResult result;
+  result.racks.resize(racks.size());
+
+  for (std::size_t q = 0; q < column_members.size(); ++q) {
+    // Heights within this column sum to 1 by construction.
+    std::vector<double> heights;
+    for (const std::size_t rack : column_members[q]) {
+      heights.push_back(partition.rects[rack].h);
+    }
+    const std::vector<std::uint32_t> row_blocks = apportion(heights, config.n);
+
+    for (std::size_t m = 0; m < column_members[q].size(); ++m) {
+      const std::size_t rack_id = column_members[q][m];
+      RackResult& rack_result = result.racks[rack_id];
+      rack_result.rack_speed = racks[rack_id].total_speed();
+      rack_result.domain = RectConfig{row_blocks[m], col_blocks[q]};
+      if (row_blocks[m] == 0 || col_blocks[q] == 0) continue;
+
+      rack_result.tasks = rack_result.domain.total_tasks();
+      rack_result.inter_blocks = row_blocks[m] + col_blocks[q];
+
+      // Intra-rack: rack master runs the two-phase data-aware strategy.
+      const std::uint64_t rack_seed =
+          derive_stream(config.seed, "rack." + std::to_string(rack_id));
+      double fraction = config.phase2_fraction;
+      if (fraction < 0.0) {
+        RectAnalysis analysis(racks[rack_id].relative_speeds(),
+                              rack_result.domain);
+        fraction = std::exp(-analysis.optimal_beta().x);
+      }
+      auto strategy = make_rect_strategy(
+          "DynamicRect2Phases", rack_result.domain,
+          static_cast<std::uint32_t>(racks[rack_id].size()), rack_seed,
+          fraction);
+      SimConfig sim_config;
+      sim_config.seed = rack_seed;
+      const SimResult sim = simulate(*strategy, racks[rack_id], sim_config);
+
+      rack_result.intra_blocks = sim.total_blocks;
+      rack_result.makespan = sim.makespan;
+      result.makespan = std::max(result.makespan, sim.makespan);
+      result.inter_rack_blocks += rack_result.inter_blocks;
+      result.intra_rack_blocks += rack_result.intra_blocks;
+    }
+  }
+  return result;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,66 @@
+// Two-level (rack-based) scheduling of the outer product.
+//
+// Large platforms are not flat: workers sit in racks behind rack-level
+// masters, and inter-rack traffic is the scarce resource. This module
+// composes two pieces the library already has:
+//
+//  1. Inter-rack: a *static* split of the N x N block domain among
+//     racks, proportional to aggregate rack speed, using the
+//     column-based rectangle partition (src/static_part) — racks are
+//     few and their aggregate speeds stable, so the paper's objection
+//     to static allocation does not apply at this level.
+//  2. Intra-rack: each rack master runs the *dynamic* data-aware
+//     strategy of the paper on its own sub-rectangle (src/rect, since
+//     rack shares are rectangles, not squares).
+//
+// Communication is counted at both levels: a block entering a rack
+// once (inter-rack volume: exactly the rectangle half-perimeters) and
+// each rack-master -> worker transfer (intra-rack volume).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "rect/rect_problem.hpp"
+
+namespace hetsched {
+
+struct RackResult {
+  RectConfig domain;                 // the rack's block sub-rectangle
+  double rack_speed = 0.0;           // aggregate speed
+  std::uint64_t intra_blocks = 0;    // master->worker transfers
+  std::uint64_t inter_blocks = 0;    // blocks entering the rack
+  double makespan = 0.0;             // rack-local completion time
+  std::uint64_t tasks = 0;
+};
+
+struct HierarchicalResult {
+  std::vector<RackResult> racks;
+  std::uint64_t inter_rack_blocks = 0;  // sum over racks
+  std::uint64_t intra_rack_blocks = 0;
+  double makespan = 0.0;  // max over racks (no inter-rack stealing)
+
+  /// Inter-rack volume normalized by the rack-level lower bound
+  /// 2 N sum_r sqrt(rack_share_r).
+  double inter_normalized(std::uint32_t n_blocks) const;
+
+  /// (max rack makespan - min) / max: the cost of the static split.
+  double rack_imbalance() const;
+};
+
+struct HierarchicalConfig {
+  std::uint32_t n = 100;  // blocks per dimension of the full domain
+  /// Fraction of each rack's tasks served by its phase 2 (the rack
+  /// masters run DynamicRect2Phases); nullopt = per-rack analysis beta.
+  double phase2_fraction = -1.0;  // < 0 => auto
+  std::uint64_t seed = 1;
+};
+
+/// Runs the two-level schedule on `racks` (each rack a Platform of its
+/// workers). Domains are assigned by the static partition; each rack is
+/// then simulated independently with the demand-driven engine.
+HierarchicalResult run_hierarchical_outer(
+    const std::vector<Platform>& racks, const HierarchicalConfig& config);
+
+}  // namespace hetsched

@@ -1,0 +1,147 @@
+#include "matmul/dynamic_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+DynamicMatrixStrategy::DynamicMatrixStrategy(MatmulConfig config,
+                                             std::uint32_t workers,
+                                             std::uint64_t seed,
+                                             std::uint64_t phase2_tasks)
+    : config_(config),
+      n_workers_(workers),
+      phase2_tasks_(phase2_tasks),
+      pool_(config.total_tasks()),
+      rng_(derive_stream(seed, "matmul.dynamic")) {
+  validate(config_);
+  if (workers == 0) {
+    throw std::invalid_argument("DynamicMatrixStrategy: need at least 1 worker");
+  }
+  state_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    WorkerState s;
+    s.blocks = MatmulWorkerBlocks(config_.n);
+    s.unknown_i.resize(config_.n);
+    s.unknown_j.resize(config_.n);
+    s.unknown_k.resize(config_.n);
+    for (std::uint32_t v = 0; v < config_.n; ++v) {
+      s.unknown_i[v] = v;
+      s.unknown_j[v] = v;
+      s.unknown_k[v] = v;
+    }
+    state_.push_back(std::move(s));
+  }
+}
+
+std::string DynamicMatrixStrategy::name() const {
+  return phase2_tasks_ == 0 ? "DynamicMatrix" : "DynamicMatrix2Phases";
+}
+
+std::optional<Assignment> DynamicMatrixStrategy::on_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  if (in_phase2()) return random_request(worker);
+  return dynamic_request(worker);
+}
+
+std::optional<Assignment> DynamicMatrixStrategy::dynamic_request(
+    std::uint32_t worker) {
+  WorkerState& w = state_[worker];
+  if (w.unknown_i.empty() || w.unknown_j.empty() || w.unknown_k.empty()) {
+    // Knowledge covers a full dimension: the structured extension is
+    // exhausted, so serve the remaining pool randomly.
+    return random_request(worker);
+  }
+
+  const auto pick = [this](std::vector<std::uint32_t>& unknown) {
+    const auto pos = static_cast<std::size_t>(rng_.next_below(unknown.size()));
+    const std::uint32_t v = unknown[pos];
+    unknown[pos] = unknown.back();
+    unknown.pop_back();
+    return v;
+  };
+  const std::uint32_t i = pick(w.unknown_i);
+  const std::uint32_t j = pick(w.unknown_j);
+  const std::uint32_t k = pick(w.unknown_k);
+  const std::uint32_t n = config_.n;
+
+  Assignment assignment;
+  // Ship the 3*(2y+1) blocks extending I x K, K x J and I x J with the
+  // new indices. Every one is new to the worker in a pure phase-1 run;
+  // set_if_clear keeps accounting exact even after a random fallback.
+  auto ship = [&](Operand op, DynamicBitset& owned, std::uint32_t r,
+                  std::uint32_t c) {
+    if (owned.set_if_clear(block_index(n, r, c))) {
+      assignment.blocks.push_back(BlockRef{op, r, c});
+    }
+  };
+  for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatA, w.blocks.owned_a, i, k2);
+  for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatA, w.blocks.owned_a, i2, k);
+  ship(Operand::kMatA, w.blocks.owned_a, i, k);
+
+  for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatB, w.blocks.owned_b, k, j2);
+  for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatB, w.blocks.owned_b, k2, j);
+  ship(Operand::kMatB, w.blocks.owned_b, k, j);
+
+  for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatC, w.blocks.owned_c, i, j2);
+  for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatC, w.blocks.owned_c, i2, j);
+  ship(Operand::kMatC, w.blocks.owned_c, i, j);
+
+  // Allocate all unprocessed tasks of (I+i) x (J+j) x (K+k) that touch
+  // a new index: i fixed over (J+j) x (K+k), then j fixed over I x (K+k),
+  // then k fixed over I x J — (y+1)^2 + y(y+1) + y^2 = 3y^2 + 3y + 1
+  // candidates, disjoint by construction.
+  auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
+    const TaskId id = matmul_task_id(n, ti, tj, tk);
+    if (pool_.remove(id)) assignment.tasks.push_back(id);
+  };
+  for (const std::uint32_t j2 : w.known_j) {
+    for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
+    try_take(i, j2, k);
+  }
+  for (const std::uint32_t k2 : w.known_k) try_take(i, j, k2);
+  try_take(i, j, k);
+  for (const std::uint32_t i2 : w.known_i) {
+    for (const std::uint32_t k2 : w.known_k) try_take(i2, j, k2);
+    try_take(i2, j, k);
+  }
+  for (const std::uint32_t i2 : w.known_i) {
+    for (const std::uint32_t j2 : w.known_j) try_take(i2, j2, k);
+  }
+
+  w.known_i.push_back(i);
+  w.known_j.push_back(j);
+  w.known_k.push_back(k);
+  return assignment;
+}
+
+std::optional<Assignment> DynamicMatrixStrategy::random_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  WorkerState& w = state_[worker];
+  const TaskId id = pool_.pop_random(rng_);
+  const auto [i, j, k] = matmul_task_coords(config_.n, id);
+
+  Assignment assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, assignment);
+  assignment.tasks.push_back(id);
+  ++phase2_served_;
+  return assignment;
+}
+
+DynamicMatrixStrategy make_dynamic_matrix_2phases(MatmulConfig config,
+                                                  std::uint32_t workers,
+                                                  std::uint64_t seed,
+                                                  double phase2_fraction) {
+  if (phase2_fraction < 0.0 || phase2_fraction > 1.0) {
+    throw std::invalid_argument(
+        "make_dynamic_matrix_2phases: fraction must be in [0, 1]");
+  }
+  const double tasks =
+      phase2_fraction * static_cast<double>(config.total_tasks());
+  return DynamicMatrixStrategy(config, workers, seed,
+                               static_cast<std::uint64_t>(std::llround(tasks)));
+}
+
+}  // namespace hetsched

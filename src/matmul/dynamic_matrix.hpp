@@ -1,0 +1,83 @@
+// DynamicMatrix and DynamicMatrix2Phases (Algorithm 3 + Section 4.1).
+//
+// Data-aware phase: worker k maintains index sets I, J, K of equal size
+// y such that it owns A_{i,k'}, B_{k',j}, C_{i,j} for all
+// (i, j, k') in I x J x K. On request the master picks fresh indices
+// (i, j, k), ships the 3*(2y+1) blocks that extend the cross products,
+// and allocates every unprocessed task in (I+i) x (J+j) x (K+k) with at
+// least one new coordinate.
+//
+// Two-phase variant: once fewer than `phase2_tasks` tasks remain
+// unallocated, serve random unprocessed tasks with their missing
+// blocks (RandomMatrix fallback). The paper switches when
+// e^{-beta} * N^3 tasks remain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/swap_remove_pool.hpp"
+#include "matmul/pointwise_matmul.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+class DynamicMatrixStrategy : public Strategy {
+ public:
+  /// phase2_tasks == 0 gives the pure DynamicMatrix strategy.
+  DynamicMatrixStrategy(MatmulConfig config, std::uint32_t workers,
+                        std::uint64_t seed, std::uint64_t phase2_tasks = 0);
+
+  std::string name() const override;
+  std::uint64_t total_tasks() const override { return config_.total_tasks(); }
+  std::uint64_t unassigned_tasks() const override { return pool_.size(); }
+  std::uint32_t workers() const override { return n_workers_; }
+
+  std::optional<Assignment> on_request(std::uint32_t worker) override;
+
+  bool requeue(const std::vector<TaskId>& tasks) override {
+    bool all_inserted = true;
+    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    return all_inserted;
+  }
+
+  std::uint64_t phase2_tasks_served() const noexcept { return phase2_served_; }
+
+  /// Size y of worker k's structured index sets (|I| = |J| = |K|).
+  std::uint32_t known_extent(std::uint32_t worker) const {
+    return static_cast<std::uint32_t>(state_[worker].known_i.size());
+  }
+
+ private:
+  struct WorkerState {
+    std::vector<std::uint32_t> known_i;  // I
+    std::vector<std::uint32_t> known_j;  // J
+    std::vector<std::uint32_t> known_k;  // K
+    std::vector<std::uint32_t> unknown_i;
+    std::vector<std::uint32_t> unknown_j;
+    std::vector<std::uint32_t> unknown_k;
+    MatmulWorkerBlocks blocks;
+  };
+
+  bool in_phase2() const noexcept { return pool_.size() <= phase2_tasks_; }
+
+  std::optional<Assignment> dynamic_request(std::uint32_t worker);
+  std::optional<Assignment> random_request(std::uint32_t worker);
+
+  MatmulConfig config_;
+  std::uint32_t n_workers_;
+  std::uint64_t phase2_tasks_;
+  SwapRemovePool pool_;
+  std::vector<WorkerState> state_;
+  Rng rng_;
+  std::uint64_t phase2_served_ = 0;
+};
+
+/// Switch point expressed as the fraction of tasks handled by phase 2.
+DynamicMatrixStrategy make_dynamic_matrix_2phases(MatmulConfig config,
+                                                  std::uint32_t workers,
+                                                  std::uint64_t seed,
+                                                  double phase2_fraction);
+
+}  // namespace hetsched

@@ -1,0 +1,18 @@
+#include "matmul/matmul_problem.hpp"
+
+#include <stdexcept>
+
+namespace hetsched {
+
+void validate(const MatmulConfig& config) {
+  if (config.n == 0) {
+    throw std::invalid_argument("MatmulConfig: n must be at least 1");
+  }
+  // n^3 task ids are materialized in the master pool; cap where the
+  // pool would exceed a few GiB.
+  if (config.n > 512) {
+    throw std::invalid_argument("MatmulConfig: n > 512 not supported");
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,52 @@
+// Matrix-multiplication kernel model (Section 4).
+//
+// C = A * B over n x n block matrices yields n^3 independent unit tasks
+// T_{i,j,k} : C_{i,j} += A_{i,k} * B_{k,j}. A task touches three blocks
+// (A_{i,k}, B_{k,j}, C_{i,j}); each block a worker touches is charged
+// exactly once — inputs when first shipped in, the C contribution when
+// shipped back to the master, which reduces partial results (the paper
+// neglects the reduction's compute cost, and so do we).
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+struct MatmulConfig {
+  /// Blocks per matrix dimension (the paper's N/l). Tasks: n^3.
+  std::uint32_t n = 40;
+
+  std::uint64_t total_tasks() const noexcept {
+    const auto n64 = static_cast<std::uint64_t>(n);
+    return n64 * n64 * n64;
+  }
+};
+
+/// Task id for T_{i,j,k}, laid out as ((i * n) + j) * n + k.
+constexpr TaskId matmul_task_id(std::uint32_t n, std::uint32_t i,
+                                std::uint32_t j, std::uint32_t k) noexcept {
+  return (static_cast<TaskId>(i) * n + j) * n + k;
+}
+
+/// Inverse of matmul_task_id: (i, j, k).
+constexpr std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>
+matmul_task_coords(std::uint32_t n, TaskId id) noexcept {
+  const auto k = static_cast<std::uint32_t>(id % n);
+  const auto ij = id / n;
+  return {static_cast<std::uint32_t>(ij / n), static_cast<std::uint32_t>(ij % n),
+          k};
+}
+
+/// Flat index of an n x n block coordinate (for ownership bitsets).
+constexpr std::size_t block_index(std::uint32_t n, std::uint32_t r,
+                                  std::uint32_t c) noexcept {
+  return static_cast<std::size_t>(r) * n + c;
+}
+
+/// Validates a MatmulConfig (n >= 1, n^3 fits in practical memory).
+void validate(const MatmulConfig& config);
+
+}  // namespace hetsched

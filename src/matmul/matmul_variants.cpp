@@ -1,0 +1,314 @@
+#include "matmul/matmul_variants.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+namespace {
+
+constexpr std::uint32_t kNone = ~0u;
+
+std::uint32_t pick_unknown(Rng& rng, std::vector<std::uint32_t>& unknown) {
+  const auto pos = static_cast<std::size_t>(rng.next_below(unknown.size()));
+  const std::uint32_t v = unknown[pos];
+  unknown[pos] = unknown.back();
+  unknown.pop_back();
+  return v;
+}
+
+}  // namespace
+
+PerWorkerSwitchMatmulStrategy::PerWorkerSwitchMatmulStrategy(
+    MatmulConfig config, const std::vector<double>& speeds, std::uint64_t seed,
+    double beta)
+    : config_(config),
+      pool_(config.total_tasks()),
+      rng_(derive_stream(seed, "matmul.per_worker")) {
+  validate(config_);
+  if (speeds.empty()) {
+    throw std::invalid_argument(
+        "PerWorkerSwitchMatmulStrategy: need >= 1 worker");
+  }
+  if (!(beta > 0.0)) {
+    throw std::invalid_argument(
+        "PerWorkerSwitchMatmulStrategy: beta must be positive");
+  }
+  double total = 0.0;
+  for (const double s : speeds) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument(
+          "PerWorkerSwitchMatmulStrategy: speeds must be positive");
+    }
+    total += s;
+  }
+  state_.resize(speeds.size());
+  switch_extent_.resize(speeds.size());
+  for (std::size_t k = 0; k < speeds.size(); ++k) {
+    auto& w = state_[k];
+    w.blocks = MatmulWorkerBlocks(config_.n);
+    w.unknown_i.resize(config_.n);
+    w.unknown_j.resize(config_.n);
+    w.unknown_k.resize(config_.n);
+    for (std::uint32_t v = 0; v < config_.n; ++v) {
+      w.unknown_i[v] = v;
+      w.unknown_j[v] = v;
+      w.unknown_k[v] = v;
+    }
+    const double rs = speeds[k] / total;
+    const double beta_k = std::min(beta, 1.0 / rs);  // validity cap
+    const double x3 =
+        std::clamp(beta_k * rs - 0.5 * beta_k * beta_k * rs * rs, 0.0, 1.0);
+    switch_extent_[k] = static_cast<std::uint32_t>(
+        std::ceil(std::cbrt(x3) * static_cast<double>(config_.n)));
+  }
+}
+
+std::optional<Assignment> PerWorkerSwitchMatmulStrategy::on_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  const WorkerState& w = state_[worker];
+  if (w.known_i.size() >= switch_extent_[worker] || w.unknown_i.empty() ||
+      w.unknown_j.empty() || w.unknown_k.empty()) {
+    return random_request(worker);
+  }
+  return dynamic_request(worker);
+}
+
+std::optional<Assignment> PerWorkerSwitchMatmulStrategy::dynamic_request(
+    std::uint32_t worker) {
+  WorkerState& w = state_[worker];
+  const std::uint32_t i = pick_unknown(rng_, w.unknown_i);
+  const std::uint32_t j = pick_unknown(rng_, w.unknown_j);
+  const std::uint32_t k = pick_unknown(rng_, w.unknown_k);
+  const std::uint32_t n = config_.n;
+
+  Assignment assignment;
+  auto ship = [&](Operand op, DynamicBitset& owned, std::uint32_t r,
+                  std::uint32_t c) {
+    if (owned.set_if_clear(block_index(n, r, c))) {
+      assignment.blocks.push_back(BlockRef{op, r, c});
+    }
+  };
+  for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatA, w.blocks.owned_a, i, k2);
+  for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatA, w.blocks.owned_a, i2, k);
+  ship(Operand::kMatA, w.blocks.owned_a, i, k);
+  for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatB, w.blocks.owned_b, k, j2);
+  for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatB, w.blocks.owned_b, k2, j);
+  ship(Operand::kMatB, w.blocks.owned_b, k, j);
+  for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatC, w.blocks.owned_c, i, j2);
+  for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatC, w.blocks.owned_c, i2, j);
+  ship(Operand::kMatC, w.blocks.owned_c, i, j);
+
+  auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
+    const TaskId id = matmul_task_id(n, ti, tj, tk);
+    if (pool_.remove(id)) assignment.tasks.push_back(id);
+  };
+  for (const std::uint32_t j2 : w.known_j) {
+    for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
+    try_take(i, j2, k);
+  }
+  for (const std::uint32_t k2 : w.known_k) try_take(i, j, k2);
+  try_take(i, j, k);
+  for (const std::uint32_t i2 : w.known_i) {
+    for (const std::uint32_t k2 : w.known_k) try_take(i2, j, k2);
+    try_take(i2, j, k);
+  }
+  for (const std::uint32_t i2 : w.known_i) {
+    for (const std::uint32_t j2 : w.known_j) try_take(i2, j2, k);
+  }
+
+  w.known_i.push_back(i);
+  w.known_j.push_back(j);
+  w.known_k.push_back(k);
+  return assignment;
+}
+
+std::optional<Assignment> PerWorkerSwitchMatmulStrategy::random_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  WorkerState& w = state_[worker];
+  const TaskId id = pool_.pop_random(rng_);
+  const auto [i, j, k] = matmul_task_coords(config_.n, id);
+  Assignment assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, assignment);
+  assignment.tasks.push_back(id);
+  return assignment;
+}
+
+BoundedLruMatmulStrategy::Lru::Lru(std::size_t slots, std::uint32_t cap)
+    : prev(slots, kNone),
+      next(slots, kNone),
+      present(slots, false),
+      ever_held(slots, false),
+      head(kNone),
+      tail(kNone),
+      size(0),
+      capacity(cap) {}
+
+void BoundedLruMatmulStrategy::Lru::unlink(std::uint32_t slot) {
+  const std::uint32_t p = prev[slot];
+  const std::uint32_t n = next[slot];
+  if (p != kNone) next[p] = n; else head = n;
+  if (n != kNone) prev[n] = p; else tail = p;
+  prev[slot] = kNone;
+  next[slot] = kNone;
+}
+
+void BoundedLruMatmulStrategy::Lru::push_front(std::uint32_t slot) {
+  prev[slot] = kNone;
+  next[slot] = head;
+  if (head != kNone) prev[head] = slot;
+  head = slot;
+  if (tail == kNone) tail = slot;
+}
+
+void BoundedLruMatmulStrategy::Lru::touch(std::uint32_t slot) {
+  assert(present[slot]);
+  if (head == slot) return;
+  unlink(slot);
+  push_front(slot);
+}
+
+bool BoundedLruMatmulStrategy::Lru::insert(std::uint32_t slot) {
+  assert(!present[slot]);
+  if (size == capacity) {
+    const std::uint32_t victim = tail;
+    assert(victim != kNone);
+    unlink(victim);
+    present[victim] = false;
+    --size;
+  }
+  push_front(slot);
+  present[slot] = true;
+  ++size;
+  const bool refetch = ever_held[slot];
+  ever_held[slot] = true;
+  return refetch;
+}
+
+BoundedLruMatmulStrategy::BoundedLruMatmulStrategy(MatmulConfig config,
+                                                   std::uint32_t workers,
+                                                   std::uint64_t seed,
+                                                   std::uint32_t capacity)
+    : config_(config),
+      pool_(config.total_tasks()),
+      rng_(derive_stream(seed, "matmul.bounded")) {
+  validate(config_);
+  if (workers == 0) {
+    throw std::invalid_argument("BoundedLruMatmulStrategy: need >= 1 worker");
+  }
+  if (capacity < 3) {
+    throw std::invalid_argument(
+        "BoundedLruMatmulStrategy: capacity must be >= 3 blocks");
+  }
+  const std::size_t slots =
+      3 * static_cast<std::size_t>(config_.n) * config_.n;
+  state_.resize(workers);
+  for (auto& w : state_) {
+    w.cache = Lru(slots, capacity);
+    w.unknown_i.resize(config_.n);
+    w.unknown_j.resize(config_.n);
+    w.unknown_k.resize(config_.n);
+    for (std::uint32_t v = 0; v < config_.n; ++v) {
+      w.unknown_i[v] = v;
+      w.unknown_j[v] = v;
+      w.unknown_k[v] = v;
+    }
+  }
+}
+
+std::uint32_t BoundedLruMatmulStrategy::slot_of(Operand op, std::uint32_t r,
+                                                std::uint32_t c) const {
+  const std::uint32_t n2 = config_.n * config_.n;
+  const std::uint32_t base =
+      op == Operand::kMatA ? 0 : (op == Operand::kMatB ? n2 : 2 * n2);
+  return base + r * config_.n + c;
+}
+
+void BoundedLruMatmulStrategy::fetch(WorkerState& w, Operand op,
+                                     std::uint32_t r, std::uint32_t c,
+                                     Assignment& assignment) {
+  const std::uint32_t slot = slot_of(op, r, c);
+  if (w.cache.present[slot]) {
+    w.cache.touch(slot);
+    return;
+  }
+  if (w.cache.insert(slot)) ++refetches_;
+  assignment.blocks.push_back(BlockRef{op, r, c});
+}
+
+std::optional<Assignment> BoundedLruMatmulStrategy::on_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  WorkerState& w = state_[worker];
+  const auto y = static_cast<std::uint32_t>(w.known_i.size());
+  const std::uint32_t next_cost = 3 * (2 * y + 1);
+  const bool room = w.cache.size + next_cost <= w.cache.capacity;
+  if (room && !w.unknown_i.empty() && !w.unknown_j.empty() &&
+      !w.unknown_k.empty()) {
+    return dynamic_request(worker);
+  }
+  return bounded_request(worker);
+}
+
+std::optional<Assignment> BoundedLruMatmulStrategy::dynamic_request(
+    std::uint32_t worker) {
+  WorkerState& w = state_[worker];
+  const std::uint32_t i = pick_unknown(rng_, w.unknown_i);
+  const std::uint32_t j = pick_unknown(rng_, w.unknown_j);
+  const std::uint32_t k = pick_unknown(rng_, w.unknown_k);
+  const std::uint32_t n = config_.n;
+
+  Assignment assignment;
+  for (const std::uint32_t k2 : w.known_k) fetch(w, Operand::kMatA, i, k2, assignment);
+  for (const std::uint32_t i2 : w.known_i) fetch(w, Operand::kMatA, i2, k, assignment);
+  fetch(w, Operand::kMatA, i, k, assignment);
+  for (const std::uint32_t j2 : w.known_j) fetch(w, Operand::kMatB, k, j2, assignment);
+  for (const std::uint32_t k2 : w.known_k) fetch(w, Operand::kMatB, k2, j, assignment);
+  fetch(w, Operand::kMatB, k, j, assignment);
+  for (const std::uint32_t j2 : w.known_j) fetch(w, Operand::kMatC, i, j2, assignment);
+  for (const std::uint32_t i2 : w.known_i) fetch(w, Operand::kMatC, i2, j, assignment);
+  fetch(w, Operand::kMatC, i, j, assignment);
+
+  auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
+    const TaskId id = matmul_task_id(n, ti, tj, tk);
+    if (pool_.remove(id)) assignment.tasks.push_back(id);
+  };
+  for (const std::uint32_t j2 : w.known_j) {
+    for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
+    try_take(i, j2, k);
+  }
+  for (const std::uint32_t k2 : w.known_k) try_take(i, j, k2);
+  try_take(i, j, k);
+  for (const std::uint32_t i2 : w.known_i) {
+    for (const std::uint32_t k2 : w.known_k) try_take(i2, j, k2);
+    try_take(i2, j, k);
+  }
+  for (const std::uint32_t i2 : w.known_i) {
+    for (const std::uint32_t j2 : w.known_j) try_take(i2, j2, k);
+  }
+
+  w.known_i.push_back(i);
+  w.known_j.push_back(j);
+  w.known_k.push_back(k);
+  return assignment;
+}
+
+std::optional<Assignment> BoundedLruMatmulStrategy::bounded_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  WorkerState& w = state_[worker];
+  const TaskId id = pool_.pop_random(rng_);
+  const auto [i, j, k] = matmul_task_coords(config_.n, id);
+  Assignment assignment;
+  fetch(w, Operand::kMatA, i, k, assignment);
+  fetch(w, Operand::kMatB, k, j, assignment);
+  fetch(w, Operand::kMatC, i, j, assignment);
+  assignment.tasks.push_back(id);
+  return assignment;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,124 @@
+// Matrix-multiplication counterparts of the outer-product scheduler
+// variants: speed-aware per-worker phase switching (ablation for the
+// paper's Section 3.6 claim) and LRU-bounded worker memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/swap_remove_pool.hpp"
+#include "matmul/pointwise_matmul.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+/// DynamicMatrix with each worker switching to random service at its
+/// analytic x_k(beta) = (beta rs_k - (beta^2/2) rs_k^2)^{1/3} instead
+/// of the global speed-agnostic task-count threshold.
+class PerWorkerSwitchMatmulStrategy final : public Strategy {
+ public:
+  PerWorkerSwitchMatmulStrategy(MatmulConfig config,
+                                const std::vector<double>& speeds,
+                                std::uint64_t seed, double beta);
+
+  std::string name() const override { return "DynamicMatrixPerWorkerSwitch"; }
+  std::uint64_t total_tasks() const override { return config_.total_tasks(); }
+  std::uint64_t unassigned_tasks() const override { return pool_.size(); }
+  std::uint32_t workers() const override {
+    return static_cast<std::uint32_t>(state_.size());
+  }
+
+  std::optional<Assignment> on_request(std::uint32_t worker) override;
+
+  bool requeue(const std::vector<TaskId>& tasks) override {
+    bool all_inserted = true;
+    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    return all_inserted;
+  }
+
+  /// Worker k's switch threshold on |I_k| (= |J_k| = |K_k|).
+  std::uint32_t switch_extent(std::uint32_t worker) const {
+    return switch_extent_[worker];
+  }
+
+ private:
+  struct WorkerState {
+    std::vector<std::uint32_t> known_i, known_j, known_k;
+    std::vector<std::uint32_t> unknown_i, unknown_j, unknown_k;
+    MatmulWorkerBlocks blocks;
+  };
+
+  std::optional<Assignment> dynamic_request(std::uint32_t worker);
+  std::optional<Assignment> random_request(std::uint32_t worker);
+
+  MatmulConfig config_;
+  SwapRemovePool pool_;
+  std::vector<WorkerState> state_;
+  std::vector<std::uint32_t> switch_extent_;
+  Rng rng_;
+};
+
+/// DynamicMatrix with a per-worker LRU block cache (capacity in blocks
+/// across A, B and C). The data-aware phase extends only while the
+/// next extension's 3(2y+1) blocks fit; afterwards tasks are served one
+/// at a time with eviction, and refetches are counted.
+class BoundedLruMatmulStrategy final : public Strategy {
+ public:
+  /// capacity >= 3 (one task's A, B and C blocks must fit).
+  BoundedLruMatmulStrategy(MatmulConfig config, std::uint32_t workers,
+                           std::uint64_t seed, std::uint32_t capacity);
+
+  std::string name() const override { return "BoundedLruMatmul"; }
+  std::uint64_t total_tasks() const override { return config_.total_tasks(); }
+  std::uint64_t unassigned_tasks() const override { return pool_.size(); }
+  std::uint32_t workers() const override {
+    return static_cast<std::uint32_t>(state_.size());
+  }
+
+  std::optional<Assignment> on_request(std::uint32_t worker) override;
+
+  bool requeue(const std::vector<TaskId>& tasks) override {
+    bool all_inserted = true;
+    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    return all_inserted;
+  }
+
+  std::uint64_t refetches() const noexcept { return refetches_; }
+
+ private:
+  // Unified slot space: A block (r,c) -> r*n+c; B -> n^2 + ...;
+  // C -> 2n^2 + ... so one LRU list covers all three operands.
+  struct Lru {
+    std::vector<std::uint32_t> prev, next;
+    std::vector<bool> present, ever_held;
+    std::uint32_t head, tail, size, capacity;
+
+    explicit Lru(std::size_t slots = 0, std::uint32_t cap = 0);
+    void unlink(std::uint32_t slot);
+    void push_front(std::uint32_t slot);
+    void touch(std::uint32_t slot);
+    bool insert(std::uint32_t slot);  // returns true on refetch
+  };
+
+  struct WorkerState {
+    std::vector<std::uint32_t> known_i, known_j, known_k;
+    std::vector<std::uint32_t> unknown_i, unknown_j, unknown_k;
+    Lru cache;
+  };
+
+  std::uint32_t slot_of(Operand op, std::uint32_t r, std::uint32_t c) const;
+  void fetch(WorkerState& w, Operand op, std::uint32_t r, std::uint32_t c,
+             Assignment& assignment);
+
+  std::optional<Assignment> dynamic_request(std::uint32_t worker);
+  std::optional<Assignment> bounded_request(std::uint32_t worker);
+
+  MatmulConfig config_;
+  SwapRemovePool pool_;
+  std::vector<WorkerState> state_;
+  Rng rng_;
+  std::uint64_t refetches_ = 0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,39 @@
+#include "matmul/pointwise_matmul.hpp"
+
+namespace hetsched {
+
+void charge_matmul_task_blocks(std::uint32_t n, std::uint32_t i,
+                               std::uint32_t j, std::uint32_t k,
+                               MatmulWorkerBlocks& blocks,
+                               Assignment& assignment) {
+  if (blocks.owned_a.set_if_clear(block_index(n, i, k))) {
+    assignment.blocks.push_back(BlockRef{Operand::kMatA, i, k});
+  }
+  if (blocks.owned_b.set_if_clear(block_index(n, k, j))) {
+    assignment.blocks.push_back(BlockRef{Operand::kMatB, k, j});
+  }
+  if (blocks.owned_c.set_if_clear(block_index(n, i, j))) {
+    assignment.blocks.push_back(BlockRef{Operand::kMatC, i, j});
+  }
+}
+
+PointwiseMatmulStrategy::PointwiseMatmulStrategy(MatmulConfig config,
+                                                 std::uint32_t workers)
+    : config_(config), n_workers_(workers), pool_(config.total_tasks()) {
+  validate(config_);
+  owned_.assign(workers, MatmulWorkerBlocks(config_.n));
+}
+
+std::optional<Assignment> PointwiseMatmulStrategy::on_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  const TaskId id = next_task();
+  const auto [i, j, k] = matmul_task_coords(config_.n, id);
+
+  Assignment assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, owned_[worker], assignment);
+  assignment.tasks.push_back(id);
+  return assignment;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,66 @@
+// Shared machinery for the task-at-a-time matrix-multiply strategies
+// (RandomMatrix / SortedMatrix).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dynamic_bitset.hpp"
+#include "common/swap_remove_pool.hpp"
+#include "matmul/matmul_problem.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+/// Per-worker block caches for matrix multiplication: which A, B blocks
+/// have been shipped in, and which C blocks the worker has already
+/// started contributing to (charged once, when shipped back).
+struct MatmulWorkerBlocks {
+  DynamicBitset owned_a;  // n*n bits over (i, k)
+  DynamicBitset owned_b;  // n*n bits over (k, j)
+  DynamicBitset owned_c;  // n*n bits over (i, j)
+
+  explicit MatmulWorkerBlocks(std::uint32_t n = 0)
+      : owned_a(static_cast<std::size_t>(n) * n),
+        owned_b(static_cast<std::size_t>(n) * n),
+        owned_c(static_cast<std::size_t>(n) * n) {}
+};
+
+/// Appends the (up to three) block transfers task (i,j,k) requires for
+/// a worker with caches `blocks`, updating the caches.
+void charge_matmul_task_blocks(std::uint32_t n, std::uint32_t i,
+                               std::uint32_t j, std::uint32_t k,
+                               MatmulWorkerBlocks& blocks,
+                               Assignment& assignment);
+
+/// Base for strategies that hand out one task per request.
+class PointwiseMatmulStrategy : public Strategy {
+ public:
+  PointwiseMatmulStrategy(MatmulConfig config, std::uint32_t workers);
+
+  std::uint64_t total_tasks() const final { return config_.total_tasks(); }
+  std::uint64_t unassigned_tasks() const final { return pool_.size(); }
+  std::uint32_t workers() const final { return n_workers_; }
+
+  std::optional<Assignment> on_request(std::uint32_t worker) final;
+
+  bool requeue(const std::vector<TaskId>& tasks) override {
+    bool all_inserted = true;
+    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    return all_inserted;
+  }
+
+ protected:
+  virtual TaskId next_task() = 0;
+
+  const MatmulConfig& config() const noexcept { return config_; }
+  SwapRemovePool& pool() noexcept { return pool_; }
+
+ private:
+  MatmulConfig config_;
+  std::uint32_t n_workers_;
+  SwapRemovePool pool_;
+  std::vector<MatmulWorkerBlocks> owned_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,13 @@
+#include "matmul/random_matrix.hpp"
+
+namespace hetsched {
+
+RandomMatrixStrategy::RandomMatrixStrategy(MatmulConfig config,
+                                           std::uint32_t workers,
+                                           std::uint64_t seed)
+    : PointwiseMatmulStrategy(config, workers),
+      rng_(derive_stream(seed, "matmul.random")) {}
+
+TaskId RandomMatrixStrategy::next_task() { return pool().pop_random(rng_); }
+
+}  // namespace hetsched

@@ -1,0 +1,24 @@
+// RandomMatrix (Section 4.1): serve a uniformly random unprocessed
+// task T_{i,j,k}; ship whichever of A_{i,k}, B_{k,j}, C_{i,j} the
+// worker has not touched yet.
+#pragma once
+
+#include "common/rng.hpp"
+#include "matmul/pointwise_matmul.hpp"
+
+namespace hetsched {
+
+class RandomMatrixStrategy final : public PointwiseMatmulStrategy {
+ public:
+  RandomMatrixStrategy(MatmulConfig config, std::uint32_t workers,
+                       std::uint64_t seed);
+
+  std::string name() const override { return "RandomMatrix"; }
+
+ private:
+  TaskId next_task() override;
+
+  Rng rng_;
+};
+
+}  // namespace hetsched

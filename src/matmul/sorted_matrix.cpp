@@ -1,0 +1,11 @@
+#include "matmul/sorted_matrix.hpp"
+
+namespace hetsched {
+
+SortedMatrixStrategy::SortedMatrixStrategy(MatmulConfig config,
+                                           std::uint32_t workers)
+    : PointwiseMatmulStrategy(config, workers) {}
+
+TaskId SortedMatrixStrategy::next_task() { return pool().pop_first(); }
+
+}  // namespace hetsched

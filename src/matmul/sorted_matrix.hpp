@@ -1,0 +1,19 @@
+// SortedMatrix (Section 4.1): serve unprocessed tasks in lexicographic
+// (i, j, k) order.
+#pragma once
+
+#include "matmul/pointwise_matmul.hpp"
+
+namespace hetsched {
+
+class SortedMatrixStrategy final : public PointwiseMatmulStrategy {
+ public:
+  SortedMatrixStrategy(MatmulConfig config, std::uint32_t workers);
+
+  std::string name() const override { return "SortedMatrix"; }
+
+ private:
+  TaskId next_task() override;
+};
+
+}  // namespace hetsched

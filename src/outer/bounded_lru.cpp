@@ -1,0 +1,153 @@
+#include "outer/bounded_lru.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hetsched {
+
+BoundedLruOuterStrategy::LruCache::LruCache(std::uint32_t slots,
+                                            std::uint32_t capacity)
+    : prev_(slots, kNone),
+      next_(slots, kNone),
+      position_(slots, kAbsent),
+      ever_held_(slots, false),
+      capacity_(capacity) {}
+
+void BoundedLruOuterStrategy::LruCache::unlink(std::uint32_t slot) {
+  const std::uint32_t p = prev_[slot];
+  const std::uint32_t n = next_[slot];
+  if (p != kNone) next_[p] = n; else head_ = n;
+  if (n != kNone) prev_[n] = p; else tail_ = p;
+  prev_[slot] = kNone;
+  next_[slot] = kNone;
+}
+
+void BoundedLruOuterStrategy::LruCache::push_front(std::uint32_t slot) {
+  prev_[slot] = kNone;
+  next_[slot] = head_;
+  if (head_ != kNone) prev_[head_] = slot;
+  head_ = slot;
+  if (tail_ == kNone) tail_ = slot;
+}
+
+void BoundedLruOuterStrategy::LruCache::touch(std::uint32_t slot) {
+  assert(contains(slot));
+  if (head_ == slot) return;
+  unlink(slot);
+  push_front(slot);
+}
+
+bool BoundedLruOuterStrategy::LruCache::insert(std::uint32_t slot) {
+  assert(!contains(slot));
+  if (size_ == capacity_) {
+    const std::uint32_t victim = tail_;
+    assert(victim != kNone);
+    unlink(victim);
+    position_[victim] = kAbsent;
+    --size_;
+  }
+  push_front(slot);
+  position_[slot] = 0;  // any non-kAbsent marker
+  ++size_;
+  const bool refetch = ever_held_[slot];
+  ever_held_[slot] = true;
+  return refetch;
+}
+
+BoundedLruOuterStrategy::BoundedLruOuterStrategy(OuterConfig config,
+                                                 std::uint32_t workers,
+                                                 std::uint64_t seed,
+                                                 std::uint32_t capacity)
+    : config_(config),
+      pool_(config.total_tasks()),
+      rng_(derive_stream(seed, "outer.bounded")) {
+  validate(config_);
+  if (workers == 0) {
+    throw std::invalid_argument("BoundedLruOuterStrategy: need >= 1 worker");
+  }
+  if (capacity < 2) {
+    throw std::invalid_argument(
+        "BoundedLruOuterStrategy: capacity must be >= 2 blocks");
+  }
+  caches_.assign(workers, LruCache(2 * config_.n, capacity));
+  state_.resize(workers);
+  for (auto& w : state_) {
+    w.unknown_i.resize(config_.n);
+    w.unknown_j.resize(config_.n);
+    for (std::uint32_t v = 0; v < config_.n; ++v) {
+      w.unknown_i[v] = v;
+      w.unknown_j[v] = v;
+    }
+  }
+}
+
+void BoundedLruOuterStrategy::fetch(std::uint32_t worker, Operand op,
+                                    std::uint32_t index,
+                                    Assignment& assignment) {
+  const std::uint32_t slot =
+      op == Operand::kVecA ? a_slot(index) : b_slot(index);
+  LruCache& cache = caches_[worker];
+  if (cache.contains(slot)) {
+    cache.touch(slot);
+    return;
+  }
+  if (cache.insert(slot)) ++refetches_;
+  assignment.blocks.push_back(BlockRef{op, index, 0});
+}
+
+std::optional<Assignment> BoundedLruOuterStrategy::on_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  WorkerState& w = state_[worker];
+  const LruCache& cache = caches_[worker];
+  const bool room = cache.size() + 2 <= cache.capacity();
+  if (room && !w.unknown_i.empty() && !w.unknown_j.empty()) {
+    return dynamic_request(worker);
+  }
+  return bounded_request(worker);
+}
+
+std::optional<Assignment> BoundedLruOuterStrategy::dynamic_request(
+    std::uint32_t worker) {
+  WorkerState& w = state_[worker];
+  const auto pick = [this](std::vector<std::uint32_t>& unknown) {
+    const auto pos = static_cast<std::size_t>(rng_.next_below(unknown.size()));
+    const std::uint32_t v = unknown[pos];
+    unknown[pos] = unknown.back();
+    unknown.pop_back();
+    return v;
+  };
+  const std::uint32_t i = pick(w.unknown_i);
+  const std::uint32_t j = pick(w.unknown_j);
+
+  Assignment assignment;
+  fetch(worker, Operand::kVecA, i, assignment);
+  fetch(worker, Operand::kVecB, j, assignment);
+
+  auto try_take = [&](std::uint32_t ti, std::uint32_t tj) {
+    const TaskId id = outer_task_id(config_.n, ti, tj);
+    if (pool_.remove(id)) assignment.tasks.push_back(id);
+  };
+  for (const std::uint32_t j2 : w.known_j) try_take(i, j2);
+  for (const std::uint32_t i2 : w.known_i) try_take(i2, j);
+  try_take(i, j);
+
+  w.known_i.push_back(i);
+  w.known_j.push_back(j);
+  return assignment;
+}
+
+std::optional<Assignment> BoundedLruOuterStrategy::bounded_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  const TaskId id = pool_.pop_random(rng_);
+  const auto [i, j] = outer_task_coords(config_.n, id);
+
+  Assignment assignment;
+  fetch(worker, Operand::kVecA, i, assignment);
+  fetch(worker, Operand::kVecB, j, assignment);
+  assignment.tasks.push_back(id);
+  return assignment;
+}
+
+}  // namespace hetsched

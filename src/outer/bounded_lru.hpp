@@ -1,0 +1,115 @@
+// Memory-bounded data-aware scheduling (systems extension).
+//
+// The paper's workers cache every block forever; real workers have
+// finite memory. This variant gives each worker an LRU block cache of
+// `capacity` blocks: the data-aware phase extends knowledge only while
+// the cache has room, after which tasks are served one at a time with
+// missing blocks fetched (and possibly *re*-fetched after eviction).
+// bench/abl_memory_cap sweeps the capacity, locating how much cache the
+// paper's numbers implicitly assume.
+//
+// Modeling note: phase-1 batches reference blocks fetched strictly
+// earlier; since eviction only happens once the cache is already full —
+// i.e. after phase 1 stopped extending — phase-1 blocks are resident
+// when their tasks run. In the bounded phase each task's two blocks are
+// made most-recently-used at service time, so they cannot be evicted
+// before use (capacity >= 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/swap_remove_pool.hpp"
+#include "outer/outer_problem.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+class BoundedLruOuterStrategy final : public Strategy {
+ public:
+  /// capacity: per-worker cache size in blocks, >= 2.
+  BoundedLruOuterStrategy(OuterConfig config, std::uint32_t workers,
+                          std::uint64_t seed, std::uint32_t capacity);
+
+  std::string name() const override { return "BoundedLruOuter"; }
+  std::uint64_t total_tasks() const override { return config_.total_tasks(); }
+  std::uint64_t unassigned_tasks() const override { return pool_.size(); }
+  std::uint32_t workers() const override {
+    return static_cast<std::uint32_t>(caches_.size());
+  }
+
+  std::optional<Assignment> on_request(std::uint32_t worker) override;
+
+  bool requeue(const std::vector<TaskId>& tasks) override {
+    bool all_inserted = true;
+    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    return all_inserted;
+  }
+
+  /// Fetches of blocks the worker had held before (eviction cost).
+  std::uint64_t refetches() const noexcept { return refetches_; }
+
+ private:
+  /// LRU cache over 2n block slots: slot i = a_i, slot n+j = b_j.
+  /// Intrusive doubly-linked list over slot ids for O(1) touch/evict.
+  class LruCache {
+   public:
+    LruCache(std::uint32_t slots, std::uint32_t capacity);
+
+    bool contains(std::uint32_t slot) const {
+      return position_[slot] != kAbsent;
+    }
+    std::uint32_t size() const noexcept { return size_; }
+    std::uint32_t capacity() const noexcept { return capacity_; }
+
+    /// Marks the slot most-recently-used; must be present.
+    void touch(std::uint32_t slot);
+
+    /// Inserts a slot as MRU, evicting the LRU slot if full. Returns
+    /// whether the slot had ever been present before (re-fetch).
+    bool insert(std::uint32_t slot);
+
+   private:
+    static constexpr std::uint32_t kAbsent = ~0u;
+    static constexpr std::uint32_t kNone = ~0u - 1;
+
+    void unlink(std::uint32_t slot);
+    void push_front(std::uint32_t slot);
+
+    std::vector<std::uint32_t> prev_;
+    std::vector<std::uint32_t> next_;
+    std::vector<std::uint32_t> position_;  // kAbsent or a marker
+    std::vector<bool> ever_held_;
+    std::uint32_t head_ = kNone;  // MRU
+    std::uint32_t tail_ = kNone;  // LRU
+    std::uint32_t size_ = 0;
+    std::uint32_t capacity_;
+  };
+
+  struct WorkerState {
+    std::vector<std::uint32_t> known_i;
+    std::vector<std::uint32_t> known_j;
+    std::vector<std::uint32_t> unknown_i;
+    std::vector<std::uint32_t> unknown_j;
+  };
+
+  std::uint32_t a_slot(std::uint32_t i) const { return i; }
+  std::uint32_t b_slot(std::uint32_t j) const { return config_.n + j; }
+
+  std::optional<Assignment> dynamic_request(std::uint32_t worker);
+  std::optional<Assignment> bounded_request(std::uint32_t worker);
+
+  /// Fetches a slot into the worker's cache, charging the assignment.
+  void fetch(std::uint32_t worker, Operand op, std::uint32_t index,
+             Assignment& assignment);
+
+  OuterConfig config_;
+  SwapRemovePool pool_;
+  std::vector<LruCache> caches_;
+  std::vector<WorkerState> state_;
+  Rng rng_;
+  std::uint64_t refetches_ = 0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,122 @@
+#include "outer/dynamic_outer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+DynamicOuterStrategy::DynamicOuterStrategy(OuterConfig config,
+                                           std::uint32_t workers,
+                                           std::uint64_t seed,
+                                           std::uint64_t phase2_tasks)
+    : config_(config),
+      n_workers_(workers),
+      phase2_tasks_(phase2_tasks),
+      pool_(config.total_tasks()),
+      rng_(derive_stream(seed, "outer.dynamic")) {
+  validate(config_);
+  if (workers == 0) {
+    throw std::invalid_argument("DynamicOuterStrategy: need at least 1 worker");
+  }
+  state_.resize(workers);
+  for (auto& w : state_) {
+    w.owned_a = DynamicBitset(config_.n);
+    w.owned_b = DynamicBitset(config_.n);
+    w.unknown_i.resize(config_.n);
+    w.unknown_j.resize(config_.n);
+    for (std::uint32_t v = 0; v < config_.n; ++v) {
+      w.unknown_i[v] = v;
+      w.unknown_j[v] = v;
+    }
+    w.known_i.reserve(config_.n);
+    w.known_j.reserve(config_.n);
+  }
+}
+
+std::string DynamicOuterStrategy::name() const {
+  return phase2_tasks_ == 0 ? "DynamicOuter" : "DynamicOuter2Phases";
+}
+
+std::optional<Assignment> DynamicOuterStrategy::on_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  if (in_phase2()) return random_request(worker);
+  return dynamic_request(worker);
+}
+
+std::optional<Assignment> DynamicOuterStrategy::dynamic_request(
+    std::uint32_t worker) {
+  WorkerState& w = state_[worker];
+  if (w.unknown_i.empty() || w.unknown_j.empty()) {
+    // The worker knows a whole dimension, so every task it could enable
+    // is already marked; it can only help via the random fallback.
+    return random_request(worker);
+  }
+
+  // Draw a fresh (i, j) pair uniformly from the unknown index sets.
+  const auto pick = [this](std::vector<std::uint32_t>& unknown) {
+    const auto pos = static_cast<std::size_t>(rng_.next_below(unknown.size()));
+    const std::uint32_t v = unknown[pos];
+    unknown[pos] = unknown.back();
+    unknown.pop_back();
+    return v;
+  };
+  const std::uint32_t i = pick(w.unknown_i);
+  const std::uint32_t j = pick(w.unknown_j);
+
+  Assignment assignment;
+  assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+  assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+  w.owned_a.set(i);
+  w.owned_b.set(j);
+
+  // Allocate every unprocessed task the new data enables: row i against
+  // the previously known J, column j against the previously known I,
+  // and the corner (i, j).
+  auto try_take = [&](std::uint32_t ti, std::uint32_t tj) {
+    const TaskId id = outer_task_id(config_.n, ti, tj);
+    if (pool_.remove(id)) assignment.tasks.push_back(id);
+  };
+  for (const std::uint32_t j2 : w.known_j) try_take(i, j2);
+  for (const std::uint32_t i2 : w.known_i) try_take(i2, j);
+  try_take(i, j);
+
+  w.known_i.push_back(i);
+  w.known_j.push_back(j);
+  return assignment;
+}
+
+std::optional<Assignment> DynamicOuterStrategy::random_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  WorkerState& w = state_[worker];
+  const TaskId id = pool_.pop_random(rng_);
+  const auto [i, j] = outer_task_coords(config_.n, id);
+
+  Assignment assignment;
+  if (w.owned_a.set_if_clear(i)) {
+    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+  }
+  if (w.owned_b.set_if_clear(j)) {
+    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+  }
+  assignment.tasks.push_back(id);
+  ++phase2_served_;
+  return assignment;
+}
+
+DynamicOuterStrategy make_dynamic_outer_2phases(OuterConfig config,
+                                                std::uint32_t workers,
+                                                std::uint64_t seed,
+                                                double phase2_fraction) {
+  if (phase2_fraction < 0.0 || phase2_fraction > 1.0) {
+    throw std::invalid_argument(
+        "make_dynamic_outer_2phases: fraction must be in [0, 1]");
+  }
+  const double tasks = phase2_fraction * static_cast<double>(config.total_tasks());
+  return DynamicOuterStrategy(config, workers, seed,
+                              static_cast<std::uint64_t>(std::llround(tasks)));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,86 @@
+// DynamicOuter and DynamicOuter2Phases (Algorithms 1 and 2).
+//
+// Data-aware phase: when worker k requests work, the master picks a
+// fresh row index i and column index j the worker does not know yet,
+// ships a_i and b_j (2 blocks), and allocates every still-unprocessed
+// task the enlarged knowledge {I+i} x {J+j} enables — the "L" of row i
+// against J+j and column j against I.
+//
+// Two-phase variant: once fewer than `phase2_tasks` tasks remain
+// unallocated, fall back to RandomOuter-style service (a random
+// unprocessed task plus its missing blocks). The paper switches when
+// e^{-beta} * N^2 tasks remain, with beta chosen by the analysis
+// (src/analysis/outer_analysis.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dynamic_bitset.hpp"
+#include "common/rng.hpp"
+#include "common/swap_remove_pool.hpp"
+#include "outer/outer_problem.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+class DynamicOuterStrategy : public Strategy {
+ public:
+  /// phase2_tasks == 0 gives the pure DynamicOuter strategy.
+  DynamicOuterStrategy(OuterConfig config, std::uint32_t workers,
+                       std::uint64_t seed, std::uint64_t phase2_tasks = 0);
+
+  std::string name() const override;
+  std::uint64_t total_tasks() const override { return config_.total_tasks(); }
+  std::uint64_t unassigned_tasks() const override { return pool_.size(); }
+  std::uint32_t workers() const override { return n_workers_; }
+
+  std::optional<Assignment> on_request(std::uint32_t worker) override;
+
+  bool requeue(const std::vector<TaskId>& tasks) override {
+    bool all_inserted = true;
+    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    return all_inserted;
+  }
+
+  /// Tasks handed out by the random fallback so far (phase-2 share).
+  std::uint64_t phase2_tasks_served() const noexcept { return phase2_served_; }
+
+  /// Number of (row, column) pairs worker k has learned in phase 1.
+  std::uint32_t known_rows(std::uint32_t worker) const {
+    return static_cast<std::uint32_t>(state_[worker].known_i.size());
+  }
+
+ private:
+  struct WorkerState {
+    std::vector<std::uint32_t> known_i;    // I, in acquisition order
+    std::vector<std::uint32_t> known_j;    // J
+    std::vector<std::uint32_t> unknown_i;  // complement of I (swap-remove)
+    std::vector<std::uint32_t> unknown_j;
+    DynamicBitset owned_a;
+    DynamicBitset owned_b;
+  };
+
+  bool in_phase2() const noexcept { return pool_.size() <= phase2_tasks_; }
+
+  std::optional<Assignment> dynamic_request(std::uint32_t worker);
+  std::optional<Assignment> random_request(std::uint32_t worker);
+
+  OuterConfig config_;
+  std::uint32_t n_workers_;
+  std::uint64_t phase2_tasks_;
+  SwapRemovePool pool_;
+  std::vector<WorkerState> state_;
+  Rng rng_;
+  std::uint64_t phase2_served_ = 0;
+};
+
+/// Convenience alias constructor matching the paper's name: the switch
+/// point is expressed as the fraction of tasks handled by phase 2
+/// (e.g. exp(-beta)).
+DynamicOuterStrategy make_dynamic_outer_2phases(OuterConfig config,
+                                                std::uint32_t workers,
+                                                std::uint64_t seed,
+                                                double phase2_fraction);
+
+}  // namespace hetsched

@@ -1,0 +1,16 @@
+#include "outer/outer_problem.hpp"
+
+#include <stdexcept>
+
+namespace hetsched {
+
+void validate(const OuterConfig& config) {
+  if (config.n == 0) {
+    throw std::invalid_argument("OuterConfig: n must be at least 1");
+  }
+  if (config.n > (1u << 20)) {
+    throw std::invalid_argument("OuterConfig: n too large (task ids overflow)");
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,40 @@
+// Outer-product kernel model (Section 3).
+//
+// Computing M = a b^t for block vectors of n blocks yields n^2
+// independent unit tasks T_{i,j} = a_i b_j^t. A task needs blocks a_i
+// and b_j; workers cache every block they receive, so communication is
+// charged only on first receipt.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+struct OuterConfig {
+  /// Blocks per input vector (the paper's N/l). Tasks: n^2.
+  std::uint32_t n = 100;
+
+  std::uint64_t total_tasks() const noexcept {
+    return static_cast<std::uint64_t>(n) * n;
+  }
+};
+
+/// Row-major task id for T_{i,j}.
+constexpr TaskId outer_task_id(std::uint32_t n, std::uint32_t i,
+                               std::uint32_t j) noexcept {
+  return static_cast<TaskId>(i) * n + j;
+}
+
+/// Inverse of outer_task_id.
+constexpr std::pair<std::uint32_t, std::uint32_t> outer_task_coords(
+    std::uint32_t n, TaskId id) noexcept {
+  return {static_cast<std::uint32_t>(id / n), static_cast<std::uint32_t>(id % n)};
+}
+
+/// Validates an OuterConfig (n >= 1, n^2 fits comfortably).
+void validate(const OuterConfig& config);
+
+}  // namespace hetsched

@@ -1,0 +1,34 @@
+#include "outer/pointwise_outer.hpp"
+
+namespace hetsched {
+
+PointwiseOuterStrategy::PointwiseOuterStrategy(OuterConfig config,
+                                               std::uint32_t workers)
+    : config_(config), n_workers_(workers), pool_(config.total_tasks()) {
+  validate(config_);
+  owned_.resize(workers);
+  for (auto& w : owned_) {
+    w.owned_a = DynamicBitset(config_.n);
+    w.owned_b = DynamicBitset(config_.n);
+  }
+}
+
+std::optional<Assignment> PointwiseOuterStrategy::on_request(
+    std::uint32_t worker) {
+  if (pool_.empty()) return std::nullopt;
+  const TaskId id = next_task();
+  const auto [i, j] = outer_task_coords(config_.n, id);
+
+  Assignment assignment;
+  WorkerBlocks& blocks = owned_[worker];
+  if (blocks.owned_a.set_if_clear(i)) {
+    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+  }
+  if (blocks.owned_b.set_if_clear(j)) {
+    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+  }
+  assignment.tasks.push_back(id);
+  return assignment;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,54 @@
+// Shared machinery for the task-at-a-time outer-product strategies
+// (RandomOuter and SortedOuter differ only in which unprocessed task
+// the master serves next).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dynamic_bitset.hpp"
+#include "common/rng.hpp"
+#include "common/swap_remove_pool.hpp"
+#include "outer/outer_problem.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+/// Base for strategies that hand out exactly one task per request and
+/// ship whichever of a_i / b_j the worker does not hold yet.
+class PointwiseOuterStrategy : public Strategy {
+ public:
+  PointwiseOuterStrategy(OuterConfig config, std::uint32_t workers);
+
+  std::uint64_t total_tasks() const final { return config_.total_tasks(); }
+  std::uint64_t unassigned_tasks() const final { return pool_.size(); }
+  std::uint32_t workers() const final { return n_workers_; }
+
+  std::optional<Assignment> on_request(std::uint32_t worker) final;
+
+  bool requeue(const std::vector<TaskId>& tasks) override {
+    bool all_inserted = true;
+    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    return all_inserted;
+  }
+
+ protected:
+  /// Picks the next task to serve; pool is guaranteed non-empty.
+  virtual TaskId next_task() = 0;
+
+  const OuterConfig& config() const noexcept { return config_; }
+  SwapRemovePool& pool() noexcept { return pool_; }
+
+ private:
+  struct WorkerBlocks {
+    DynamicBitset owned_a;
+    DynamicBitset owned_b;
+  };
+
+  OuterConfig config_;
+  std::uint32_t n_workers_;
+  SwapRemovePool pool_;
+  std::vector<WorkerBlocks> owned_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,13 @@
+#include "outer/random_outer.hpp"
+
+namespace hetsched {
+
+RandomOuterStrategy::RandomOuterStrategy(OuterConfig config,
+                                         std::uint32_t workers,
+                                         std::uint64_t seed)
+    : PointwiseOuterStrategy(config, workers),
+      rng_(derive_stream(seed, "outer.random")) {}
+
+TaskId RandomOuterStrategy::next_task() { return pool().pop_random(rng_); }
+
+}  // namespace hetsched

@@ -1,0 +1,24 @@
+// RandomOuter (Section 3.2): serve a uniformly random unprocessed task;
+// ship the missing input blocks. The data-oblivious baseline whose
+// replication cost the data-aware strategies are measured against.
+#pragma once
+
+#include "common/rng.hpp"
+#include "outer/pointwise_outer.hpp"
+
+namespace hetsched {
+
+class RandomOuterStrategy final : public PointwiseOuterStrategy {
+ public:
+  RandomOuterStrategy(OuterConfig config, std::uint32_t workers,
+                      std::uint64_t seed);
+
+  std::string name() const override { return "RandomOuter"; }
+
+ private:
+  TaskId next_task() override;
+
+  Rng rng_;
+};
+
+}  // namespace hetsched

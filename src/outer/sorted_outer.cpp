@@ -1,0 +1,11 @@
+#include "outer/sorted_outer.hpp"
+
+namespace hetsched {
+
+SortedOuterStrategy::SortedOuterStrategy(OuterConfig config,
+                                         std::uint32_t workers)
+    : PointwiseOuterStrategy(config, workers) {}
+
+TaskId SortedOuterStrategy::next_task() { return pool().pop_first(); }
+
+}  // namespace hetsched

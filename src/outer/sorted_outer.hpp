@@ -1,0 +1,20 @@
+// SortedOuter (Section 3.2): serve unprocessed tasks in lexicographic
+// (i, j) order. Slightly better input reuse than RandomOuter along a
+// row, but still data-oblivious.
+#pragma once
+
+#include "outer/pointwise_outer.hpp"
+
+namespace hetsched {
+
+class SortedOuterStrategy final : public PointwiseOuterStrategy {
+ public:
+  SortedOuterStrategy(OuterConfig config, std::uint32_t workers);
+
+  std::string name() const override { return "SortedOuter"; }
+
+ private:
+  TaskId next_task() override;
+};
+
+}  // namespace hetsched

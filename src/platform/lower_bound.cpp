@@ -1,0 +1,31 @@
+#include "platform/lower_bound.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+double rel_speed_power_sum(const std::vector<double>& rel_speeds, double e) {
+  double sum = 0.0;
+  for (const double rs : rel_speeds) {
+    if (!(rs > 0.0)) {
+      throw std::invalid_argument("relative speeds must be positive");
+    }
+    sum += std::pow(rs, e);
+  }
+  return sum;
+}
+
+double outer_lower_bound(std::uint64_t n_blocks,
+                         const std::vector<double>& rel_speeds) {
+  const auto n = static_cast<double>(n_blocks);
+  return 2.0 * n * rel_speed_power_sum(rel_speeds, 0.5);
+}
+
+double matmul_lower_bound(std::uint64_t n_blocks,
+                          const std::vector<double>& rel_speeds) {
+  const auto n = static_cast<double>(n_blocks);
+  return 3.0 * n * n * rel_speed_power_sum(rel_speeds, 2.0 / 3.0);
+}
+
+}  // namespace hetsched

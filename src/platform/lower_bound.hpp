@@ -1,0 +1,31 @@
+// Communication lower bounds used to normalize every measurement.
+//
+// Outer product (Section 3.2): in the optimistic setting each worker k
+// computes a square sub-domain of area proportional to rs_k and pays
+// its half-perimeter in input blocks:
+//     LB_outer = 2 * N * sum_k sqrt(rs_k)            [blocks]
+//
+// Matrix multiplication (Section 4.2): each worker computes a cube of
+// tasks with edge N * cbrt(rs_k) and pays one face of each matrix:
+//     LB_mm = 3 * N^2 * sum_k rs_k^(2/3)             [blocks]
+//
+// N counts blocks per dimension (the paper's N/l).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetsched {
+
+/// 2 N sum_k sqrt(rs_k). `rel_speeds` must sum to ~1.
+double outer_lower_bound(std::uint64_t n_blocks,
+                         const std::vector<double>& rel_speeds);
+
+/// 3 N^2 sum_k rs_k^(2/3).
+double matmul_lower_bound(std::uint64_t n_blocks,
+                          const std::vector<double>& rel_speeds);
+
+/// sum_k rs_k^e — the power sums the analysis formulas are built from.
+double rel_speed_power_sum(const std::vector<double>& rel_speeds, double e);
+
+}  // namespace hetsched

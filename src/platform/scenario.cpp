@@ -1,0 +1,66 @@
+#include "platform/scenario.hpp"
+
+#include <stdexcept>
+
+namespace hetsched {
+
+Scenario paper_default_scenario() {
+  return Scenario{"default",
+                  std::make_shared<UniformIntervalSpeeds>(10.0, 100.0),
+                  PerturbationModel{}};
+}
+
+Scenario heterogeneity_scenario(double h) {
+  if (h < 0.0 || h >= 100.0) {
+    throw std::invalid_argument("heterogeneity_scenario: h must be in [0, 100)");
+  }
+  // h == 0 degenerates to a homogeneous platform at speed 100.
+  return Scenario{"het(" + std::to_string(h) + ")",
+                  std::make_shared<UniformIntervalSpeeds>(100.0 - h, 100.0 + h),
+                  PerturbationModel{}};
+}
+
+Scenario named_scenario(const std::string& name) {
+  if (name == "default") return paper_default_scenario();
+  if (name == "hom") {
+    return Scenario{"hom", std::make_shared<HomogeneousSpeeds>(100.0),
+                    PerturbationModel{}};
+  }
+  if (name == "unif.1") {
+    return Scenario{name, std::make_shared<UniformIntervalSpeeds>(80.0, 120.0),
+                    PerturbationModel{}};
+  }
+  if (name == "unif.2") {
+    return Scenario{name, std::make_shared<UniformIntervalSpeeds>(50.0, 150.0),
+                    PerturbationModel{}};
+  }
+  if (name == "set.3") {
+    return Scenario{name,
+                    std::make_shared<DiscreteSetSpeeds>(
+                        std::vector<double>{80.0, 100.0, 150.0}),
+                    PerturbationModel{}};
+  }
+  if (name == "set.5") {
+    return Scenario{name,
+                    std::make_shared<DiscreteSetSpeeds>(
+                        std::vector<double>{40.0, 80.0, 100.0, 150.0, 200.0}),
+                    PerturbationModel{}};
+  }
+  if (name == "dyn.5") {
+    return Scenario{name, std::make_shared<UniformIntervalSpeeds>(80.0, 120.0),
+                    PerturbationModel{5.0}};
+  }
+  if (name == "dyn.20") {
+    return Scenario{name, std::make_shared<UniformIntervalSpeeds>(80.0, 120.0),
+                    PerturbationModel{20.0}};
+  }
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+const std::vector<std::string>& figure8_scenario_names() {
+  static const std::vector<std::string> names = {"unif.1", "unif.2", "set.3",
+                                                 "set.5",  "dyn.5",  "dyn.20"};
+  return names;
+}
+
+}  // namespace hetsched

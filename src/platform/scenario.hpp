@@ -1,0 +1,38 @@
+// The named heterogeneity scenarios of the paper's evaluation.
+//
+// - PaperDefault: speeds uniform in [10, 100] (Figures 1, 4, 5, 6, 9-11)
+// - Heterogeneity(h): speeds uniform in [100-h, 100+h] (Figure 7)
+// - unif.1 / unif.2: uniform [80,120] / [50,150] (Figure 8)
+// - set.3 / set.5: machine classes {80,100,150} / {40,80,100,150,200}
+// - dyn.5 / dyn.20: start uniform [80,120], speed drifts by up to 5% /
+//   20% after every completed task
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "platform/speed_model.hpp"
+
+namespace hetsched {
+
+/// A scenario couples an initial-speed model with a perturbation rule.
+struct Scenario {
+  std::string name;
+  std::shared_ptr<const SpeedModel> speeds;
+  PerturbationModel perturbation;
+};
+
+/// Speeds uniform in [10, 100]; the default throughout the paper.
+Scenario paper_default_scenario();
+
+/// Speeds uniform in [100 - h, 100 + h]; h in [0, 100) (Figure 7).
+Scenario heterogeneity_scenario(double h);
+
+/// One of: "unif.1", "unif.2", "set.3", "set.5", "dyn.5", "dyn.20",
+/// "default" or "hom". Throws std::invalid_argument for unknown names.
+Scenario named_scenario(const std::string& name);
+
+/// All Figure-8 scenario names in presentation order.
+const std::vector<std::string>& figure8_scenario_names();
+
+}  // namespace hetsched

@@ -1,0 +1,75 @@
+#include "rect/rect_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+RectAnalysis::RectAnalysis(std::vector<double> rel_speeds, RectConfig config)
+    : rs_(std::move(rel_speeds)), config_(config) {
+  validate(config_);
+  if (rs_.empty()) {
+    throw std::invalid_argument("RectAnalysis: need at least one worker");
+  }
+  double total = 0.0;
+  for (const double rs : rs_) {
+    if (!(rs > 0.0)) {
+      throw std::invalid_argument("RectAnalysis: relative speeds must be > 0");
+    }
+    total += rs;
+    sum_sqrt_rs_ += std::sqrt(rs);
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("RectAnalysis: relative speeds must sum to 1");
+  }
+}
+
+double RectAnalysis::switch_x(std::size_t k, double beta) const {
+  const double rs = rs_[k];
+  const double x2 = beta * rs - 0.5 * beta * beta * rs * rs;
+  return std::sqrt(std::clamp(x2, 0.0, 1.0));
+}
+
+double RectAnalysis::phase1_volume(double beta) const {
+  double sum_x = 0.0;
+  for (std::size_t k = 0; k < rs_.size(); ++k) sum_x += switch_x(k, beta);
+  return (static_cast<double>(config_.rows) +
+          static_cast<double>(config_.cols)) *
+         sum_x;
+}
+
+double RectAnalysis::phase2_volume(double beta) const {
+  const double area = static_cast<double>(config_.rows) *
+                      static_cast<double>(config_.cols);
+  double per_task = 0.0;
+  for (std::size_t k = 0; k < rs_.size(); ++k) {
+    per_task += rs_[k] * 2.0 / (1.0 + switch_x(k, beta));
+  }
+  return std::exp(-beta) * area * per_task;
+}
+
+double RectAnalysis::ratio(double beta) const {
+  if (!(beta > 0.0)) {
+    throw std::invalid_argument("RectAnalysis::ratio: beta must be > 0");
+  }
+  return (phase1_volume(beta) + phase2_volume(beta)) / lower_bound();
+}
+
+double RectAnalysis::lower_bound() const {
+  return 2.0 *
+         std::sqrt(static_cast<double>(config_.rows) *
+                   static_cast<double>(config_.cols)) *
+         sum_sqrt_rs_;
+}
+
+MinimizeResult RectAnalysis::optimal_beta(double lo, double hi) const {
+  const double rs_max = *std::max_element(rs_.begin(), rs_.end());
+  const double hi_valid = std::min(hi, 1.0 / rs_max);
+  if (hi_valid <= lo) {
+    return MinimizeResult{hi_valid, ratio(hi_valid)};
+  }
+  return minimize_scalar([this](double b) { return ratio(b); }, lo, hi_valid);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,49 @@
+// Analytic model of DynamicRect2Phases — the paper's Section 3.3
+// generalized to an R x C block domain.
+//
+// With proportional acquisition the worker's coverage *fraction* x is
+// equal in both dimensions, and the paper's derivation carries through
+// verbatim in fraction space:
+//
+//   g_k(x) = (1 - x^2)^{alpha_k},        x_k^2 = beta rs_k - (beta^2/2) rs_k^2
+//
+// Only the volume bookkeeping changes: covering fraction x costs
+// x (R + C) blocks (instead of 2 x N), and the lower bound becomes
+// LB = 2 sqrt(R C) sum_k sqrt(rs_k), so the whole phase-1 term inflates
+// by the aspect penalty (R + C) / (2 sqrt(R C)):
+//
+//   V1(beta) = (R + C) sum_k x_k
+//   V2(beta) = e^{-beta} R C sum_k rs_k 2/(1 + x_k)
+//   R(beta)  = (V1 + V2) / LB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/optimize.hpp"
+#include "rect/rect_problem.hpp"
+
+namespace hetsched {
+
+class RectAnalysis {
+ public:
+  RectAnalysis(std::vector<double> rel_speeds, RectConfig config);
+
+  double switch_x(std::size_t k, double beta) const;
+  double phase1_volume(double beta) const;
+  double phase2_volume(double beta) const;
+  double ratio(double beta) const;
+  double lower_bound() const;
+  MinimizeResult optimal_beta(double lo = 0.25, double hi = 16.0) const;
+
+  /// (R + C) / (2 sqrt(R C)), the geometric penalty over a square of
+  /// equal area.
+  double aspect_penalty() const { return rect_aspect_penalty(config_); }
+
+ private:
+  std::vector<double> rs_;
+  RectConfig config_;
+  double sum_sqrt_rs_ = 0.0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,23 @@
+#include "rect/rect_problem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+void validate(const RectConfig& config) {
+  if (config.rows == 0 || config.cols == 0) {
+    throw std::invalid_argument("RectConfig: dimensions must be >= 1");
+  }
+  if (config.total_tasks() > (1ull << 40)) {
+    throw std::invalid_argument("RectConfig: domain too large");
+  }
+}
+
+double rect_aspect_penalty(const RectConfig& config) {
+  const double r = static_cast<double>(config.rows);
+  const double c = static_cast<double>(config.cols);
+  return (r + c) / (2.0 * std::sqrt(r * c));
+}
+
+}  // namespace hetsched

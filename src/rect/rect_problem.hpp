@@ -1,0 +1,46 @@
+// Rectangular outer-product kernel: M = a b^t with len(a) = R blocks
+// and len(b) = C blocks, R != C allowed.
+//
+// The paper treats the square case (R = C = N). The generalization
+// matters in practice (tall-skinny updates, panel factorizations) and
+// changes the constants: a worker's cheapest coverage of an area share
+// `rs` is a *geometrically similar* rectangle, so the lower bound
+// becomes 2 sqrt(R C) sum_k sqrt(rs_k) and the data-aware acquisition
+// must keep row/column *fractions* (not counts) balanced.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+struct RectConfig {
+  std::uint32_t rows = 100;  // blocks of a
+  std::uint32_t cols = 100;  // blocks of b
+
+  std::uint64_t total_tasks() const noexcept {
+    return static_cast<std::uint64_t>(rows) * cols;
+  }
+};
+
+constexpr TaskId rect_task_id(const RectConfig& config, std::uint32_t i,
+                              std::uint32_t j) noexcept {
+  return static_cast<TaskId>(i) * config.cols + j;
+}
+
+constexpr std::pair<std::uint32_t, std::uint32_t> rect_task_coords(
+    const RectConfig& config, TaskId id) noexcept {
+  return {static_cast<std::uint32_t>(id / config.cols),
+          static_cast<std::uint32_t>(id % config.cols)};
+}
+
+void validate(const RectConfig& config);
+
+/// The aspect-ratio communication penalty of a rectangular domain: the
+/// half-perimeter of an R x C region over that of the equal-area
+/// square, (R + C) / (2 sqrt(R C)) >= 1.
+double rect_aspect_penalty(const RectConfig& config);
+
+}  // namespace hetsched

@@ -1,0 +1,69 @@
+#include "runtime/block_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsched {
+
+BlockMatrix::BlockMatrix(std::uint32_t n_blocks, std::uint32_t block_size)
+    : n_blocks_(n_blocks), block_size_(block_size) {
+  if (n_blocks == 0 || block_size == 0) {
+    throw std::invalid_argument("BlockMatrix: dimensions must be positive");
+  }
+  data_.assign(static_cast<std::size_t>(n_blocks) * n_blocks * block_elems(),
+               0.0);
+}
+
+std::span<double> BlockMatrix::block(std::uint32_t bi, std::uint32_t bj) {
+  return {data_.data() + block_offset(bi, bj), block_elems()};
+}
+
+std::span<const double> BlockMatrix::block(std::uint32_t bi,
+                                           std::uint32_t bj) const {
+  return {data_.data() + block_offset(bi, bj), block_elems()};
+}
+
+double BlockMatrix::at(std::uint32_t row, std::uint32_t col) const {
+  const std::uint32_t bi = row / block_size_;
+  const std::uint32_t bj = col / block_size_;
+  const std::uint32_t r = row % block_size_;
+  const std::uint32_t c = col % block_size_;
+  return data_[block_offset(bi, bj) + static_cast<std::size_t>(r) * block_size_ + c];
+}
+
+double& BlockMatrix::at(std::uint32_t row, std::uint32_t col) {
+  const std::uint32_t bi = row / block_size_;
+  const std::uint32_t bj = col / block_size_;
+  const std::uint32_t r = row % block_size_;
+  const std::uint32_t c = col % block_size_;
+  return data_[block_offset(bi, bj) + static_cast<std::size_t>(r) * block_size_ + c];
+}
+
+double BlockMatrix::max_abs_diff(const BlockMatrix& other) const {
+  if (other.n_blocks_ != n_blocks_ || other.block_size_ != block_size_) {
+    throw std::invalid_argument("BlockMatrix::max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+BlockVector::BlockVector(std::uint32_t n_blocks, std::uint32_t block_size)
+    : n_blocks_(n_blocks), block_size_(block_size) {
+  if (n_blocks == 0 || block_size == 0) {
+    throw std::invalid_argument("BlockVector: dimensions must be positive");
+  }
+  data_.assign(static_cast<std::size_t>(n_blocks) * block_size, 0.0);
+}
+
+std::span<double> BlockVector::block(std::uint32_t b) {
+  return {data_.data() + static_cast<std::size_t>(b) * block_size_, block_size_};
+}
+
+std::span<const double> BlockVector::block(std::uint32_t b) const {
+  return {data_.data() + static_cast<std::size_t>(b) * block_size_, block_size_};
+}
+
+}  // namespace hetsched

@@ -1,0 +1,84 @@
+// Dense matrices stored as a grid of contiguous l x l blocks.
+//
+// The runtime executor moves whole blocks between the master's storage
+// and worker-local caches — exactly the unit the paper's communication
+// model charges — so block-contiguous storage makes a "transfer" one
+// memcpy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hetsched {
+
+class BlockMatrix {
+ public:
+  BlockMatrix() = default;
+
+  /// n_blocks x n_blocks grid of block_size x block_size blocks,
+  /// zero-initialized.
+  BlockMatrix(std::uint32_t n_blocks, std::uint32_t block_size);
+
+  std::uint32_t n_blocks() const noexcept { return n_blocks_; }
+  std::uint32_t block_size() const noexcept { return block_size_; }
+  std::size_t block_elems() const noexcept {
+    return static_cast<std::size_t>(block_size_) * block_size_;
+  }
+
+  /// Mutable view of block (bi, bj), row-major within the block.
+  std::span<double> block(std::uint32_t bi, std::uint32_t bj);
+  std::span<const double> block(std::uint32_t bi, std::uint32_t bj) const;
+
+  /// Element access by global (row, col); row = bi*l + r.
+  double at(std::uint32_t row, std::uint32_t col) const;
+  double& at(std::uint32_t row, std::uint32_t col);
+
+  /// Fills every element from fn(row, col).
+  template <typename Fn>
+  void fill(Fn&& fn) {
+    const std::uint32_t n = n_blocks_ * block_size_;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      for (std::uint32_t c = 0; c < n; ++c) at(r, c) = fn(r, c);
+    }
+  }
+
+  /// Largest absolute element-wise difference to another matrix of the
+  /// same shape.
+  double max_abs_diff(const BlockMatrix& other) const;
+
+ private:
+  std::size_t block_offset(std::uint32_t bi, std::uint32_t bj) const noexcept {
+    return (static_cast<std::size_t>(bi) * n_blocks_ + bj) * block_elems();
+  }
+
+  std::uint32_t n_blocks_ = 0;
+  std::uint32_t block_size_ = 0;
+  std::vector<double> data_;
+};
+
+/// A block vector: n_blocks contiguous segments of block_size values.
+class BlockVector {
+ public:
+  BlockVector() = default;
+  BlockVector(std::uint32_t n_blocks, std::uint32_t block_size);
+
+  std::uint32_t n_blocks() const noexcept { return n_blocks_; }
+  std::uint32_t block_size() const noexcept { return block_size_; }
+
+  std::span<double> block(std::uint32_t b);
+  std::span<const double> block(std::uint32_t b) const;
+
+  double at(std::uint32_t idx) const { return data_[idx]; }
+  double& at(std::uint32_t idx) { return data_[idx]; }
+
+  std::size_t size() const noexcept { return data_.size(); }
+
+ private:
+  std::uint32_t n_blocks_ = 0;
+  std::uint32_t block_size_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hetsched

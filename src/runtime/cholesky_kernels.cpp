@@ -1,0 +1,82 @@
+#include "runtime/cholesky_kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hetsched {
+
+bool potrf_block(std::span<double> c, std::uint32_t l) {
+  assert(c.size() >= static_cast<std::size_t>(l) * l);
+  // Cholesky-Banachiewicz, row by row.
+  for (std::uint32_t i = 0; i < l; ++i) {
+    for (std::uint32_t j = 0; j <= i; ++j) {
+      double sum = c[static_cast<std::size_t>(i) * l + j];
+      for (std::uint32_t m = 0; m < j; ++m) {
+        sum -= c[static_cast<std::size_t>(i) * l + m] *
+               c[static_cast<std::size_t>(j) * l + m];
+      }
+      if (i == j) {
+        if (!(sum > 0.0)) return false;
+        c[static_cast<std::size_t>(i) * l + j] = std::sqrt(sum);
+      } else {
+        c[static_cast<std::size_t>(i) * l + j] =
+            sum / c[static_cast<std::size_t>(j) * l + j];
+      }
+    }
+    for (std::uint32_t j = i + 1; j < l; ++j) {
+      c[static_cast<std::size_t>(i) * l + j] = 0.0;
+    }
+  }
+  return true;
+}
+
+void trsm_block(std::span<const double> l_factor, std::span<double> b,
+                std::uint32_t l) {
+  assert(l_factor.size() >= static_cast<std::size_t>(l) * l);
+  assert(b.size() >= static_cast<std::size_t>(l) * l);
+  // Solve X * L^T = B row-wise: X[r][c] depends on X[r][m], m < c.
+  for (std::uint32_t r = 0; r < l; ++r) {
+    double* row = b.data() + static_cast<std::size_t>(r) * l;
+    for (std::uint32_t c = 0; c < l; ++c) {
+      double sum = row[c];
+      const double* lrow = l_factor.data() + static_cast<std::size_t>(c) * l;
+      for (std::uint32_t m = 0; m < c; ++m) sum -= row[m] * lrow[m];
+      row[c] = sum / lrow[c];
+    }
+  }
+}
+
+void syrk_block(std::span<const double> a, std::span<double> c,
+                std::uint32_t l) {
+  assert(a.size() >= static_cast<std::size_t>(l) * l);
+  assert(c.size() >= static_cast<std::size_t>(l) * l);
+  for (std::uint32_t i = 0; i < l; ++i) {
+    const double* ai = a.data() + static_cast<std::size_t>(i) * l;
+    double* ci = c.data() + static_cast<std::size_t>(i) * l;
+    for (std::uint32_t j = 0; j < l; ++j) {
+      const double* aj = a.data() + static_cast<std::size_t>(j) * l;
+      double sum = 0.0;
+      for (std::uint32_t m = 0; m < l; ++m) sum += ai[m] * aj[m];
+      ci[j] -= sum;
+    }
+  }
+}
+
+void gemm_nt_block(std::span<const double> a, std::span<const double> b,
+                   std::span<double> c, std::uint32_t l) {
+  assert(a.size() >= static_cast<std::size_t>(l) * l);
+  assert(b.size() >= static_cast<std::size_t>(l) * l);
+  assert(c.size() >= static_cast<std::size_t>(l) * l);
+  for (std::uint32_t i = 0; i < l; ++i) {
+    const double* ai = a.data() + static_cast<std::size_t>(i) * l;
+    double* ci = c.data() + static_cast<std::size_t>(i) * l;
+    for (std::uint32_t j = 0; j < l; ++j) {
+      const double* bj = b.data() + static_cast<std::size_t>(j) * l;
+      double sum = 0.0;
+      for (std::uint32_t m = 0; m < l; ++m) sum += ai[m] * bj[m];
+      ci[j] -= sum;
+    }
+  }
+}
+
+}  // namespace hetsched

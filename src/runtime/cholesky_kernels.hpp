@@ -1,0 +1,30 @@
+// Numeric block kernels for the tiled Cholesky factorization.
+//
+// All blocks are l x l row-major. The factorization computes the lower
+// triangular L with A = L L^T in place: diagonal blocks end up holding
+// their L factor (lower triangle), sub-diagonal blocks their L panel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hetsched {
+
+/// In-place Cholesky of an SPD block: C <- chol(C) (lower). Returns
+/// false if a non-positive pivot is met (block not SPD). Entries above
+/// the diagonal are zeroed.
+bool potrf_block(std::span<double> c, std::uint32_t l);
+
+/// B <- B * L^-T where L is the lower-triangular result of potrf_block.
+void trsm_block(std::span<const double> l_factor, std::span<double> b,
+                std::uint32_t l);
+
+/// C <- C - A * A^T (symmetric rank-l update of a diagonal block).
+void syrk_block(std::span<const double> a, std::span<double> c,
+                std::uint32_t l);
+
+/// C <- C - A * B^T (trailing update of an off-diagonal block).
+void gemm_nt_block(std::span<const double> a, std::span<const double> b,
+                   std::span<double> c, std::uint32_t l);
+
+}  // namespace hetsched

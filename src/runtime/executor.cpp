@@ -1,0 +1,255 @@
+#include "runtime/executor.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "matmul/matmul_problem.hpp"
+#include "outer/outer_problem.hpp"
+#include "runtime/kernels.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hetsched {
+
+namespace {
+
+using BlockKey = std::uint64_t;
+
+constexpr BlockKey key_of(std::uint32_t r, std::uint32_t c) noexcept {
+  return (static_cast<BlockKey>(r) << 32) | c;
+}
+
+using LocalStore = std::unordered_map<BlockKey, std::vector<double>>;
+
+void throttle(const RuntimeConfig& config, std::uint32_t worker) {
+  if (config.throttle_us <= 0.0) return;
+  const double weight =
+      config.weights.empty() ? 1.0 : config.weights[worker];
+  const auto us = static_cast<std::int64_t>(config.throttle_us / weight);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+const std::vector<double>& local_block_or_throw(const LocalStore& store,
+                                                BlockKey key,
+                                                const char* what) {
+  const auto it = store.find(key);
+  if (it == store.end()) {
+    throw std::logic_error(std::string("executor: strategy never shipped ") +
+                           what + " needed by an allocated task");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+RuntimeResult run_outer_runtime(Strategy& strategy, const BlockVector& a,
+                                const BlockVector& b, BlockMatrix& out,
+                                const RuntimeConfig& config) {
+  const std::uint32_t n = a.n_blocks();
+  const std::uint32_t l = a.block_size();
+  if (b.n_blocks() != n || b.block_size() != l) {
+    throw std::invalid_argument("run_outer_runtime: a/b shape mismatch");
+  }
+  if (out.n_blocks() != n || out.block_size() != l) {
+    throw std::invalid_argument("run_outer_runtime: output shape mismatch");
+  }
+  if (strategy.total_tasks() !=
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n)) {
+    throw std::invalid_argument(
+        "run_outer_runtime: strategy sized for a different problem");
+  }
+
+  const std::uint32_t workers = strategy.workers();
+  RuntimeResult result;
+  result.per_worker_tasks.assign(workers, 0);
+  result.per_worker_blocks.assign(workers, 0);
+  std::mutex master_mutex;
+
+  run_workers(workers, [&](std::uint32_t w) {
+    LocalStore local_a, local_b;
+    std::uint64_t tasks_done = 0;
+    std::uint64_t blocks_got = 0;
+    for (;;) {
+      std::optional<Assignment> assignment;
+      {
+        const std::lock_guard<std::mutex> lock(master_mutex);
+        assignment = strategy.on_request(w);
+      }
+      if (!assignment.has_value()) break;
+
+      // "Receive" the blocks: copy from master storage to local cache.
+      for (const BlockRef& ref : assignment->blocks) {
+        ++blocks_got;
+        switch (ref.operand) {
+          case Operand::kVecA: {
+            const auto src = a.block(ref.row);
+            local_a[key_of(ref.row, 0)].assign(src.begin(), src.end());
+            break;
+          }
+          case Operand::kVecB: {
+            const auto src = b.block(ref.row);
+            local_b[key_of(ref.row, 0)].assign(src.begin(), src.end());
+            break;
+          }
+          default:
+            throw std::logic_error(
+                "run_outer_runtime: matrix operand from an outer strategy");
+        }
+      }
+
+      for (const TaskId id : assignment->tasks) {
+        const auto [i, j] = outer_task_coords(n, id);
+        const auto& ai = local_block_or_throw(local_a, key_of(i, 0), "a_i");
+        const auto& bj = local_block_or_throw(local_b, key_of(j, 0), "b_j");
+        // Each task id is allocated to exactly one worker, and task
+        // (i, j) owns output block (i, j) exclusively: concurrent
+        // writes never alias.
+        outer_block(ai, bj, out.block(i, j), l);
+        ++tasks_done;
+        throttle(config, w);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(master_mutex);
+    result.per_worker_tasks[w] = tasks_done;
+    result.per_worker_blocks[w] = blocks_got;
+    result.tasks_executed += tasks_done;
+    result.blocks_transferred += blocks_got;
+  });
+
+  if (result.tasks_executed != strategy.total_tasks()) {
+    throw std::logic_error("run_outer_runtime: not every task was executed");
+  }
+
+  // Verify against the sequential reference.
+  double worst = 0.0;
+  for (std::uint32_t i = 0; i < n * l; ++i) {
+    for (std::uint32_t j = 0; j < n * l; ++j) {
+      const double expect = a.at(i) * b.at(j);
+      const double got = out.at(i, j);
+      worst = std::max(worst, std::abs(expect - got));
+    }
+  }
+  result.max_abs_error = worst;
+  return result;
+}
+
+RuntimeResult run_matmul_runtime(Strategy& strategy, const BlockMatrix& a,
+                                 const BlockMatrix& b, BlockMatrix& c,
+                                 const RuntimeConfig& config) {
+  const std::uint32_t n = a.n_blocks();
+  const std::uint32_t l = a.block_size();
+  if (b.n_blocks() != n || b.block_size() != l || c.n_blocks() != n ||
+      c.block_size() != l) {
+    throw std::invalid_argument("run_matmul_runtime: shape mismatch");
+  }
+  const auto n64 = static_cast<std::uint64_t>(n);
+  if (strategy.total_tasks() != n64 * n64 * n64) {
+    throw std::invalid_argument(
+        "run_matmul_runtime: strategy sized for a different problem");
+  }
+
+  const std::uint32_t workers = strategy.workers();
+  RuntimeResult result;
+  result.per_worker_tasks.assign(workers, 0);
+  result.per_worker_blocks.assign(workers, 0);
+  std::mutex master_mutex;
+
+  // Worker-local C accumulators, reduced by the master after the join
+  // (the model's "ship the contribution back" step).
+  std::vector<LocalStore> local_c_stores(workers);
+
+  run_workers(workers, [&](std::uint32_t w) {
+    LocalStore local_a, local_b;
+    LocalStore& local_c = local_c_stores[w];
+    std::uint64_t tasks_done = 0;
+    std::uint64_t blocks_got = 0;
+    const std::size_t elems = static_cast<std::size_t>(l) * l;
+    for (;;) {
+      std::optional<Assignment> assignment;
+      {
+        const std::lock_guard<std::mutex> lock(master_mutex);
+        assignment = strategy.on_request(w);
+      }
+      if (!assignment.has_value()) break;
+
+      for (const BlockRef& ref : assignment->blocks) {
+        ++blocks_got;
+        switch (ref.operand) {
+          case Operand::kMatA: {
+            const auto src = a.block(ref.row, ref.col);
+            local_a[key_of(ref.row, ref.col)].assign(src.begin(), src.end());
+            break;
+          }
+          case Operand::kMatB: {
+            const auto src = b.block(ref.row, ref.col);
+            local_b[key_of(ref.row, ref.col)].assign(src.begin(), src.end());
+            break;
+          }
+          case Operand::kMatC: {
+            // Receiving C_{i,j} opens a zero local accumulator; the
+            // transfer is charged for the eventual ship-back.
+            local_c.try_emplace(key_of(ref.row, ref.col),
+                                std::vector<double>(elems, 0.0));
+            break;
+          }
+          default:
+            throw std::logic_error(
+                "run_matmul_runtime: vector operand from a matmul strategy");
+        }
+      }
+
+      for (const TaskId id : assignment->tasks) {
+        const auto [i, j, k] = matmul_task_coords(n, id);
+        const auto& aik = local_block_or_throw(local_a, key_of(i, k), "A_{i,k}");
+        const auto& bkj = local_block_or_throw(local_b, key_of(k, j), "B_{k,j}");
+        const auto cit = local_c.find(key_of(i, j));
+        if (cit == local_c.end()) {
+          throw std::logic_error(
+              "run_matmul_runtime: strategy never opened C_{i,j}");
+        }
+        gemm_block_accumulate(aik, bkj, cit->second, l);
+        ++tasks_done;
+        throttle(config, w);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(master_mutex);
+    result.per_worker_tasks[w] = tasks_done;
+    result.per_worker_blocks[w] = blocks_got;
+    result.tasks_executed += tasks_done;
+    result.blocks_transferred += blocks_got;
+  });
+
+  if (result.tasks_executed != strategy.total_tasks()) {
+    throw std::logic_error("run_matmul_runtime: not every task was executed");
+  }
+
+  // Master-side reduction of the shipped-back contributions.
+  for (const LocalStore& store : local_c_stores) {
+    for (const auto& [key, contribution] : store) {
+      const auto bi = static_cast<std::uint32_t>(key >> 32);
+      const auto bj = static_cast<std::uint32_t>(key & 0xffffffffu);
+      auto dst = c.block(bi, bj);
+      for (std::size_t e = 0; e < contribution.size(); ++e) {
+        dst[e] += contribution[e];
+      }
+    }
+  }
+
+  // Verify against a sequential blocked reference.
+  BlockMatrix reference(n, l);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        gemm_block_accumulate(a.block(i, k), b.block(k, j),
+                              reference.block(i, j), l);
+      }
+    }
+  }
+  result.max_abs_error = c.max_abs_diff(reference);
+  return result;
+}
+
+}  // namespace hetsched

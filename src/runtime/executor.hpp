@@ -1,0 +1,54 @@
+// Real shared-memory execution of a Strategy.
+//
+// Where the simulator (src/sim) charges abstract time, this executor
+// runs the numeric kernels on worker threads and moves actual l x l
+// blocks: every BlockRef the strategy emits is copied from the master's
+// storage into the worker's local cache (inputs) or reserved in the
+// worker's local output store (C contributions, shipped back and
+// reduced by the master at the end). Workers compute strictly from
+// their local copies, so a strategy that under-communicates fails
+// loudly rather than silently reading master memory.
+//
+// The result is checked against a sequential reference product, making
+// this both a credible mini-runtime (a la StarPU's master-worker mode)
+// and an end-to-end correctness harness for every strategy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/block_matrix.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+struct RuntimeConfig {
+  /// Per-task artificial delay in microseconds divided by the worker's
+  /// relative weight; 0 disables throttling (fastest, default). Used by
+  /// examples to make heterogeneity observable in wall-clock time.
+  double throttle_us = 0.0;
+  /// Worker weights for throttling; empty means uniform.
+  std::vector<double> weights;
+};
+
+struct RuntimeResult {
+  std::uint64_t blocks_transferred = 0;
+  std::uint64_t tasks_executed = 0;
+  std::vector<std::uint64_t> per_worker_tasks;
+  std::vector<std::uint64_t> per_worker_blocks;
+  double max_abs_error = 0.0;  // vs the sequential reference
+};
+
+/// Computes M = a b^t, scheduling with `strategy` (an outer-product
+/// strategy for matching n_blocks and worker count).
+RuntimeResult run_outer_runtime(Strategy& strategy, const BlockVector& a,
+                                const BlockVector& b, BlockMatrix& out,
+                                const RuntimeConfig& config = {});
+
+/// Computes C = A B, scheduling with `strategy` (a matmul strategy for
+/// matching n_blocks and worker count). C must be zero on entry.
+RuntimeResult run_matmul_runtime(Strategy& strategy, const BlockMatrix& a,
+                                 const BlockMatrix& b, BlockMatrix& c,
+                                 const RuntimeConfig& config = {});
+
+}  // namespace hetsched

@@ -1,0 +1,33 @@
+#include "runtime/kernels.hpp"
+
+#include <cassert>
+
+namespace hetsched {
+
+void outer_block(std::span<const double> a, std::span<const double> b,
+                 std::span<double> out, std::uint32_t l) {
+  assert(a.size() >= l && b.size() >= l);
+  assert(out.size() >= static_cast<std::size_t>(l) * l);
+  for (std::uint32_t r = 0; r < l; ++r) {
+    const double ar = a[r];
+    double* row = out.data() + static_cast<std::size_t>(r) * l;
+    for (std::uint32_t c = 0; c < l; ++c) row[c] = ar * b[c];
+  }
+}
+
+void gemm_block_accumulate(std::span<const double> a, std::span<const double> b,
+                           std::span<double> c, std::uint32_t l) {
+  assert(a.size() >= static_cast<std::size_t>(l) * l);
+  assert(b.size() >= static_cast<std::size_t>(l) * l);
+  assert(c.size() >= static_cast<std::size_t>(l) * l);
+  for (std::uint32_t i = 0; i < l; ++i) {
+    double* crow = c.data() + static_cast<std::size_t>(i) * l;
+    for (std::uint32_t k = 0; k < l; ++k) {
+      const double aik = a[static_cast<std::size_t>(i) * l + k];
+      const double* brow = b.data() + static_cast<std::size_t>(k) * l;
+      for (std::uint32_t j = 0; j < l; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace hetsched

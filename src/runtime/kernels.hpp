@@ -1,0 +1,19 @@
+// The numeric block kernels the strategies schedule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hetsched {
+
+/// out[r, c] = a[r] * b[c] for an l x l output block (task T_{i,j} of
+/// the outer product). out must hold l*l values, row-major.
+void outer_block(std::span<const double> a, std::span<const double> b,
+                 std::span<double> out, std::uint32_t l);
+
+/// C += A * B for l x l row-major blocks (task T_{i,j,k} of the matrix
+/// product). i-k-j loop order keeps the innermost accesses contiguous.
+void gemm_block_accumulate(std::span<const double> a, std::span<const double> b,
+                           std::span<double> c, std::uint32_t l);
+
+}  // namespace hetsched

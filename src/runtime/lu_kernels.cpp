@@ -1,0 +1,85 @@
+#include "runtime/lu_kernels.hpp"
+
+#include <cassert>
+
+namespace hetsched {
+
+namespace {
+
+inline double& at(std::span<double> m, std::uint32_t l, std::uint32_t r,
+                  std::uint32_t c) {
+  return m[static_cast<std::size_t>(r) * l + c];
+}
+
+inline double at(std::span<const double> m, std::uint32_t l, std::uint32_t r,
+                 std::uint32_t c) {
+  return m[static_cast<std::size_t>(r) * l + c];
+}
+
+}  // namespace
+
+bool getrf_block(std::span<double> a, std::uint32_t l) {
+  assert(a.size() >= static_cast<std::size_t>(l) * l);
+  for (std::uint32_t k = 0; k < l; ++k) {
+    const double pivot = at(a, l, k, k);
+    if (pivot == 0.0) return false;
+    for (std::uint32_t r = k + 1; r < l; ++r) {
+      const double factor = at(a, l, r, k) / pivot;
+      at(a, l, r, k) = factor;
+      for (std::uint32_t c = k + 1; c < l; ++c) {
+        at(a, l, r, c) -= factor * at(a, l, k, c);
+      }
+    }
+  }
+  return true;
+}
+
+void trsm_lower_left_block(std::span<const double> lu, std::span<double> b,
+                           std::uint32_t l) {
+  assert(lu.size() >= static_cast<std::size_t>(l) * l);
+  assert(b.size() >= static_cast<std::size_t>(l) * l);
+  // Forward substitution per column of B with unit-diagonal L.
+  for (std::uint32_t c = 0; c < l; ++c) {
+    for (std::uint32_t r = 0; r < l; ++r) {
+      double sum = at(std::span<const double>(b), l, r, c);
+      for (std::uint32_t m = 0; m < r; ++m) {
+        sum -= at(lu, l, r, m) * at(std::span<const double>(b), l, m, c);
+      }
+      at(b, l, r, c) = sum;
+    }
+  }
+}
+
+void trsm_upper_right_block(std::span<const double> lu, std::span<double> b,
+                            std::uint32_t l) {
+  assert(lu.size() >= static_cast<std::size_t>(l) * l);
+  assert(b.size() >= static_cast<std::size_t>(l) * l);
+  // Solve X U = B row-wise: X[r][c] = (B[r][c] - sum_{m<c} X[r][m]
+  // U[m][c]) / U[c][c].
+  for (std::uint32_t r = 0; r < l; ++r) {
+    for (std::uint32_t c = 0; c < l; ++c) {
+      double sum = at(std::span<const double>(b), l, r, c);
+      for (std::uint32_t m = 0; m < c; ++m) {
+        sum -= at(std::span<const double>(b), l, r, m) * at(lu, l, m, c);
+      }
+      at(b, l, r, c) = sum / at(lu, l, c, c);
+    }
+  }
+}
+
+void gemm_nn_sub_block(std::span<const double> a, std::span<const double> b,
+                       std::span<double> c, std::uint32_t l) {
+  assert(a.size() >= static_cast<std::size_t>(l) * l);
+  assert(b.size() >= static_cast<std::size_t>(l) * l);
+  assert(c.size() >= static_cast<std::size_t>(l) * l);
+  for (std::uint32_t i = 0; i < l; ++i) {
+    double* crow = c.data() + static_cast<std::size_t>(i) * l;
+    for (std::uint32_t k = 0; k < l; ++k) {
+      const double aik = a[static_cast<std::size_t>(i) * l + k];
+      const double* brow = b.data() + static_cast<std::size_t>(k) * l;
+      for (std::uint32_t j = 0; j < l; ++j) crow[j] -= aik * brow[j];
+    }
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,26 @@
+// Numeric block kernels for the tiled LU factorization (no pivoting).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hetsched {
+
+/// In-place LU of an l x l block: unit-lower L in the strict lower
+/// triangle, U in the upper triangle (including the diagonal). Returns
+/// false on a zero pivot.
+bool getrf_block(std::span<double> a, std::uint32_t l);
+
+/// B <- L^-1 B where L is the unit-lower factor stored by getrf_block.
+void trsm_lower_left_block(std::span<const double> lu, std::span<double> b,
+                           std::uint32_t l);
+
+/// B <- B U^-1 where U is the upper factor stored by getrf_block.
+void trsm_upper_right_block(std::span<const double> lu, std::span<double> b,
+                            std::uint32_t l);
+
+/// C <- C - A B for l x l row-major blocks (trailing LU update).
+void gemm_nn_sub_block(std::span<const double> a, std::span<const double> b,
+                       std::span<double> c, std::uint32_t l);
+
+}  // namespace hetsched

@@ -1,0 +1,153 @@
+#include "runtime/qr_kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hetsched {
+
+namespace {
+
+inline double sign_of(double x) { return x < 0.0 ? -1.0 : 1.0; }
+
+inline double& at(std::span<double> m, std::uint32_t l, std::uint32_t r,
+                  std::uint32_t c) {
+  return m[static_cast<std::size_t>(r) * l + c];
+}
+
+inline double at(std::span<const double> m, std::uint32_t l, std::uint32_t r,
+                 std::uint32_t c) {
+  return m[static_cast<std::size_t>(r) * l + c];
+}
+
+}  // namespace
+
+void geqrt_block(std::span<double> a, std::span<double> tau, std::uint32_t l) {
+  assert(a.size() >= static_cast<std::size_t>(l) * l);
+  assert(tau.size() >= l);
+  for (std::uint32_t m = 0; m < l; ++m) {
+    // Build the reflector annihilating a[m+1.., m].
+    double norm2 = 0.0;
+    for (std::uint32_t r = m; r < l; ++r) {
+      norm2 += at(a, l, r, m) * at(a, l, r, m);
+    }
+    const double norm = std::sqrt(norm2);
+    const double alpha = at(a, l, m, m);
+    if (norm == 0.0) {
+      tau[m] = 0.0;
+      continue;
+    }
+    const double beta = -sign_of(alpha) * norm;
+    const double v1 = alpha - beta;
+    if (v1 == 0.0) {  // column already [alpha, 0, ..., 0] with alpha=beta
+      tau[m] = 0.0;
+      continue;
+    }
+    tau[m] = -v1 / beta;
+    // Normalize: v = [1, a[m+1..]/v1]; store the tail in the column.
+    for (std::uint32_t r = m + 1; r < l; ++r) at(a, l, r, m) /= v1;
+    at(a, l, m, m) = beta;
+
+    // Apply H = I - tau v v^T to the trailing columns.
+    for (std::uint32_t c = m + 1; c < l; ++c) {
+      double w = at(a, l, m, c);
+      for (std::uint32_t r = m + 1; r < l; ++r) {
+        w += at(a, l, r, m) * at(a, l, r, c);
+      }
+      w *= tau[m];
+      at(a, l, m, c) -= w;
+      for (std::uint32_t r = m + 1; r < l; ++r) {
+        at(a, l, r, c) -= at(a, l, r, m) * w;
+      }
+    }
+  }
+}
+
+void unmqr_block(std::span<const double> v, std::span<const double> tau,
+                 std::span<double> c, std::uint32_t l) {
+  assert(v.size() >= static_cast<std::size_t>(l) * l);
+  assert(tau.size() >= l);
+  assert(c.size() >= static_cast<std::size_t>(l) * l);
+  // Q^T = H_{l-1} ... H_0, applied to C left to right as H_0 first.
+  for (std::uint32_t m = 0; m < l; ++m) {
+    if (tau[m] == 0.0) continue;
+    for (std::uint32_t col = 0; col < l; ++col) {
+      double w = at(c, l, m, col);
+      for (std::uint32_t r = m + 1; r < l; ++r) {
+        w += at(v, l, r, m) * at(c, l, r, col);
+      }
+      w *= tau[m];
+      at(c, l, m, col) -= w;
+      for (std::uint32_t r = m + 1; r < l; ++r) {
+        at(c, l, r, col) -= at(v, l, r, m) * w;
+      }
+    }
+  }
+}
+
+void tsqrt_block(std::span<double> r, std::span<double> a,
+                 std::span<double> tau, std::uint32_t l) {
+  assert(r.size() >= static_cast<std::size_t>(l) * l);
+  assert(a.size() >= static_cast<std::size_t>(l) * l);
+  assert(tau.size() >= l);
+  // Column m couples the scalar R[m, m] with the full column a[., m];
+  // the reflector's top part is e_m, so only its square tail is stored.
+  for (std::uint32_t m = 0; m < l; ++m) {
+    double norm2 = at(r, l, m, m) * at(r, l, m, m);
+    for (std::uint32_t row = 0; row < l; ++row) {
+      norm2 += at(a, l, row, m) * at(a, l, row, m);
+    }
+    const double norm = std::sqrt(norm2);
+    const double alpha = at(r, l, m, m);
+    if (norm == 0.0) {
+      tau[m] = 0.0;
+      continue;
+    }
+    const double beta = -sign_of(alpha) * norm;
+    const double v1 = alpha - beta;
+    if (v1 == 0.0) {
+      tau[m] = 0.0;
+      continue;
+    }
+    tau[m] = -v1 / beta;
+    for (std::uint32_t row = 0; row < l; ++row) at(a, l, row, m) /= v1;
+    at(r, l, m, m) = beta;
+
+    // Apply to the trailing columns of the stacked pair.
+    for (std::uint32_t c = m + 1; c < l; ++c) {
+      double w = at(r, l, m, c);
+      for (std::uint32_t row = 0; row < l; ++row) {
+        w += at(a, l, row, m) * at(a, l, row, c);
+      }
+      w *= tau[m];
+      at(r, l, m, c) -= w;
+      for (std::uint32_t row = 0; row < l; ++row) {
+        at(a, l, row, c) -= at(a, l, row, m) * w;
+      }
+    }
+  }
+}
+
+void tsmqr_block(std::span<const double> v2, std::span<const double> tau,
+                 std::span<double> c_top, std::span<double> c_bot,
+                 std::uint32_t l) {
+  assert(v2.size() >= static_cast<std::size_t>(l) * l);
+  assert(tau.size() >= l);
+  assert(c_top.size() >= static_cast<std::size_t>(l) * l);
+  assert(c_bot.size() >= static_cast<std::size_t>(l) * l);
+  for (std::uint32_t m = 0; m < l; ++m) {
+    if (tau[m] == 0.0) continue;
+    for (std::uint32_t col = 0; col < l; ++col) {
+      double w = at(c_top, l, m, col);
+      for (std::uint32_t row = 0; row < l; ++row) {
+        w += at(v2, l, row, m) * at(c_bot, l, row, col);
+      }
+      w *= tau[m];
+      at(c_top, l, m, col) -= w;
+      for (std::uint32_t row = 0; row < l; ++row) {
+        at(c_bot, l, row, col) -= at(v2, l, row, m) * w;
+      }
+    }
+  }
+}
+
+}  // namespace hetsched

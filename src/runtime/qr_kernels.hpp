@@ -1,0 +1,37 @@
+// Numeric block kernels for the tiled QR factorization (Householder,
+// LAPACK-style compact storage).
+//
+// All tiles are l x l row-major. GEQRT factors a diagonal tile in
+// place: R in the upper triangle, the Householder vectors V (unit
+// column-normalized, v_1 = 1 implicit) in the strict lower triangle,
+// and the l scaling factors tau in a side array. TSQRT couples the
+// current R tile with a square sub-diagonal tile: the reflectors'
+// square parts live in the sub-diagonal tile, with their own taus.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hetsched {
+
+/// In-place QR of tile `a` (l x l): upper triangle <- R, strict lower
+/// triangle <- V, `tau` (size l) <- reflector scales.
+void geqrt_block(std::span<double> a, std::span<double> tau, std::uint32_t l);
+
+/// c <- Q^T c where Q is the factor stored by geqrt_block in (v, tau).
+void unmqr_block(std::span<const double> v, std::span<const double> tau,
+                 std::span<double> c, std::uint32_t l);
+
+/// QR of the stacked [R (upper-triangular, in r); A (square, in a)]:
+/// r <- updated R, a <- the reflectors' square parts V2, `tau` (size l)
+/// <- scales.
+void tsqrt_block(std::span<double> r, std::span<double> a,
+                 std::span<double> tau, std::uint32_t l);
+
+/// Applies the tsqrt_block reflectors (v2, tau) to the stacked pair
+/// [c_top; c_bot].
+void tsmqr_block(std::span<const double> v2, std::span<const double> tau,
+                 std::span<double> c_top, std::span<double> c_bot,
+                 std::uint32_t l);
+
+}  // namespace hetsched

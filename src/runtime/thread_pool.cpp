@@ -1,0 +1,31 @@
+#include "runtime/thread_pool.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetsched {
+
+void run_workers(std::uint32_t workers,
+                 const std::function<void(std::uint32_t)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        fn(w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hetsched

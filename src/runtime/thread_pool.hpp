@@ -1,0 +1,15 @@
+// Minimal worker-thread helpers for the real executor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hetsched {
+
+/// Runs fn(worker_id) on `workers` dedicated threads and joins them
+/// all. Exceptions thrown by any worker are rethrown (the first one)
+/// after all threads have joined.
+void run_workers(std::uint32_t workers,
+                 const std::function<void(std::uint32_t)>& fn);
+
+}  // namespace hetsched

@@ -1,0 +1,208 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace hetsched {
+
+double SimResult::finish_spread() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& w : workers) {
+    if (w.tasks_done == 0) continue;
+    lo = std::min(lo, w.finish_time);
+    hi = std::max(hi, w.finish_time);
+  }
+  if (hi <= 0.0 || makespan <= 0.0) return 0.0;
+  return (hi - lo) / makespan;
+}
+
+namespace {
+
+enum class EventKind : std::uint8_t { kTaskDone, kFault };
+
+struct Event {
+  double time;
+  std::uint64_t seq;  // FIFO tie-break for identical times => determinism
+  std::uint32_t worker;
+  EventKind kind;
+  std::uint32_t epoch = 0;    // kTaskDone: staleness check after a crash
+  double fault_factor = 0.0;  // kFault: 0 = crash, else slowdown
+
+  bool operator>(const Event& o) const noexcept {
+    return time != o.time ? time > o.time : seq > o.seq;
+  }
+};
+
+struct WorkerState {
+  std::deque<TaskId> queue;
+  double speed = 0.0;
+  double base_speed = 0.0;
+  TaskId current = 0;
+  double current_finish = 0.0;
+  double current_duration = 0.0;
+  std::uint32_t epoch = 0;
+  bool running = false;
+  bool retired = false;
+  bool failed = false;
+};
+
+}  // namespace
+
+SimResult simulate(Strategy& strategy, const Platform& platform,
+                   const SimConfig& config, TraceSink* trace) {
+  const auto p = static_cast<std::uint32_t>(platform.size());
+  if (strategy.workers() != p) {
+    throw std::invalid_argument(
+        "simulate: strategy worker count does not match platform size");
+  }
+  for (const WorkerFault& fault : config.faults) {
+    if (fault.worker >= p) {
+      throw std::invalid_argument("simulate: fault targets unknown worker");
+    }
+    if (fault.factor < 0.0 || fault.factor >= 1.0) {
+      throw std::invalid_argument(
+          "simulate: fault factor must be 0 (crash) or in (0, 1)");
+    }
+    if (fault.time < 0.0) {
+      throw std::invalid_argument("simulate: fault time must be >= 0");
+    }
+  }
+
+  Rng perturb_rng(derive_stream(config.seed, "engine.perturb"));
+
+  std::vector<WorkerState> workers(p);
+  SimResult result;
+  result.workers.resize(p);
+  for (std::uint32_t k = 0; k < p; ++k) {
+    workers[k].speed = platform.speed(k);
+    workers[k].base_speed = platform.speed(k);
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  for (const WorkerFault& fault : config.faults) {
+    events.push(Event{fault.time, seq++, fault.worker, EventKind::kFault, 0,
+                      fault.factor});
+  }
+
+  // Pulls work for worker k until it has a task or retires. Returns
+  // true when a task was started (a completion event was scheduled).
+  auto start_next = [&](std::uint32_t k, double now) -> bool {
+    WorkerState& w = workers[k];
+    if (w.failed) return false;
+    WorkerSimStats& stats = result.workers[k];
+    while (w.queue.empty()) {
+      if (w.retired) return false;
+      auto assignment = strategy.on_request(k);
+      if (!assignment.has_value()) {
+        w.retired = true;
+        if (trace != nullptr) trace->on_retire(k, now);
+        return false;
+      }
+      stats.blocks_received += assignment->blocks.size();
+      result.total_blocks += assignment->blocks.size();
+      for (const TaskId t : assignment->tasks) w.queue.push_back(t);
+      if (trace != nullptr) trace->on_assignment(k, now, *assignment);
+      // Zero-task assignments (all enabled tasks already processed)
+      // loop straight into another request, as a real demand-driven
+      // worker would.
+    }
+    w.current = w.queue.front();
+    w.queue.pop_front();
+    w.running = true;
+    const double duration = 1.0 / w.speed;
+    w.current_duration = duration;
+    w.current_finish = now + duration;
+    stats.busy_time += duration;
+    events.push(
+        Event{now + duration, seq++, k, EventKind::kTaskDone, w.epoch, 0.0});
+    return true;
+  };
+
+  // Crashes return the victim's unfinished tasks to the master; any
+  // worker that had already retired (empty pool at the time) must be
+  // woken so the requeued tasks still complete.
+  auto crash_worker = [&](std::uint32_t k, double now) {
+    WorkerState& w = workers[k];
+    if (w.failed) return;
+    std::vector<TaskId> unfinished(w.queue.begin(), w.queue.end());
+    w.queue.clear();
+    if (w.running) {
+      unfinished.push_back(w.current);
+      // The aborted task's time was pre-charged at start; refund it.
+      result.workers[k].busy_time -= w.current_duration;
+      w.running = false;
+    }
+    w.failed = true;
+    ++w.epoch;  // invalidates the in-flight completion event
+    ++result.crashed_workers;
+    if (trace != nullptr) trace->on_retire(k, now);
+    if (unfinished.empty()) return;
+    if (!strategy.requeue(unfinished)) {
+      throw std::invalid_argument(
+          "simulate: crash injected but the strategy cannot requeue tasks");
+    }
+    result.requeued_tasks += unfinished.size();
+    for (std::uint32_t other = 0; other < p; ++other) {
+      WorkerState& candidate = workers[other];
+      if (candidate.failed || candidate.running) continue;
+      candidate.retired = false;  // pool is non-empty again
+      start_next(other, now);
+    }
+  };
+
+  for (std::uint32_t k = 0; k < p; ++k) start_next(k, 0.0);
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    WorkerState& w = workers[ev.worker];
+    WorkerSimStats& stats = result.workers[ev.worker];
+
+    switch (ev.kind) {
+      case EventKind::kFault: {
+        if (ev.fault_factor == 0.0) {
+          crash_worker(ev.worker, ev.time);
+        } else if (!w.failed) {
+          // Straggler: the current task keeps its old finish time (the
+          // slowdown applies from the next task on).
+          w.speed *= ev.fault_factor;
+          w.base_speed *= ev.fault_factor;
+        }
+        break;
+      }
+      case EventKind::kTaskDone: {
+        if (w.failed || ev.epoch != w.epoch) break;  // stale after crash
+        assert(w.running);
+        w.running = false;
+        ++stats.tasks_done;
+        ++result.total_tasks_done;
+        stats.finish_time = ev.time;
+        result.makespan = std::max(result.makespan, ev.time);
+        if (trace != nullptr) {
+          trace->on_completion(ev.worker, ev.time, w.current);
+        }
+        if (config.perturbation.enabled()) {
+          w.speed =
+              config.perturbation.perturb(w.speed, w.base_speed, perturb_rng);
+        }
+        start_next(ev.worker, ev.time);
+        break;
+      }
+    }
+  }
+
+  for (std::uint32_t k = 0; k < p; ++k) {
+    result.workers[k].final_speed = workers[k].speed;
+  }
+  return result;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,75 @@
+// Discrete-event master-worker simulation engine.
+//
+// Reproduces the paper's experimental apparatus: demand-driven workers
+// request tasks from a master running a Strategy; communication is
+// fully overlapped with computation (the paper's standing assumption),
+// so transfers cost volume but not time. Events are individual task
+// completions, which makes per-task speed perturbation (the dyn.5 /
+// dyn.20 scenarios) exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "platform/speed_model.hpp"
+#include "sim/strategy.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+/// A scripted worker fault. factor == 0 kills the worker at `time`
+/// (its queued and in-flight tasks are requeued through the strategy);
+/// 0 < factor < 1 is a straggler event multiplying the worker's speed.
+struct WorkerFault {
+  double time = 0.0;
+  std::uint32_t worker = 0;
+  double factor = 0.0;  // 0 = crash; else speed multiplier
+};
+
+struct SimConfig {
+  /// Stream seed for the engine's own randomness (speed perturbation).
+  std::uint64_t seed = 1;
+  /// Per-task speed drift; disabled by default.
+  PerturbationModel perturbation{};
+  /// Scripted crashes / slowdowns. Crash injection requires the
+  /// strategy to support Strategy::requeue.
+  std::vector<WorkerFault> faults{};
+};
+
+struct WorkerSimStats {
+  std::uint64_t tasks_done = 0;
+  std::uint64_t blocks_received = 0;
+  double busy_time = 0.0;    // total time spent computing
+  double finish_time = 0.0;  // completion time of the worker's last task
+  double final_speed = 0.0;  // speed after the last perturbation
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t total_tasks_done = 0;
+  std::uint64_t requeued_tasks = 0;   // returned to the pool by crashes
+  std::uint32_t crashed_workers = 0;
+  std::vector<WorkerSimStats> workers;
+
+  /// Communication volume normalized by a lower bound (the paper's
+  /// y-axis on every figure).
+  double normalized_volume(double lower_bound) const {
+    return static_cast<double>(total_blocks) / lower_bound;
+  }
+
+  /// (max finish - min finish) / makespan over workers that did any
+  /// work; 0 for perfect balance.
+  double finish_spread() const;
+};
+
+/// Runs `strategy` to completion on `platform`. Workers issue their
+/// initial requests at t = 0 in index order; each completion triggers
+/// either the next queued task or new requests until the strategy
+/// retires the worker. The strategy must eventually retire idle workers
+/// (every strategy in this library does once its pool empties).
+SimResult simulate(Strategy& strategy, const Platform& platform,
+                   const SimConfig& config = {}, TraceSink* trace = nullptr);
+
+}  // namespace hetsched

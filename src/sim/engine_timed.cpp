@@ -1,0 +1,175 @@
+#include "sim/engine_timed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace hetsched {
+
+double TimedSimResult::starvation_fraction() const {
+  double starved = 0.0;
+  double active = 0.0;
+  for (const auto& w : workers) {
+    starved += w.starved_time;
+    active += w.finish_time;
+  }
+  return active > 0.0 ? starved / active : 0.0;
+}
+
+namespace {
+
+enum class EventKind : std::uint8_t { kTaskDone, kMessageArrival };
+
+struct Event {
+  double time;
+  std::uint64_t seq;
+  EventKind kind;
+  std::uint32_t worker;
+
+  bool operator>(const Event& o) const noexcept {
+    return time != o.time ? time > o.time : seq > o.seq;
+  }
+};
+
+struct InFlight {
+  std::vector<TaskId> tasks;
+  std::uint64_t blocks = 0;
+};
+
+struct TimedWorker {
+  std::deque<TaskId> runnable;
+  std::deque<InFlight> in_transit;   // ordered by arrival
+  std::uint64_t pending_tasks = 0;   // runnable + in transit
+  bool computing = false;
+  bool retired = false;
+  bool request_outstanding = false;
+  double speed = 0.0;
+  double base_speed = 0.0;
+  double idle_since = 0.0;  // start of the current starvation interval
+  bool started = false;     // has ever had work (gates starvation stats)
+};
+
+}  // namespace
+
+TimedSimResult simulate_timed(Strategy& strategy, const Platform& platform,
+                              const TimedSimConfig& config) {
+  const auto p = static_cast<std::uint32_t>(platform.size());
+  if (strategy.workers() != p) {
+    throw std::invalid_argument(
+        "simulate_timed: strategy worker count does not match platform");
+  }
+  config.comm.validate();
+  if (config.lookahead == 0) {
+    throw std::invalid_argument("simulate_timed: lookahead must be >= 1");
+  }
+
+  Rng perturb_rng(derive_stream(config.seed, "engine_timed.perturb"));
+
+  std::vector<TimedWorker> workers(p);
+  TimedSimResult result;
+  result.workers.resize(p);
+  for (std::uint32_t k = 0; k < p; ++k) {
+    workers[k].speed = platform.speed(k);
+    workers[k].base_speed = platform.speed(k);
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  double link_free = 0.0;
+
+  // Issues requests for worker k until its pending work reaches the
+  // lookahead target, it has a request in flight, or it retires. Each
+  // accepted assignment becomes one message on the serial link.
+  auto pump_requests = [&](std::uint32_t k, double now) {
+    TimedWorker& w = workers[k];
+    while (!w.retired && !w.request_outstanding &&
+           w.pending_tasks < config.lookahead) {
+      auto assignment = strategy.on_request(k);
+      if (!assignment.has_value()) {
+        w.retired = true;
+        return;
+      }
+      InFlight msg;
+      msg.tasks = std::move(assignment->tasks);
+      msg.blocks = assignment->blocks.size();
+      w.pending_tasks += msg.tasks.size();
+      result.total_blocks += msg.blocks;
+      result.workers[k].blocks_received += msg.blocks;
+
+      const double start = std::max(now, link_free);
+      const double duration = config.comm.transfer_time(msg.blocks);
+      link_free = start + duration;
+      result.link_busy_time += duration;
+      w.in_transit.push_back(std::move(msg));
+      w.request_outstanding = true;
+      events.push(Event{link_free, seq++, EventKind::kMessageArrival, k});
+      // Only one outstanding request per worker: the next one is issued
+      // when this message lands (models a request/response protocol).
+    }
+  };
+
+  auto start_next_task = [&](std::uint32_t k, double now) {
+    TimedWorker& w = workers[k];
+    if (w.computing || w.runnable.empty()) return;
+    w.runnable.pop_front();
+    w.computing = true;
+    const double duration = 1.0 / w.speed;
+    result.workers[k].busy_time += duration;
+    events.push(Event{now + duration, seq++, EventKind::kTaskDone, k});
+  };
+
+  for (std::uint32_t k = 0; k < p; ++k) pump_requests(k, 0.0);
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    TimedWorker& w = workers[ev.worker];
+    TimedWorkerStats& stats = result.workers[ev.worker];
+
+    switch (ev.kind) {
+      case EventKind::kMessageArrival: {
+        assert(!w.in_transit.empty());
+        InFlight msg = std::move(w.in_transit.front());
+        w.in_transit.pop_front();
+        w.request_outstanding = false;
+        ++stats.messages_received;
+        for (const TaskId t : msg.tasks) w.runnable.push_back(t);
+        if (!w.runnable.empty() && !w.computing) {
+          if (w.started) stats.starved_time += ev.time - w.idle_since;
+          w.started = true;
+          start_next_task(ev.worker, ev.time);
+        }
+        pump_requests(ev.worker, ev.time);
+        break;
+      }
+      case EventKind::kTaskDone: {
+        assert(w.computing);
+        w.computing = false;
+        assert(w.pending_tasks > 0);
+        --w.pending_tasks;
+        ++stats.tasks_done;
+        ++result.total_tasks_done;
+        stats.finish_time = ev.time;
+        result.makespan = std::max(result.makespan, ev.time);
+        if (config.perturbation.enabled()) {
+          w.speed =
+              config.perturbation.perturb(w.speed, w.base_speed, perturb_rng);
+        }
+        if (!w.runnable.empty()) {
+          start_next_task(ev.worker, ev.time);
+        } else {
+          w.idle_since = ev.time;  // potential starvation interval begins
+        }
+        pump_requests(ev.worker, ev.time);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,84 @@
+// The master-side scheduling policy interface.
+//
+// A Strategy is the single abstraction shared by the discrete-event
+// simulator (src/sim) and the real thread-pool runtime (src/runtime):
+// given a work request from worker k it decides which data blocks to
+// ship and which tasks to allocate. All eight strategies of the paper
+// (Random/Sorted/Dynamic/Dynamic2Phases x Outer/Matrix) implement it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+/// Identifies a unit task. Encoding is kernel-specific:
+/// outer product: id = i * N + j; matrix multiply: id = (i*N + j)*N + k.
+using TaskId = std::uint64_t;
+
+/// Which operand a transferred block belongs to.
+enum class Operand : std::uint8_t {
+  kVecA,   // outer product: block a_i          (index i, col unused)
+  kVecB,   // outer product: block b_j
+  kMatA,   // matrix multiply: block A_{i,k}
+  kMatB,   // matrix multiply: block B_{k,j}
+  kMatC,   // matrix multiply: block C_{i,j} (result, shipped back once)
+};
+
+/// One block transfer between master and worker. Every BlockRef counts
+/// as one unit of communication volume regardless of direction — the
+/// paper measures total volume only.
+struct BlockRef {
+  Operand operand;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  friend bool operator==(const BlockRef&, const BlockRef&) = default;
+};
+
+/// The master's answer to one work request.
+struct Assignment {
+  std::vector<BlockRef> blocks;  // transfers charged to this request
+  std::vector<TaskId> tasks;     // tasks the worker must now compute
+
+  bool empty() const noexcept { return blocks.empty() && tasks.empty(); }
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Total number of unit tasks in the kernel instance.
+  virtual std::uint64_t total_tasks() const = 0;
+
+  /// Number of tasks not yet allocated ("marked") to any worker.
+  virtual std::uint64_t unassigned_tasks() const = 0;
+
+  /// Handles a work request from worker `worker`. Returns std::nullopt
+  /// when the worker can never receive work again (it retires); an
+  /// Assignment may carry blocks but zero tasks (a data-aware step that
+  /// found all enabled tasks already processed), in which case the
+  /// caller requests again immediately — the paper's workers are
+  /// demand-driven and idle only when the master has nothing left.
+  virtual std::optional<Assignment> on_request(std::uint32_t worker) = 0;
+
+  /// Number of workers the strategy was configured for.
+  virtual std::uint32_t workers() const = 0;
+
+  /// Returns allocated-but-uncomputed tasks to the master's pool after
+  /// a worker failure, so they can be served again. Returns false when
+  /// the strategy does not support requeueing (the engine then refuses
+  /// failure injection for it). The failed worker's cached blocks are
+  /// simply lost — a surviving worker re-assigned one of these tasks is
+  /// charged the transfers its own cache misses, exactly as usual.
+  virtual bool requeue(const std::vector<TaskId>& tasks) {
+    (void)tasks;
+    return false;
+  }
+};
+
+}  // namespace hetsched

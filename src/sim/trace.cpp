@@ -1,0 +1,19 @@
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+void RecordingTrace::on_assignment(std::uint32_t worker, double now,
+                                   const Assignment& assignment) {
+  assignments_.push_back(AssignmentEvent{worker, now, assignment});
+}
+
+void RecordingTrace::on_completion(std::uint32_t worker, double now,
+                                   TaskId task) {
+  completions_.push_back(CompletionEvent{worker, now, task});
+}
+
+void RecordingTrace::on_retire(std::uint32_t worker, double now) {
+  retirements_.push_back(RetireEvent{worker, now});
+}
+
+}  // namespace hetsched

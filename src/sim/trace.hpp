@@ -1,0 +1,70 @@
+// Optional observation hooks for the simulation engine.
+//
+// Tests and examples subscribe to assignment/completion events to check
+// engine invariants (no task computed twice, blocks counted once, ...)
+// without the engine knowing about them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A request by `worker` at `now` was answered with `assignment`.
+  virtual void on_assignment(std::uint32_t worker, double now,
+                             const Assignment& assignment) = 0;
+
+  /// Worker `worker` finished `task` at `now`.
+  virtual void on_completion(std::uint32_t worker, double now, TaskId task) = 0;
+
+  /// Worker `worker` retired (no further work possible) at `now`.
+  virtual void on_retire(std::uint32_t worker, double now) = 0;
+};
+
+/// A TraceSink that buffers everything; convenient in tests.
+class RecordingTrace final : public TraceSink {
+ public:
+  struct AssignmentEvent {
+    std::uint32_t worker;
+    double time;
+    Assignment assignment;
+  };
+  struct CompletionEvent {
+    std::uint32_t worker;
+    double time;
+    TaskId task;
+  };
+  struct RetireEvent {
+    std::uint32_t worker;
+    double time;
+  };
+
+  void on_assignment(std::uint32_t worker, double now,
+                     const Assignment& assignment) override;
+  void on_completion(std::uint32_t worker, double now, TaskId task) override;
+  void on_retire(std::uint32_t worker, double now) override;
+
+  const std::vector<AssignmentEvent>& assignments() const noexcept {
+    return assignments_;
+  }
+  const std::vector<CompletionEvent>& completions() const noexcept {
+    return completions_;
+  }
+  const std::vector<RetireEvent>& retirements() const noexcept {
+    return retirements_;
+  }
+
+ private:
+  std::vector<AssignmentEvent> assignments_;
+  std::vector<CompletionEvent> completions_;
+  std::vector<RetireEvent> retirements_;
+};
+
+}  // namespace hetsched

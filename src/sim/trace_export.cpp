@@ -1,0 +1,52 @@
+#include "sim/trace_export.hpp"
+
+#include "common/json.hpp"
+
+namespace hetsched {
+
+void export_chrome_trace(std::ostream& out, const RecordingTrace& trace,
+                         const Platform& platform) {
+  // Chrome tracing uses microsecond timestamps; scale simulation time
+  // units by 1e6 so durations stay readable.
+  constexpr double kScale = 1e6;
+
+  JsonWriter json(out, /*pretty=*/false);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+
+  for (const auto& ev : trace.completions()) {
+    const double duration = 1.0 / platform.speed(ev.worker);
+    json.begin_object();
+    json.field("name", "task " + std::to_string(ev.task));
+    json.field("cat", "compute");
+    json.field("ph", "X");
+    json.field("ts", (ev.time - duration) * kScale);
+    json.field("dur", duration * kScale);
+    json.field("pid", 1);
+    json.field("tid", static_cast<std::int64_t>(ev.worker));
+    json.end_object();
+  }
+
+  for (const auto& ev : trace.assignments()) {
+    if (ev.assignment.blocks.empty()) continue;
+    json.begin_object();
+    json.field("name",
+               "recv " + std::to_string(ev.assignment.blocks.size()) +
+                   " block(s)");
+    json.field("cat", "comm");
+    json.field("ph", "i");  // instant event
+    json.field("s", "t");   // thread scope
+    json.field("ts", ev.time * kScale);
+    json.field("pid", 1);
+    json.field("tid", static_cast<std::int64_t>(ev.worker));
+    json.end_object();
+  }
+
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace hetsched

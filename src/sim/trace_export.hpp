@@ -1,0 +1,24 @@
+// Chrome-tracing (catapult) export of a recorded schedule.
+//
+// Loading the emitted JSON in chrome://tracing or Perfetto gives a
+// per-worker Gantt chart of task executions with communication counts
+// in the event arguments — the fastest way to *see* what a strategy
+// did.
+#pragma once
+
+#include <ostream>
+
+#include "platform/platform.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+/// Writes trace events in the Chrome tracing "complete event" format
+/// (phase "X"). Task durations are reconstructed from completion times
+/// and the worker speeds (valid for static-speed runs; with per-task
+/// perturbation durations are approximate). Assignment events appear as
+/// instant events carrying the block count.
+void export_chrome_trace(std::ostream& out, const RecordingTrace& trace,
+                         const Platform& platform);
+
+}  // namespace hetsched

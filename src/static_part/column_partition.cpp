@@ -1,0 +1,98 @@
+#include "static_part/column_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "platform/lower_bound.hpp"
+
+namespace hetsched {
+
+SquarePartition partition_unit_square(const std::vector<double>& areas) {
+  const std::size_t p = areas.size();
+  if (p == 0) {
+    throw std::invalid_argument("partition_unit_square: need at least one area");
+  }
+  double total = 0.0;
+  for (const double a : areas) {
+    if (!(a > 0.0)) {
+      throw std::invalid_argument("partition_unit_square: areas must be > 0");
+    }
+    total += a;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("partition_unit_square: areas must sum to 1");
+  }
+
+  // Sort areas (descending) remembering original owners; the optimal
+  // column-based partition groups contiguous runs of the sorted areas.
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return areas[a] > areas[b]; });
+
+  std::vector<double> prefix(p + 1, 0.0);
+  for (std::size_t t = 0; t < p; ++t) prefix[t + 1] = prefix[t] + areas[order[t]];
+
+  // cost[j] = min half-perimeter sum for the first j sorted areas.
+  // Appending a column holding sorted areas (i..j-1] of total mass A
+  // costs (j - i) * A + 1: each of the j-i rectangles spans the column
+  // width A, and their heights sum to the full unit height.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(p + 1, kInf);
+  std::vector<std::size_t> split(p + 1, 0);
+  cost[0] = 0.0;
+  for (std::size_t j = 1; j <= p; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const double column_mass = prefix[j] - prefix[i];
+      const double candidate =
+          cost[i] + static_cast<double>(j - i) * column_mass + 1.0;
+      if (candidate < cost[j]) {
+        cost[j] = candidate;
+        split[j] = i;
+      }
+    }
+  }
+
+  // Recover the grouping and lay the columns out left to right.
+  std::vector<std::size_t> boundaries;  // column starts, reversed
+  for (std::size_t j = p; j > 0; j = split[j]) boundaries.push_back(split[j]);
+  std::reverse(boundaries.begin(), boundaries.end());
+
+  SquarePartition result;
+  result.rects.resize(p);
+  result.columns = boundaries.size();
+  double x = 0.0;
+  for (std::size_t c = 0; c < boundaries.size(); ++c) {
+    const std::size_t begin = boundaries[c];
+    const std::size_t end =
+        (c + 1 < boundaries.size()) ? boundaries[c + 1] : p;
+    const double width = prefix[end] - prefix[begin];
+    double y = 0.0;
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::size_t owner = order[t];
+      const double height = areas[owner] / width;
+      result.rects[owner] = PartitionRect{x, y, width, height, owner};
+      y += height;
+    }
+    x += width;
+  }
+  result.total_half_perimeter = cost[p];
+  return result;
+}
+
+double static_outer_volume(std::uint64_t n_blocks,
+                           const std::vector<double>& rel_speeds) {
+  const SquarePartition part = partition_unit_square(rel_speeds);
+  return static_cast<double>(n_blocks) * part.total_half_perimeter;
+}
+
+double static_outer_ratio(const std::vector<double>& rel_speeds) {
+  const SquarePartition part = partition_unit_square(rel_speeds);
+  return part.total_half_perimeter /
+         (2.0 * rel_speed_power_sum(rel_speeds, 0.5));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,53 @@
+// Static column-based partitioning of the unit square (the comparison
+// baseline of Section 3.2, after Beaumont, Boudet, Rastello & Robert,
+// "Partitioning a square into rectangles", Algorithmica 2002).
+//
+// Given prescribed areas proportional to relative speeds, the best
+// known static allocation arranges one rectangle per processor into
+// vertical columns; the half-perimeter sum — which equals the
+// communication volume of a static outer product, in units of N — is
+// minimized over column counts and contiguous groupings of the sorted
+// areas by dynamic programming. The resulting schedule is a
+// 7/4-approximation of the (unachievable) lower bound 2 sum_k sqrt(a_k)
+// and requires full knowledge of the speeds, which is exactly what the
+// paper's dynamic strategies avoid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hetsched {
+
+struct PartitionRect {
+  double x = 0.0;  // left edge in [0, 1]
+  double y = 0.0;  // bottom edge in [0, 1]
+  double w = 0.0;
+  double h = 0.0;
+  std::size_t owner = 0;  // index into the input area vector
+
+  double area() const noexcept { return w * h; }
+  double half_perimeter() const noexcept { return w + h; }
+};
+
+struct SquarePartition {
+  std::vector<PartitionRect> rects;  // one per input area, any order
+  std::size_t columns = 0;
+  double total_half_perimeter = 0.0;
+};
+
+/// Optimal *column-based* partition of the unit square into rectangles
+/// of the given areas (must be positive and sum to ~1). O(p^2) DP over
+/// the sorted areas.
+SquarePartition partition_unit_square(const std::vector<double>& areas);
+
+/// Communication volume (in blocks) of the static outer-product
+/// schedule induced by the partition: worker k receives w_k*N blocks of
+/// a and h_k*N blocks of b.
+double static_outer_volume(std::uint64_t n_blocks,
+                           const std::vector<double>& rel_speeds);
+
+/// static_outer_volume normalized by the paper's lower bound.
+double static_outer_ratio(const std::vector<double>& rel_speeds);
+
+}  // namespace hetsched

@@ -1,0 +1,48 @@
+#include "steal/steal_core.hpp"
+
+#include <stdexcept>
+
+namespace hetsched {
+
+StealDeques::StealDeques(std::uint32_t workers, Rng rng)
+    : deques_(workers), rng_(rng) {
+  if (workers == 0) {
+    throw std::invalid_argument("StealDeques: need at least 1 worker");
+  }
+}
+
+void StealDeques::seed_task(std::uint32_t worker, TaskId id) {
+  deques_[worker].push_back(id);
+  ++remaining_;
+}
+
+void StealDeques::steal_into(std::uint32_t thief) {
+  // remaining_ > 0 and the thief's deque is empty, so a non-empty
+  // victim exists; uniform probing terminates with probability 1.
+  for (;;) {
+    const auto victim =
+        static_cast<std::uint32_t>(rng_.next_below(deques_.size()));
+    if (victim == thief || deques_[victim].empty()) continue;
+    auto& from = deques_[victim];
+    auto& to = deques_[thief];
+    const std::size_t take = (from.size() + 1) / 2;
+    for (std::size_t t = 0; t < take; ++t) {
+      to.push_back(from.back());
+      from.pop_back();
+    }
+    ++steals_;
+    return;
+  }
+}
+
+std::optional<TaskId> StealDeques::next_task(std::uint32_t worker) {
+  if (remaining_ == 0) return std::nullopt;
+  auto& own = deques_[worker];
+  if (own.empty()) steal_into(worker);
+  const TaskId id = own.front();
+  own.pop_front();
+  --remaining_;
+  return id;
+}
+
+}  // namespace hetsched

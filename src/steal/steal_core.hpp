@@ -1,0 +1,45 @@
+// The deque-and-steal core shared by the work-stealing strategies:
+// per-worker task deques, owner-side FIFO consumption, thief-side
+// steal-half-from-the-tail of a uniformly random non-empty victim.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/strategy.hpp"
+
+namespace hetsched {
+
+class StealDeques {
+ public:
+  StealDeques(std::uint32_t workers, Rng rng);
+
+  /// Appends a task to worker's own deque (initial partition).
+  void seed_task(std::uint32_t worker, TaskId id);
+
+  std::uint64_t remaining() const noexcept { return remaining_; }
+  std::uint64_t steals() const noexcept { return steals_; }
+  std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(deques_.size());
+  }
+  std::size_t deque_size(std::uint32_t worker) const {
+    return deques_[worker].size();
+  }
+
+  /// Pops the next task for `worker`, stealing first if its deque is
+  /// empty. Returns nullopt when no tasks remain anywhere.
+  std::optional<TaskId> next_task(std::uint32_t worker);
+
+ private:
+  void steal_into(std::uint32_t thief);
+
+  std::vector<std::deque<TaskId>> deques_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t steals_ = 0;
+  Rng rng_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,79 @@
+#include "steal/work_stealing.hpp"
+
+#include <stdexcept>
+
+namespace hetsched {
+
+WorkStealingOuterStrategy::WorkStealingOuterStrategy(OuterConfig config,
+                                                     std::uint32_t workers,
+                                                     std::uint64_t seed)
+    : config_(config),
+      core_(workers, Rng(derive_stream(seed, "steal.outer"))) {
+  validate(config_);
+  blocks_.resize(workers);
+  for (auto& b : blocks_) {
+    b.owned_a = DynamicBitset(config_.n);
+    b.owned_b = DynamicBitset(config_.n);
+  }
+  // Speed-agnostic initial partition: contiguous row bands of (nearly)
+  // equal size, each band's tasks in lexicographic order.
+  const std::uint32_t n = config_.n;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto owner = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(i) * workers) / n);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      core_.seed_task(owner, outer_task_id(n, i, j));
+    }
+  }
+}
+
+std::optional<Assignment> WorkStealingOuterStrategy::on_request(
+    std::uint32_t worker) {
+  const auto id = core_.next_task(worker);
+  if (!id.has_value()) return std::nullopt;
+  const auto [i, j] = outer_task_coords(config_.n, *id);
+
+  Assignment assignment;
+  WorkerBlocks& blocks = blocks_[worker];
+  if (blocks.owned_a.set_if_clear(i)) {
+    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+  }
+  if (blocks.owned_b.set_if_clear(j)) {
+    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+  }
+  assignment.tasks.push_back(*id);
+  return assignment;
+}
+
+WorkStealingMatmulStrategy::WorkStealingMatmulStrategy(MatmulConfig config,
+                                                       std::uint32_t workers,
+                                                       std::uint64_t seed)
+    : config_(config),
+      core_(workers, Rng(derive_stream(seed, "steal.matmul"))) {
+  validate(config_);
+  blocks_.assign(workers, MatmulWorkerBlocks(config_.n));
+  const std::uint32_t n = config_.n;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto owner = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(i) * workers) / n);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        core_.seed_task(owner, matmul_task_id(n, i, j, k));
+      }
+    }
+  }
+}
+
+std::optional<Assignment> WorkStealingMatmulStrategy::on_request(
+    std::uint32_t worker) {
+  const auto id = core_.next_task(worker);
+  if (!id.has_value()) return std::nullopt;
+  const auto [i, j, k] = matmul_task_coords(config_.n, *id);
+
+  Assignment assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, blocks_[worker], assignment);
+  assignment.tasks.push_back(*id);
+  return assignment;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,85 @@
+#include "analysis/homogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/matmul_analysis.hpp"
+#include "analysis/outer_analysis.hpp"
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+#include "platform/speed_model.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(BetaHomogeneous, OuterPaperWindow) {
+  // Section 3.6: for p in [10, 1000], N/l in [max(10, sqrt p), 1000] the
+  // optimal beta ranges about 1 to 6.2.
+  const double b = beta_homogeneous_outer(20, 100);
+  EXPECT_GT(b, 3.0);
+  EXPECT_LT(b, 6.0);
+}
+
+TEST(BetaHomogeneous, MatmulPaperAnchor) {
+  const double b = beta_homogeneous_matmul(100, 40);
+  EXPECT_NEAR(b, 2.92, 0.15);
+}
+
+TEST(BetaHomogeneous, GrowsWithProblemSize) {
+  // Bigger N: phase 2's per-task cost stays but more tasks remain, so
+  // the switch should happen later (larger beta).
+  EXPECT_GT(beta_homogeneous_outer(20, 1000), beta_homogeneous_outer(20, 100));
+  EXPECT_GT(beta_homogeneous_matmul(50, 100), beta_homogeneous_matmul(50, 40));
+}
+
+TEST(BetaHomogeneous, WithinPaperRangeAcrossGrid) {
+  // Section 3.6 sweeps p in [10, 1000], N/l in [max(10, sqrt p), 1000]
+  // and reports optimal beta roughly in [1, 6.2]. Our exact-volume
+  // variant also respects the model's validity cap beta <= p.
+  for (const std::uint32_t p : {10u, 50u, 200u, 1000u}) {
+    for (const std::uint32_t n : {32u, 100u, 1000u}) {
+      if (n * n < p) continue;  // outside the paper's grid
+      const double b = beta_homogeneous_outer(p, n);
+      EXPECT_GT(b, 0.2) << "p=" << p << " n=" << n;
+      EXPECT_LE(b, std::min<double>(p, 16.0) + 0.01) << "p=" << p << " n=" << n;
+    }
+  }
+}
+
+TEST(BetaHomogeneous, ApproximatesHeterogeneousOptimum) {
+  // The speed-agnostic rule of Section 3.6: beta_hom deviates from the
+  // heterogeneous optimum by only a few percent, and using it costs
+  // almost nothing in predicted volume.
+  Rng rng(2024);
+  UniformIntervalSpeeds model(10.0, 100.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Platform platform = make_platform(model, 20, rng);
+    OuterAnalysis analysis(platform.relative_speeds(), 100);
+    const double b_het = analysis.optimal_beta().x;
+    const double b_hom = beta_homogeneous_outer(20, 100);
+    EXPECT_NEAR(b_het, b_hom, 0.15 * b_hom) << "trial " << trial;
+    // Volume penalty of using beta_hom instead of the tuned beta.
+    const double penalty =
+        analysis.ratio(b_hom) / analysis.ratio(b_het) - 1.0;
+    EXPECT_LT(penalty, 0.005) << "trial " << trial;
+  }
+}
+
+TEST(BetaHomogeneous, MatmulApproximatesHeterogeneousOptimum) {
+  Rng rng(77);
+  UniformIntervalSpeeds model(10.0, 100.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Platform platform = make_platform(model, 100, rng);
+    MatmulAnalysis analysis(platform.relative_speeds(), 40);
+    const double b_het = analysis.optimal_beta().x;
+    const double b_hom = beta_homogeneous_matmul(100, 40);
+    EXPECT_NEAR(b_het, b_hom, 0.15 * b_hom);
+    const double penalty =
+        analysis.ratio(b_hom) / analysis.ratio(b_het) - 1.0;
+    EXPECT_LT(penalty, 0.005);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,133 @@
+#include "analysis/matmul_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/ode.hpp"
+#include "platform/platform.hpp"
+
+namespace hetsched {
+namespace {
+
+std::vector<double> homogeneous_rs(std::size_t p) {
+  return std::vector<double>(p, 1.0 / static_cast<double>(p));
+}
+
+TEST(MatmulAnalysis, GBoundaryConditions) {
+  MatmulAnalysis analysis(homogeneous_rs(10), 40);
+  EXPECT_DOUBLE_EQ(analysis.g(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(analysis.g(0, 1.0), 0.0);
+}
+
+TEST(MatmulAnalysis, GClosedFormSolvesTheCubicOde) {
+  // Lemma 7's analogue: g'/g = -3 x^2 alpha / (1 - x^3).
+  Platform platform({15.0, 35.0, 50.0});
+  MatmulAnalysis analysis(platform.relative_speeds(), 40);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const double alpha = analysis.alpha(k);
+    const auto sol = integrate_rk4(
+        [alpha](double x, double g) {
+          return g * (-3.0 * x * x * alpha) / (1.0 - x * x * x);
+        },
+        0.0, 1.0, 0.8, 4000);
+    for (const double x : {0.2, 0.4, 0.6, 0.8}) {
+      EXPECT_NEAR(sol.at(x), analysis.g(k, x), 1e-5)
+          << "worker " << k << " x=" << x;
+    }
+  }
+}
+
+TEST(MatmulAnalysis, GIsDecreasingInX) {
+  MatmulAnalysis analysis(homogeneous_rs(50), 40);
+  double prev = 1.0;
+  for (double x = 0.05; x <= 0.95; x += 0.05) {
+    const double g = analysis.g(0, x);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(MatmulAnalysis, SwitchTimeIsWorkerIndependentAtFirstOrder) {
+  Platform platform({10.0, 30.0, 55.0, 90.0, 40.0, 75.0, 20.0, 65.0});
+  MatmulAnalysis analysis(platform.relative_speeds(), 40);
+  const double beta = 3.0;
+  const double expect = 1.0 - std::exp(-beta);
+  for (std::size_t k = 0; k < 8; ++k) {
+    const double t = analysis.time_fraction(k, analysis.switch_x(k, beta));
+    EXPECT_NEAR(t, expect, 0.03) << "worker " << k;
+  }
+}
+
+TEST(MatmulAnalysis, SwitchXMatchesSection42) {
+  MatmulAnalysis analysis(homogeneous_rs(100), 40);
+  const double beta = 3.0;
+  const double rs = 0.01;
+  const double expect = std::cbrt(beta * rs - 0.5 * beta * beta * rs * rs);
+  EXPECT_NEAR(analysis.switch_x(0, beta), expect, 1e-12);
+}
+
+TEST(MatmulAnalysis, LowerBoundMatchesFormula) {
+  MatmulAnalysis analysis(homogeneous_rs(8), 10);
+  EXPECT_NEAR(analysis.lower_bound(), 3.0 * 100.0 * 2.0, 1e-9);
+}
+
+TEST(MatmulAnalysis, VolumesMoveWithBeta) {
+  MatmulAnalysis analysis(homogeneous_rs(100), 40);
+  EXPECT_GT(analysis.phase1_volume(4.0), analysis.phase1_volume(2.0));
+  EXPECT_LT(analysis.phase2_volume(4.0), analysis.phase2_volume(2.0));
+}
+
+TEST(MatmulAnalysis, RatioAboveOne) {
+  MatmulAnalysis analysis(homogeneous_rs(100), 40);
+  for (double beta = 1.0; beta <= 8.0; beta += 0.5) {
+    EXPECT_GT(analysis.ratio(beta), 1.0);
+  }
+}
+
+TEST(MatmulAnalysis, PaperAnchorHomogeneousBeta) {
+  // Section 4.3: for p=100, N/l=40 the speed-agnostic analysis gives
+  // beta ~= 2.92; our exact-volume variant lands within a few percent.
+  MatmulAnalysis analysis(homogeneous_rs(100), 40);
+  const auto opt = analysis.optimal_beta();
+  EXPECT_NEAR(opt.x, 2.92, 0.15);
+  // Figure 11's floor is ~2.4.
+  EXPECT_NEAR(opt.f, 2.44, 0.1);
+}
+
+TEST(MatmulAnalysis, PaperFirstOrderTracksExactFormNearOptimum) {
+  MatmulAnalysis analysis(homogeneous_rs(100), 40);
+  for (double beta = 2.0; beta <= 4.5; beta += 0.5) {
+    EXPECT_NEAR(analysis.ratio_paper_first_order(beta), analysis.ratio(beta),
+                0.3)
+        << "beta=" << beta;
+  }
+}
+
+TEST(MatmulAnalysis, HeterogeneityBarelyMovesOptimalBeta) {
+  MatmulAnalysis hom(homogeneous_rs(30), 40);
+  std::vector<double> speeds;
+  for (int i = 0; i < 30; ++i) speeds.push_back(10.0 + (i * 37) % 90);
+  Platform het(speeds);
+  MatmulAnalysis het_analysis(het.relative_speeds(), 40);
+  EXPECT_NEAR(hom.optimal_beta().x, het_analysis.optimal_beta().x, 0.3);
+}
+
+TEST(MatmulAnalysis, Phase2FractionRoundTrip) {
+  EXPECT_NEAR(MatmulAnalysis::phase2_fraction(3.0), std::exp(-3.0), 1e-15);
+  EXPECT_NEAR(MatmulAnalysis::beta_for_phase2_fraction(std::exp(-3.0)), 3.0,
+              1e-12);
+}
+
+TEST(MatmulAnalysis, RejectsBadInputs) {
+  EXPECT_THROW(MatmulAnalysis({}, 40), std::invalid_argument);
+  EXPECT_THROW(MatmulAnalysis({0.7, 0.7}, 40), std::invalid_argument);
+  EXPECT_THROW(MatmulAnalysis({0.5, 0.5}, 0), std::invalid_argument);
+  MatmulAnalysis ok({0.5, 0.5}, 10);
+  EXPECT_THROW(ok.g(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(ok.ratio(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,70 @@
+#include "analysis/ode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetsched {
+namespace {
+
+TEST(Rk4, ExponentialDecay) {
+  // y' = -y, y(0) = 1 -> y(x) = e^{-x}.
+  const auto sol =
+      integrate_rk4([](double, double y) { return -y; }, 0.0, 1.0, 2.0, 200);
+  EXPECT_NEAR(sol.y.back(), std::exp(-2.0), 1e-8);
+}
+
+TEST(Rk4, LinearGrowth) {
+  // y' = 2x, y(0) = 0 -> y = x^2.
+  const auto sol =
+      integrate_rk4([](double x, double) { return 2.0 * x; }, 0.0, 0.0, 3.0,
+                    100);
+  EXPECT_NEAR(sol.y.back(), 9.0, 1e-9);
+}
+
+TEST(Rk4, BackwardIntegration) {
+  // Integrate y' = -y from x=2 back to 0 starting at e^{-2}.
+  const auto sol = integrate_rk4([](double, double y) { return -y; }, 2.0,
+                                 std::exp(-2.0), 0.0, 200);
+  EXPECT_NEAR(sol.y.back(), 1.0, 1e-7);
+}
+
+TEST(Rk4, SolutionGridHasExpectedShape) {
+  const auto sol =
+      integrate_rk4([](double, double) { return 1.0; }, 0.0, 0.0, 1.0, 10);
+  ASSERT_EQ(sol.x.size(), 11u);
+  ASSERT_EQ(sol.y.size(), 11u);
+  EXPECT_DOUBLE_EQ(sol.x.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sol.x.back(), 1.0);
+}
+
+TEST(Rk4, InterpolationAtGridAndBetween) {
+  const auto sol =
+      integrate_rk4([](double x, double) { return 2.0 * x; }, 0.0, 0.0, 2.0,
+                    400);
+  EXPECT_NEAR(sol.at(1.0), 1.0, 1e-6);
+  EXPECT_NEAR(sol.at(1.5), 2.25, 1e-5);
+  // Clamping outside the range.
+  EXPECT_DOUBLE_EQ(sol.at(-1.0), sol.y.front());
+  EXPECT_DOUBLE_EQ(sol.at(5.0), sol.y.back());
+}
+
+TEST(Rk4, RejectsNonPositiveSteps) {
+  EXPECT_THROW(
+      integrate_rk4([](double, double) { return 0.0; }, 0.0, 0.0, 1.0, 0),
+      std::invalid_argument);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  // Halving the step should reduce the error by about 2^4.
+  const auto f = [](double x, double y) { return x * y; };
+  const double exact = std::exp(0.5);  // y' = xy, y(0)=1 -> e^{x^2/2} at x=1
+  const auto coarse = integrate_rk4(f, 0.0, 1.0, 1.0, 8);
+  const auto fine = integrate_rk4(f, 0.0, 1.0, 1.0, 16);
+  const double e_coarse = std::abs(coarse.y.back() - exact);
+  const double e_fine = std::abs(fine.y.back() - exact);
+  EXPECT_LT(e_fine, e_coarse / 10.0);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,58 @@
+#include "analysis/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetsched {
+namespace {
+
+TEST(MinimizeScalar, QuadraticMinimum) {
+  const auto r = minimize_scalar([](double x) { return (x - 3.0) * (x - 3.0); },
+                                 0.0, 10.0);
+  EXPECT_NEAR(r.x, 3.0, 1e-6);
+  EXPECT_NEAR(r.f, 0.0, 1e-10);
+}
+
+TEST(MinimizeScalar, MinimumAtLeftEdge) {
+  const auto r = minimize_scalar([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+TEST(MinimizeScalar, MinimumAtRightEdge) {
+  const auto r = minimize_scalar([](double x) { return -x; }, 2.0, 5.0);
+  EXPECT_NEAR(r.x, 5.0, 1e-6);
+}
+
+TEST(MinimizeScalar, CosineMinimum) {
+  const auto r =
+      minimize_scalar([](double x) { return std::cos(x); }, 0.0, 6.0);
+  EXPECT_NEAR(r.x, M_PI, 1e-5);
+  EXPECT_NEAR(r.f, -1.0, 1e-9);
+}
+
+TEST(MinimizeScalar, GridScanEscapesLocalMinimum) {
+  // Two dips; the right one is deeper. A pure golden-section from the
+  // full bracket could settle in the wrong dip without the grid scan.
+  const auto f = [](double x) {
+    return std::min((x - 1.0) * (x - 1.0) + 0.5, (x - 8.0) * (x - 8.0));
+  };
+  const auto r = minimize_scalar(f, 0.0, 10.0, 1e-8, 128);
+  EXPECT_NEAR(r.x, 8.0, 1e-4);
+}
+
+TEST(MinimizeScalar, RespectsTolerance) {
+  const auto r = minimize_scalar(
+      [](double x) { return (x - 2.5) * (x - 2.5); }, 0.0, 5.0, 1e-12);
+  EXPECT_NEAR(r.x, 2.5, 1e-9);
+}
+
+TEST(MinimizeScalar, RejectsEmptyInterval) {
+  EXPECT_THROW(minimize_scalar([](double x) { return x; }, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(minimize_scalar([](double x) { return x; }, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,99 @@
+#include "analysis/pure_dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "platform/platform.hpp"
+
+namespace hetsched {
+namespace {
+
+std::vector<double> homogeneous_rs(std::size_t p) {
+  return std::vector<double>(p, 1.0 / static_cast<double>(p));
+}
+
+TEST(PureDynamic, DepletionXMatchesClosedForm) {
+  // alpha = 19 (p = 20 homogeneous), N = 100:
+  // 1 - x^2 = 100^{-2/20} = 10^{-0.2}.
+  const double x = pure_dynamic_outer_x(19.0, 100);
+  EXPECT_NEAR(x * x, 1.0 - std::pow(10.0, -0.2), 1e-12);
+}
+
+TEST(PureDynamic, SingleWorkerLearnsAlmostEverything) {
+  // alpha = 0: no competition; x -> (1 - N^-d)^(1/d) ~ 1.
+  EXPECT_GT(pure_dynamic_outer_x(0.0, 100), 0.99);
+  EXPECT_GT(pure_dynamic_matmul_x(0.0, 40), 0.99);
+}
+
+TEST(PureDynamic, MoreCompetitionMeansSmallerX) {
+  EXPECT_GT(pure_dynamic_outer_x(9.0, 100), pure_dynamic_outer_x(99.0, 100));
+  EXPECT_GT(pure_dynamic_matmul_x(9.0, 40), pure_dynamic_matmul_x(99.0, 40));
+}
+
+TEST(PureDynamic, LargerProblemsMeanLargerX) {
+  EXPECT_GT(pure_dynamic_outer_x(19.0, 1000), pure_dynamic_outer_x(19.0, 100));
+}
+
+TEST(PureDynamic, RatioAboveOne) {
+  for (const std::size_t p : {5u, 20u, 100u}) {
+    EXPECT_GT(pure_dynamic_outer_ratio(homogeneous_rs(p), 100), 1.0);
+    EXPECT_GT(pure_dynamic_matmul_ratio(homogeneous_rs(p), 40), 1.0);
+  }
+}
+
+TEST(PureDynamic, TracksSimulatedDynamicOuter) {
+  // The headline check: the estimate lands within ~20% of the measured
+  // DynamicOuter volume across the paper's range.
+  for (const std::uint32_t p : {10u, 20u, 50u, 100u}) {
+    ExperimentConfig config;
+    config.kernel = Kernel::kOuter;
+    config.strategy = "DynamicOuter";
+    config.n = 100;
+    config.p = p;
+    config.reps = 3;
+    config.seed = 17;
+    const ExperimentResult result = run_experiment(config);
+    double model = 0.0;
+    for (const auto& rep : result.reps) {
+      const Platform platform(rep.speeds);
+      model += pure_dynamic_outer_ratio(platform.relative_speeds(), config.n);
+    }
+    model /= static_cast<double>(result.reps.size());
+    EXPECT_NEAR(model, result.normalized.mean, 0.2 * result.normalized.mean)
+        << "p=" << p;
+  }
+}
+
+TEST(PureDynamic, TracksSimulatedDynamicMatrix) {
+  for (const std::uint32_t p : {20u, 50u, 100u}) {
+    ExperimentConfig config;
+    config.kernel = Kernel::kMatmul;
+    config.strategy = "DynamicMatrix";
+    config.n = 40;
+    config.p = p;
+    config.reps = 2;
+    config.seed = 19;
+    const ExperimentResult result = run_experiment(config);
+    double model = 0.0;
+    for (const auto& rep : result.reps) {
+      const Platform platform(rep.speeds);
+      model += pure_dynamic_matmul_ratio(platform.relative_speeds(), config.n);
+    }
+    model /= static_cast<double>(result.reps.size());
+    EXPECT_NEAR(model, result.normalized.mean, 0.25 * result.normalized.mean)
+        << "p=" << p;
+  }
+}
+
+TEST(PureDynamic, RejectsBadInputs) {
+  EXPECT_THROW(pure_dynamic_outer_volume({}, 100), std::invalid_argument);
+  EXPECT_THROW(pure_dynamic_outer_volume({0.4, 0.4}, 100),
+               std::invalid_argument);
+  EXPECT_THROW(pure_dynamic_outer_volume({0.5, 0.5}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

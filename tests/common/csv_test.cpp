@@ -1,0 +1,61 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetsched {
+namespace {
+
+TEST(CsvWriter, WritesHeaderImmediately) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, WritesStringRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x", "y"});
+  csv.row(std::vector<std::string>{"1", "two"});
+  EXPECT_EQ(out.str(), "x,y\n1,two\n");
+}
+
+TEST(CsvWriter, WritesDoubleRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x", "y"});
+  csv.row(std::vector<double>{1.5, 2.0});
+  EXPECT_EQ(out.str(), "x,y\n1.5,2\n");
+}
+
+TEST(CsvWriter, RejectsWrongArity) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x", "y"});
+  EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}),
+               std::invalid_argument);
+}
+
+TEST(CsvWriter, FormatRespectsPrecision) {
+  EXPECT_EQ(CsvWriter::format(3.14159265, 3), "3.14");
+  EXPECT_EQ(CsvWriter::format(100.0, 6), "100");
+}
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter table({"name", "value"});
+  table.row(std::vector<std::string>{"a", "1"});
+  table.row(std::vector<std::string>{"longer", "2"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableWriter, RejectsWrongArity) {
+  TableWriter table({"a"});
+  EXPECT_THROW(table.row(std::vector<std::string>{"1", "2"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,111 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace hetsched {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& build) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out, /*pretty=*/false);
+    build(json);
+  }
+  return out.str();
+}
+
+TEST(JsonWriter, EmptyObject) {
+  EXPECT_EQ(compact([](JsonWriter& j) {
+              j.begin_object();
+              j.end_object();
+            }),
+            "{}");
+}
+
+TEST(JsonWriter, EmptyArray) {
+  EXPECT_EQ(compact([](JsonWriter& j) {
+              j.begin_array();
+              j.end_array();
+            }),
+            "[]");
+}
+
+TEST(JsonWriter, ScalarFields) {
+  const std::string text = compact([](JsonWriter& j) {
+    j.begin_object();
+    j.field("s", "hi");
+    j.field("i", std::int64_t{-3});
+    j.field("u", std::uint64_t{7});
+    j.field("d", 2.5);
+    j.field("b", true);
+    j.key("n");
+    j.null();
+    j.end_object();
+  });
+  EXPECT_EQ(text, R"({"s":"hi","i":-3,"u":7,"d":2.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriter, ArrayOfValues) {
+  const std::string text = compact([](JsonWriter& j) {
+    j.begin_array();
+    j.value(1.0);
+    j.value(2.0);
+    j.value("three");
+    j.end_array();
+  });
+  EXPECT_EQ(text, R"([1,2,"three"])");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  const std::string text = compact([](JsonWriter& j) {
+    j.begin_object();
+    j.key("list");
+    j.begin_array();
+    j.begin_object();
+    j.field("x", 1);
+    j.end_object();
+    j.begin_object();
+    j.field("x", 2);
+    j.end_object();
+    j.end_array();
+    j.end_object();
+  });
+  EXPECT_EQ(text, R"({"list":[{"x":1},{"x":2}]})");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string text = compact([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::numeric_limits<double>::infinity());
+    j.value(std::nan(""));
+    j.end_array();
+  });
+  EXPECT_EQ(text, "[null,null]");
+}
+
+TEST(JsonWriter, PrettyModeIndents) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out, /*pretty=*/true);
+    json.begin_object();
+    json.field("a", 1);
+    json.end_object();
+  }
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+}
+
+}  // namespace
+}  // namespace hetsched

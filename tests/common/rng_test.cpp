@@ -1,0 +1,138 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(SplitMix64, ProducesKnownSequenceShape) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(42);
+  Rng b(43);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(rng.next_u64());
+  EXPECT_GT(values.size(), 30u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsAboutHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(19);
+  const std::uint64_t buckets = 10;
+  std::vector<int> counts(buckets, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(buckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / static_cast<int>(buckets), n / 100);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(10.0, 100.0);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LT(x, 100.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+  }
+  // p = 1 - epsilon is almost surely true over a few draws.
+  int trues = 0;
+  for (int i = 0; i < 100; ++i) trues += rng.bernoulli(0.999999);
+  EXPECT_GE(trues, 99);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and not crash
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(DeriveStream, SameInputsSameStream) {
+  EXPECT_EQ(derive_stream(42, "alpha"), derive_stream(42, "alpha"));
+}
+
+TEST(DeriveStream, DifferentTagsDiffer) {
+  EXPECT_NE(derive_stream(42, "alpha"), derive_stream(42, "beta"));
+}
+
+TEST(DeriveStream, DifferentSeedsDiffer) {
+  EXPECT_NE(derive_stream(1, "alpha"), derive_stream(2, "alpha"));
+}
+
+TEST(DeriveStream, DerivedGeneratorsAreIndependent) {
+  Rng a(derive_stream(5, "x"));
+  Rng b(derive_stream(5, "y"));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(RunningStats, EmptyAccumulator) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.push(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.push(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Population variance is 4; the unbiased sample variance is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, NumericallyStableNearLargeOffset) {
+  RunningStats rs;
+  const double offset = 1e12;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) rs.push(x);
+  EXPECT_NEAR(rs.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(rs.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, MergeMatchesSequentialPush) {
+  RunningStats all, left, right;
+  const std::vector<double> data{1.5, 2.5, -3.0, 7.25, 0.0, 4.0, 9.5};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    all.push(data[i]);
+    (i < 3 ? left : right).push(data[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.push(1.0);
+  a.push(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Summarize, EmptyVector) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Summarize, BasicVector) {
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,107 @@
+#include "common/swap_remove_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(SwapRemovePool, StartsFull) {
+  SwapRemovePool pool(10);
+  EXPECT_EQ(pool.size(), 10u);
+  EXPECT_FALSE(pool.empty());
+  for (std::uint64_t id = 0; id < 10; ++id) EXPECT_TRUE(pool.contains(id));
+}
+
+TEST(SwapRemovePool, EmptyPool) {
+  SwapRemovePool pool(0);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_FALSE(pool.contains(0));
+}
+
+TEST(SwapRemovePool, RemoveRemoves) {
+  SwapRemovePool pool(5);
+  EXPECT_TRUE(pool.remove(3));
+  EXPECT_FALSE(pool.contains(3));
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_FALSE(pool.remove(3));  // second removal is a no-op
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(SwapRemovePool, RemoveOutOfRangeIsFalse) {
+  SwapRemovePool pool(5);
+  EXPECT_FALSE(pool.remove(99));
+}
+
+TEST(SwapRemovePool, PopRandomDrainsExactlyOnce) {
+  SwapRemovePool pool(100);
+  Rng rng(1);
+  std::set<std::uint64_t> seen;
+  while (!pool.empty()) {
+    const std::uint64_t id = pool.pop_random(rng);
+    EXPECT_LT(id, 100u);
+    EXPECT_TRUE(seen.insert(id).second) << "id " << id << " popped twice";
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SwapRemovePool, PopRandomIsRoughlyUniformOnFirstDraw) {
+  // Distribution check: the first pop from a 4-element pool should hit
+  // each element about a quarter of the time across seeds.
+  std::vector<int> counts(4, 0);
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    SwapRemovePool pool(4);
+    Rng rng(seed);
+    ++counts[pool.pop_random(rng)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(SwapRemovePool, PopFirstIsLexicographic) {
+  SwapRemovePool pool(5);
+  for (std::uint64_t expect = 0; expect < 5; ++expect) {
+    EXPECT_EQ(pool.pop_first(), expect);
+  }
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(SwapRemovePool, PopFirstSkipsRemoved) {
+  SwapRemovePool pool(6);
+  pool.remove(0);
+  pool.remove(2);
+  EXPECT_EQ(pool.pop_first(), 1u);
+  EXPECT_EQ(pool.pop_first(), 3u);
+  pool.remove(4);
+  EXPECT_EQ(pool.pop_first(), 5u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(SwapRemovePool, MixedOperationsKeepInvariant) {
+  SwapRemovePool pool(50);
+  Rng rng(7);
+  std::set<std::uint64_t> gone;
+  for (int step = 0; step < 40; ++step) {
+    if (step % 3 == 0) {
+      const std::uint64_t id = step;
+      if (pool.remove(id)) gone.insert(id);
+    } else {
+      const std::uint64_t id = pool.pop_random(rng);
+      EXPECT_TRUE(gone.insert(id).second);
+    }
+    EXPECT_EQ(pool.size() + gone.size(), 50u);
+    for (const std::uint64_t id : gone) EXPECT_FALSE(pool.contains(id));
+  }
+}
+
+TEST(SwapRemovePool, IdsViewMatchesSize) {
+  SwapRemovePool pool(8);
+  pool.remove(1);
+  pool.remove(5);
+  EXPECT_EQ(pool.ids().size(), pool.size());
+  for (const std::uint64_t id : pool.ids()) EXPECT_TRUE(pool.contains(id));
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,76 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetsched {
+namespace {
+
+ExperimentConfig small_config(const std::string& strategy, std::uint32_t p) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = strategy;
+  config.n = 20;
+  config.p = p;
+  config.reps = 2;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Campaign, RunsEntriesInInsertionOrder) {
+  Campaign campaign("test");
+  campaign.add("a", small_config("RandomOuter", 4));
+  campaign.add("b", small_config("DynamicOuter", 4));
+  campaign.add("c", small_config("DynamicOuter2Phases", 8));
+  const auto outcomes = campaign.run(2);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].label, "a");
+  EXPECT_EQ(outcomes[1].label, "b");
+  EXPECT_EQ(outcomes[2].label, "c");
+  for (const auto& o : outcomes) {
+    EXPECT_GT(o.result.normalized.mean, 1.0) << o.label;
+  }
+}
+
+TEST(Campaign, ParallelAndSerialAgree) {
+  Campaign campaign("determinism");
+  campaign.add("x", small_config("DynamicOuter", 4));
+  campaign.add("y", small_config("RandomOuter", 6));
+  const auto serial = campaign.run(1);
+  const auto parallel = campaign.run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial[e].result.normalized.mean,
+              parallel[e].result.normalized.mean);
+  }
+}
+
+TEST(Campaign, RejectsDuplicateLabels) {
+  Campaign campaign("dupes");
+  campaign.add("same", small_config("RandomOuter", 2));
+  EXPECT_THROW(campaign.add("same", small_config("RandomOuter", 2)),
+               std::invalid_argument);
+}
+
+TEST(Campaign, RejectsEmptyNames) {
+  EXPECT_THROW(Campaign(""), std::invalid_argument);
+  Campaign campaign("ok");
+  EXPECT_THROW(campaign.add("", small_config("RandomOuter", 2)),
+               std::invalid_argument);
+}
+
+TEST(Campaign, JsonReportHasOneRowPerEntry) {
+  Campaign campaign("report");
+  campaign.add("only", small_config("DynamicOuter", 3));
+  const auto outcomes = campaign.run(1);
+  std::ostringstream out;
+  write_campaign_json(out, campaign.name(), outcomes);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"campaign\": \"report\""), std::string::npos);
+  EXPECT_NE(text.find("\"label\": \"only\""), std::string::npos);
+  EXPECT_NE(text.find("\"normalized_mean\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,172 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetsched {
+namespace {
+
+TEST(KernelEnum, RoundTrips) {
+  EXPECT_EQ(kernel_from_string("outer"), Kernel::kOuter);
+  EXPECT_EQ(kernel_from_string("matmul"), Kernel::kMatmul);
+  EXPECT_EQ(to_string(Kernel::kOuter), "outer");
+  EXPECT_EQ(to_string(Kernel::kMatmul), "matmul");
+  EXPECT_THROW(kernel_from_string("other"), std::invalid_argument);
+}
+
+TEST(ResolveBeta, ZeroForNonTwoPhaseStrategies) {
+  ExperimentConfig config;
+  config.strategy = "RandomOuter";
+  EXPECT_DOUBLE_EQ(resolve_beta(config), 0.0);
+  config.strategy = "DynamicOuter";
+  EXPECT_DOUBLE_EQ(resolve_beta(config), 0.0);
+}
+
+TEST(ResolveBeta, ExplicitFractionWins) {
+  ExperimentConfig config;
+  config.strategy = "DynamicOuter2Phases";
+  config.phase2_fraction = std::exp(-5.0);
+  EXPECT_NEAR(resolve_beta(config), 5.0, 1e-12);
+}
+
+TEST(ResolveBeta, DefaultsToHomogeneousOptimum) {
+  ExperimentConfig config;
+  config.strategy = "DynamicOuter2Phases";
+  config.n = 100;
+  config.p = 20;
+  const double beta = resolve_beta(config);
+  EXPECT_GT(beta, 3.0);
+  EXPECT_LT(beta, 6.0);
+}
+
+TEST(ResolveBeta, RejectsBadFraction) {
+  ExperimentConfig config;
+  config.strategy = "DynamicOuter2Phases";
+  config.phase2_fraction = 0.0;
+  EXPECT_THROW(resolve_beta(config), std::invalid_argument);
+  config.phase2_fraction = 1.5;
+  EXPECT_THROW(resolve_beta(config), std::invalid_argument);
+}
+
+TEST(RunSingle, ProducesConsistentOutcome) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter";
+  config.n = 40;
+  config.p = 8;
+  const RepOutcome outcome = run_single(config, 1234);
+  EXPECT_EQ(outcome.sim.total_tasks_done, 1600u);
+  EXPECT_GT(outcome.lower_bound, 0.0);
+  EXPECT_NEAR(outcome.normalized,
+              static_cast<double>(outcome.sim.total_blocks) /
+                  outcome.lower_bound,
+              1e-12);
+  EXPECT_EQ(outcome.speeds.size(), 8u);
+  EXPECT_GT(outcome.analysis_ratio, 1.0);
+}
+
+TEST(RunSingle, DeterministicForSameRepSeed) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "RandomOuter";
+  config.n = 30;
+  config.p = 5;
+  const RepOutcome a = run_single(config, 42);
+  const RepOutcome b = run_single(config, 42);
+  EXPECT_EQ(a.sim.total_blocks, b.sim.total_blocks);
+  EXPECT_EQ(a.speeds, b.speeds);
+  EXPECT_DOUBLE_EQ(a.normalized, b.normalized);
+}
+
+TEST(RunSingle, DifferentRepSeedsDiffer) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "RandomOuter";
+  config.n = 30;
+  config.p = 5;
+  const RepOutcome a = run_single(config, 1);
+  const RepOutcome b = run_single(config, 2);
+  EXPECT_NE(a.speeds, b.speeds);
+}
+
+TEST(RunExperiment, AggregatesRequestedReps) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter";
+  config.n = 30;
+  config.p = 6;
+  config.reps = 4;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.reps.size(), 4u);
+  EXPECT_EQ(result.normalized.count, 4u);
+  EXPECT_GT(result.normalized.mean, 1.0);
+  EXPECT_GE(result.normalized.max, result.normalized.mean);
+  EXPECT_LE(result.normalized.min, result.normalized.mean);
+}
+
+TEST(RunExperiment, RejectsZeroReps) {
+  ExperimentConfig config;
+  config.reps = 0;
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+}
+
+TEST(RunExperiment, MatmulTwoPhaseTracksAnalysis) {
+  // The core reproduction claim on a small instance: measured
+  // normalized volume within a few percent of the analysis.
+  ExperimentConfig config;
+  config.kernel = Kernel::kMatmul;
+  config.strategy = "DynamicMatrix2Phases";
+  config.n = 20;
+  config.p = 30;
+  config.reps = 3;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_NEAR(result.normalized.mean, result.analysis_ratio.mean,
+              0.15 * result.analysis_ratio.mean);
+}
+
+TEST(RunExperiment, DynScenarioRuns) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter2Phases";
+  config.n = 30;
+  config.p = 6;
+  config.reps = 2;
+  config.scenario = named_scenario("dyn.20");
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_GT(result.normalized.mean, 1.0);
+  // Dynamic speeds: the final speed differs from the base draw.
+  bool changed = false;
+  for (const auto& rep : result.reps) {
+    for (std::size_t k = 0; k < rep.speeds.size(); ++k) {
+      if (std::abs(rep.sim.workers[k].final_speed - rep.speeds[k]) > 1e-9) {
+        changed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(RunExperiment, AnalysisRatioPositiveForAllStrategies) {
+  for (const char* name :
+       {"RandomOuter", "SortedOuter", "DynamicOuter", "DynamicOuter2Phases"}) {
+    ExperimentConfig config;
+    config.kernel = Kernel::kOuter;
+    config.strategy = name;
+    config.n = 20;
+    config.p = 4;
+    config.reps = 2;
+    const ExperimentResult result = run_experiment(config);
+    EXPECT_GT(result.analysis_ratio.mean, 1.0) << name;
+  }
+}
+
+TEST(AnalysisRatioFor, MatchesDirectConstruction) {
+  const std::vector<double> speeds{10.0, 20.0, 30.0, 40.0};
+  const double r = analysis_ratio_for(Kernel::kOuter, 50, speeds, 3.0);
+  EXPECT_GT(r, 1.0);
+  EXPECT_LT(r, 10.0);
+}
+
+}  // namespace
+}  // namespace hetsched

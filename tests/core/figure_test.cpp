@@ -1,0 +1,94 @@
+#include "core/figure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetsched {
+namespace {
+
+TEST(SweepWorkerCount, ProducesOnePointPerP) {
+  const auto points = sweep_worker_count(
+      Kernel::kOuter, 20, {4, 8}, paper_default_scenario(),
+      {"RandomOuter", "DynamicOuter"}, true, 7, 2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].x, 4.0);
+  EXPECT_DOUBLE_EQ(points[1].x, 8.0);
+  for (const auto& point : points) {
+    EXPECT_TRUE(point.normalized.count("RandomOuter"));
+    EXPECT_TRUE(point.normalized.count("DynamicOuter"));
+    EXPECT_TRUE(point.normalized.count("Analysis"));
+  }
+}
+
+TEST(SweepWorkerCount, DataAwareBelowRandomAtEveryPoint) {
+  const auto points = sweep_worker_count(
+      Kernel::kOuter, 30, {4, 10}, paper_default_scenario(),
+      {"RandomOuter", "DynamicOuter"}, false, 3, 3);
+  for (const auto& point : points) {
+    EXPECT_LT(point.normalized.at("DynamicOuter").mean,
+              point.normalized.at("RandomOuter").mean)
+        << "p=" << point.x;
+  }
+}
+
+TEST(SweepBeta, CoversRequestedBetasWithAnalysis) {
+  const auto points = sweep_beta(Kernel::kOuter, 24, 6, {2.0, 4.0, 6.0},
+                                 paper_default_scenario(), 11, 2);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& point : points) {
+    EXPECT_TRUE(point.normalized.count("DynamicOuter2Phases"));
+    EXPECT_TRUE(point.normalized.count("Analysis"));
+    EXPECT_TRUE(point.normalized.count("DynamicOuter"));
+    EXPECT_GT(point.normalized.at("Analysis").mean, 1.0);
+  }
+  // The pure-dynamic reference is the same flat series at every beta.
+  EXPECT_DOUBLE_EQ(points[0].normalized.at("DynamicOuter").mean,
+                   points[2].normalized.at("DynamicOuter").mean);
+}
+
+TEST(SweepPhase1Fraction, EndpointsMatchLimitStrategies) {
+  // 0% in phase 1 behaves like the random strategy; ~100% like the
+  // pure dynamic one.
+  const auto points = sweep_phase1_fraction(Kernel::kOuter, 30, 6,
+                                            {0.0, 0.97}, paper_default_scenario(),
+                                            13, 3);
+  ASSERT_EQ(points.size(), 2u);
+  const auto& zero = points[0];
+  EXPECT_NEAR(zero.normalized.at("DynamicOuter2Phases").mean,
+              zero.normalized.at("RandomOuter").mean,
+              0.25 * zero.normalized.at("RandomOuter").mean);
+  const auto& high = points[1];
+  EXPECT_LT(high.normalized.at("DynamicOuter2Phases").mean,
+            high.normalized.at("RandomOuter").mean);
+}
+
+TEST(PrintSweepCsv, EmitsHeaderAndRows) {
+  std::vector<SweepPoint> points(2);
+  points[0].x = 1.0;
+  points[0].normalized["S"] = Summary{2.0, 0.1, 1.9, 2.1, 3};
+  points[1].x = 2.0;
+  points[1].normalized["S"] = Summary{3.0, 0.2, 2.8, 3.2, 3};
+  std::ostringstream out;
+  print_sweep_csv(points, "p", out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("p,S.mean,S.sd"), std::string::npos);
+  EXPECT_NE(text.find("1,2,0.1"), std::string::npos);
+  EXPECT_NE(text.find("2,3,0.2"), std::string::npos);
+}
+
+TEST(PrintSweepCsv, MissingSeriesLeavesEmptyCells) {
+  std::vector<SweepPoint> points(1);
+  points[0].x = 5.0;
+  points[0].normalized["A"] = Summary{1.0, 0.0, 1.0, 1.0, 1};
+  std::vector<SweepPoint> both = points;
+  both[0].normalized.erase("A");
+  both[0].normalized["B"] = Summary{2.0, 0.0, 2.0, 2.0, 1};
+  std::vector<SweepPoint> merged{points[0], both[0]};
+  std::ostringstream out;
+  print_sweep_csv(merged, "x", out);
+  EXPECT_NE(out.str().find(",,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,63 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetsched {
+namespace {
+
+TEST(Report, ExperimentJsonContainsKeyFields) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter2Phases";
+  config.n = 20;
+  config.p = 4;
+  config.reps = 2;
+  const ExperimentResult result = run_experiment(config);
+
+  std::ostringstream out;
+  write_experiment_json(out, config, result);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"kernel\": \"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"strategy\": \"DynamicOuter2Phases\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"normalized\""), std::string::npos);
+  EXPECT_NE(text.find("\"analysis_ratio\""), std::string::npos);
+  EXPECT_NE(text.find("\"beta\""), std::string::npos);
+  EXPECT_EQ(text.find("reps_detail"), std::string::npos);
+}
+
+TEST(Report, ExperimentJsonIncludesRepsWhenAsked) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "RandomOuter";
+  config.n = 10;
+  config.p = 2;
+  config.reps = 2;
+  const ExperimentResult result = run_experiment(config);
+
+  std::ostringstream out;
+  write_experiment_json(out, config, result, /*include_reps=*/true);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("reps_detail"), std::string::npos);
+  EXPECT_NE(text.find("\"speeds\""), std::string::npos);
+  EXPECT_NE(text.find("\"total_blocks\""), std::string::npos);
+}
+
+TEST(Report, SweepJsonRoundTripsSeries) {
+  std::vector<SweepPoint> points(1);
+  points[0].x = 10.0;
+  points[0].normalized["S"] = Summary{1.5, 0.1, 1.4, 1.6, 3};
+
+  std::ostringstream out;
+  write_sweep_json(out, "p", points);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"x_name\": \"p\""), std::string::npos);
+  EXPECT_NE(text.find("\"x\": 10"), std::string::npos);
+  EXPECT_NE(text.find("\"S\""), std::string::npos);
+  EXPECT_NE(text.find("\"mean\": 1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,134 @@
+// Numeric end-to-end validation: any schedule the DAG engine produces,
+// replayed through the real block kernels, must factorize correctly.
+#include "dag/cholesky_exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dag/dag_engine.hpp"
+#include "runtime/cholesky_kernels.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(CholeskyKernels, PotrfFactorsSmallSpdBlock) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]]
+  std::vector<double> c{4.0, 2.0, 2.0, 3.0};
+  ASSERT_TRUE(potrf_block(c, 2));
+  EXPECT_NEAR(c[0], 2.0, 1e-12);
+  EXPECT_NEAR(c[1], 0.0, 1e-12);  // upper zeroed
+  EXPECT_NEAR(c[2], 1.0, 1e-12);
+  EXPECT_NEAR(c[3], std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyKernels, PotrfRejectsIndefiniteBlock) {
+  std::vector<double> c{1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  EXPECT_FALSE(potrf_block(c, 2));
+}
+
+TEST(CholeskyKernels, TrsmSolvesAgainstLowerTriangularTranspose) {
+  // L = [[2, 0], [1, 1]]; B = [[4, 2], [6, 3]]; X = B L^-T
+  // X L^T = B: row 0: x00*2 = 4 -> 2; x00*1 + x01*1 = 2 -> 0.
+  std::vector<double> l_factor{2.0, 0.0, 1.0, 1.0};
+  std::vector<double> b{4.0, 2.0, 6.0, 3.0};
+  trsm_block(l_factor, b, 2);
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 0.0, 1e-12);
+  EXPECT_NEAR(b[2], 3.0, 1e-12);
+  EXPECT_NEAR(b[3], 0.0, 1e-12);
+}
+
+TEST(CholeskyKernels, SyrkSubtractsAAt) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> c{10.0, 10.0, 10.0, 10.0};
+  syrk_block(a, c, 2);
+  // A A^T = [[5, 11], [11, 25]]
+  EXPECT_NEAR(c[0], 5.0, 1e-12);
+  EXPECT_NEAR(c[1], -1.0, 1e-12);
+  EXPECT_NEAR(c[2], -1.0, 1e-12);
+  EXPECT_NEAR(c[3], -15.0, 1e-12);
+}
+
+TEST(CholeskyKernels, GemmNtSubtractsABt) {
+  std::vector<double> a{1.0, 0.0, 0.0, 1.0};
+  std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> c{0.0, 0.0, 0.0, 0.0};
+  gemm_nt_block(a, b, c, 2);
+  // A B^T = B^T here.
+  EXPECT_NEAR(c[0], -1.0, 1e-12);
+  EXPECT_NEAR(c[1], -3.0, 1e-12);
+  EXPECT_NEAR(c[2], -2.0, 1e-12);
+  EXPECT_NEAR(c[3], -4.0, 1e-12);
+}
+
+TEST(MakeSpdMatrix, IsSymmetric) {
+  const BlockMatrix a = make_spd_matrix(3, 4, 1);
+  for (std::uint32_t r = 0; r < 12; ++r) {
+    for (std::uint32_t c = 0; c < 12; ++c) {
+      EXPECT_DOUBLE_EQ(a.at(r, c), a.at(c, r));
+    }
+  }
+}
+
+TEST(CholeskyExec, SequentialTopologicalOrderFactorizes) {
+  const std::uint32_t t = 5, l = 4;
+  const CholeskyGraph ch = build_cholesky_graph(t);
+  const BlockMatrix a = make_spd_matrix(t, l, 7);
+  std::vector<DagTaskId> order(ch.graph.num_tasks());
+  std::iota(order.begin(), order.end(), 0);  // ids are topological
+  const CholeskyExecResult result = execute_cholesky_order(ch, a, order);
+  EXPECT_EQ(result.tasks_executed, ch.graph.num_tasks());
+  EXPECT_LT(result.factorization_error, 1e-8);
+}
+
+TEST(CholeskyExec, EveryEnginePolicyProducesAValidNumericSchedule) {
+  const std::uint32_t t = 6, l = 4;
+  const CholeskyGraph ch = build_cholesky_graph(t);
+  const BlockMatrix a = make_spd_matrix(t, l, 3);
+  Platform platform({10.0, 35.0, 70.0});
+  for (const auto& name : dag_policy_names()) {
+    auto policy = make_dag_policy(name, 13);
+    const DagSimResult sim = simulate_dag(ch.graph, platform, *policy);
+    const CholeskyExecResult result =
+        execute_cholesky_order(ch, a, sim.completion_order);
+    EXPECT_LT(result.factorization_error, 1e-8) << name;
+  }
+}
+
+TEST(CholeskyExec, DependencyViolatingOrderIsDetected) {
+  const std::uint32_t t = 4, l = 4;
+  const CholeskyGraph ch = build_cholesky_graph(t);
+  const BlockMatrix a = make_spd_matrix(t, l, 5);
+  std::vector<DagTaskId> order(ch.graph.num_tasks());
+  std::iota(order.begin(), order.end(), 0);
+  std::reverse(order.begin(), order.end());  // maximally wrong
+  // Either a non-SPD pivot throws, or the residual is garbage.
+  try {
+    const CholeskyExecResult result = execute_cholesky_order(ch, a, order);
+    EXPECT_GT(result.factorization_error, 1e-3);
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(CholeskyExec, RejectsMalformedOrders) {
+  const CholeskyGraph ch = build_cholesky_graph(3);
+  const BlockMatrix a = make_spd_matrix(3, 2, 1);
+  EXPECT_THROW(execute_cholesky_order(ch, a, {}), std::invalid_argument);
+  std::vector<DagTaskId> repeated(ch.graph.num_tasks(), 0);
+  EXPECT_THROW(execute_cholesky_order(ch, a, repeated), std::invalid_argument);
+}
+
+TEST(CholeskyExec, RejectsShapeMismatch) {
+  const CholeskyGraph ch = build_cholesky_graph(3);
+  const BlockMatrix a = make_spd_matrix(4, 2, 1);
+  std::vector<DagTaskId> order(ch.graph.num_tasks());
+  std::iota(order.begin(), order.end(), 0);
+  EXPECT_THROW(execute_cholesky_order(ch, a, order), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

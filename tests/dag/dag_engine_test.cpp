@@ -1,0 +1,158 @@
+#include "dag/dag_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/cholesky.hpp"
+
+namespace hetsched {
+namespace {
+
+TaskGraph independent_tasks(int count) {
+  TaskGraph g;
+  const TileId tile = g.add_tile();
+  for (int t = 0; t < count; ++t) {
+    DagTask task;
+    task.kind = "T";
+    task.work = 1.0;
+    task.inputs = {tile};
+    g.add_task(std::move(task));
+  }
+  return g;
+}
+
+TEST(DagEngine, SingleWorkerRunsEverythingSerially) {
+  const TaskGraph g = independent_tasks(10);
+  Platform platform({2.0});
+  RandomDagPolicy policy(1);
+  const DagSimResult result = simulate_dag(g, platform, policy);
+  EXPECT_EQ(result.total_tasks_done, 10u);
+  EXPECT_NEAR(result.makespan, 5.0, 1e-9);
+  EXPECT_EQ(result.completion_order.size(), 10u);
+}
+
+TEST(DagEngine, CompletionOrderIsAPermutation) {
+  const CholeskyGraph ch = build_cholesky_graph(6);
+  Platform platform({10.0, 20.0, 30.0});
+  CriticalPathDagPolicy policy;
+  const DagSimResult result = simulate_dag(ch.graph, platform, policy);
+  std::set<DagTaskId> seen(result.completion_order.begin(),
+                           result.completion_order.end());
+  EXPECT_EQ(seen.size(), ch.graph.num_tasks());
+}
+
+TEST(DagEngine, CompletionOrderRespectsDependencies) {
+  const CholeskyGraph ch = build_cholesky_graph(8);
+  Platform platform({15.0, 35.0, 60.0, 90.0});
+  for (const auto& name : dag_policy_names()) {
+    auto policy = make_dag_policy(name, 3);
+    const DagSimResult result = simulate_dag(ch.graph, platform, *policy);
+    std::vector<std::size_t> position(ch.graph.num_tasks());
+    for (std::size_t pos = 0; pos < result.completion_order.size(); ++pos) {
+      position[result.completion_order[pos]] = pos;
+    }
+    for (DagTaskId t = 0; t < ch.graph.num_tasks(); ++t) {
+      for (const DagTaskId dep : ch.graph.task(t).deps) {
+        EXPECT_LT(position[dep], position[t])
+            << name << ": task " << t << " finished before its dep " << dep;
+      }
+    }
+  }
+}
+
+TEST(DagEngine, MakespanNeverBeatsLowerBound) {
+  const CholeskyGraph ch = build_cholesky_graph(10);
+  Platform platform({10.0, 25.0, 45.0, 80.0});
+  const double lb = DagSimResult::makespan_lower_bound(ch.graph, platform);
+  for (const auto& name : dag_policy_names()) {
+    auto policy = make_dag_policy(name, 5);
+    const DagSimResult result = simulate_dag(ch.graph, platform, *policy);
+    EXPECT_GE(result.makespan, lb - 1e-9) << name;
+  }
+}
+
+TEST(DagEngine, CriticalPathPolicyNearOptimalOnIndependentTasks) {
+  // With no dependencies and homogeneous speeds the bound is tight.
+  const TaskGraph g = independent_tasks(64);
+  Platform platform({1.0, 1.0, 1.0, 1.0});
+  CriticalPathDagPolicy policy;
+  const DagSimResult result = simulate_dag(g, platform, policy);
+  EXPECT_NEAR(result.makespan, 16.0, 1e-9);
+}
+
+TEST(DagEngine, DataAwareReducesTransfersVsRandom) {
+  const CholeskyGraph ch = build_cholesky_graph(12);
+  Platform platform({10.0, 30.0, 60.0, 85.0});
+  RandomDagPolicy random_policy(7);
+  DataAwareDagPolicy aware_policy;
+  const DagSimResult random_result =
+      simulate_dag(ch.graph, platform, random_policy);
+  const DagSimResult aware_result =
+      simulate_dag(ch.graph, platform, aware_policy);
+  EXPECT_LT(aware_result.total_transfers, random_result.total_transfers);
+}
+
+TEST(DagEngine, TransfersAtLeastDistinctFootprint) {
+  // Every tile that any task reads must reach at least one worker once.
+  const CholeskyGraph ch = build_cholesky_graph(6);
+  Platform platform({10.0, 20.0});
+  DataAwareDagPolicy policy;
+  const DagSimResult result = simulate_dag(ch.graph, platform, policy);
+  EXPECT_GE(result.total_transfers, ch.graph.num_tiles());
+}
+
+TEST(DagEngine, FasterWorkerDoesMoreTasks) {
+  const TaskGraph g = independent_tasks(400);
+  Platform platform({10.0, 40.0});
+  RandomDagPolicy policy(11);
+  const DagSimResult result = simulate_dag(g, platform, policy);
+  EXPECT_GT(result.workers[1].tasks_done, 3u * result.workers[0].tasks_done);
+}
+
+TEST(DagEngine, DeterministicForSameSeed) {
+  const CholeskyGraph ch = build_cholesky_graph(8);
+  Platform platform({12.0, 34.0, 56.0});
+  RandomDagPolicy p1(9);
+  RandomDagPolicy p2(9);
+  const DagSimResult a = simulate_dag(ch.graph, platform, p1);
+  const DagSimResult b = simulate_dag(ch.graph, platform, p2);
+  EXPECT_EQ(a.completion_order, b.completion_order);
+  EXPECT_EQ(a.total_transfers, b.total_transfers);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(DagEngine, PolicyFactoryKnowsAllNames) {
+  for (const auto& name : dag_policy_names()) {
+    auto policy = make_dag_policy(name, 1);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_THROW(make_dag_policy("Nope", 1), std::invalid_argument);
+}
+
+TEST(DagEngine, WorkerStatsAddUp) {
+  const CholeskyGraph ch = build_cholesky_graph(6);
+  Platform platform({10.0, 20.0, 30.0});
+  CriticalPathDagPolicy policy;
+  const DagSimResult result = simulate_dag(ch.graph, platform, policy);
+  std::uint64_t tasks = 0, transfers = 0;
+  for (const auto& w : result.workers) {
+    tasks += w.tasks_done;
+    transfers += w.tiles_received;
+  }
+  EXPECT_EQ(tasks, result.total_tasks_done);
+  EXPECT_EQ(transfers, result.total_transfers);
+}
+
+TEST(DagEngine, EmptyGraphCompletesImmediately) {
+  TaskGraph g;
+  Platform platform({1.0});
+  RandomDagPolicy policy(1);
+  const DagSimResult result = simulate_dag(g, platform, policy);
+  EXPECT_EQ(result.total_tasks_done, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace hetsched

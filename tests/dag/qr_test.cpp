@@ -1,0 +1,133 @@
+#include "dag/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dag/dag_engine.hpp"
+
+namespace hetsched {
+namespace {
+
+class QrGraphTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(QrGraphTest, KernelCountsMatchClosedForms) {
+  const std::uint32_t t = GetParam();
+  const QrGraph qr = build_qr_graph(t);
+  EXPECT_EQ(qr.graph.count_kind("GEQRT"), qr_geqrt_count(t));
+  EXPECT_EQ(qr.graph.count_kind("UNMQR"), qr_unmqr_count(t));
+  EXPECT_EQ(qr.graph.count_kind("TSQRT"), qr_tsqrt_count(t));
+  EXPECT_EQ(qr.graph.count_kind("TSMQR"), qr_tsmqr_count(t));
+  EXPECT_EQ(qr.graph.num_tiles(), static_cast<std::size_t>(t) * t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrGraphTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 12u));
+
+TEST(QrGraph, SingleTileIsJustGeqrt) {
+  const QrGraph qr = build_qr_graph(1);
+  EXPECT_EQ(qr.graph.num_tasks(), 1u);
+  EXPECT_EQ(qr.graph.task(0).kind, "GEQRT");
+}
+
+TEST(QrGraph, TwoOutputKernelsDeclareBothTiles) {
+  const QrGraph qr = build_qr_graph(4);
+  for (DagTaskId t = 0; t < qr.graph.num_tasks(); ++t) {
+    const DagTask& task = qr.graph.task(t);
+    if (task.kind == "TSQRT" || task.kind == "TSMQR") {
+      EXPECT_EQ(task.outputs.size(), 2u) << task.kind;
+    } else {
+      EXPECT_EQ(task.outputs.size(), 1u) << task.kind;
+    }
+  }
+}
+
+TEST(QrGraph, DependenciesRespectDataFlow) {
+  const QrGraph qr = build_qr_graph(5);
+  const TaskGraph& g = qr.graph;
+  for (DagTaskId t = 0; t < g.num_tasks(); ++t) {
+    for (const TileId tile : g.task(t).inputs) {
+      DagTaskId writer = std::numeric_limits<DagTaskId>::max();
+      for (DagTaskId u = 0; u < t; ++u) {
+        if (g.task(u).writes(tile)) writer = u;
+      }
+      if (writer != std::numeric_limits<DagTaskId>::max()) {
+        const auto& deps = g.task(t).deps;
+        EXPECT_TRUE(std::find(deps.begin(), deps.end(), writer) != deps.end())
+            << "task " << t << " (" << g.task(t).kind << ") reads tile "
+            << tile << " without depending on writer " << writer;
+      }
+    }
+  }
+}
+
+TEST(QrGraph, PanelReductionIsSerial) {
+  // The flat tree serializes TSQRT(i, k) along i via the diagonal tile:
+  // each TSQRT must (transitively) depend on the previous one.
+  const QrGraph qr = build_qr_graph(6);
+  const TaskGraph& g = qr.graph;
+  DagTaskId prev = std::numeric_limits<DagTaskId>::max();
+  for (DagTaskId t = 0; t < g.num_tasks(); ++t) {
+    if (g.task(t).kind != "TSQRT") continue;
+    // First input is the diagonal tile A(k,k) of its panel.
+    if (prev != std::numeric_limits<DagTaskId>::max() &&
+        g.task(t).inputs[0] == g.task(prev).inputs[0]) {
+      const auto& deps = g.task(t).deps;
+      EXPECT_TRUE(std::find(deps.begin(), deps.end(), prev) != deps.end());
+    }
+    prev = t;
+  }
+}
+
+TEST(QrGraph, CriticalPathGrowsLinearlyInT) {
+  const double cp6 = build_qr_graph(6).graph.critical_path();
+  const double cp12 = build_qr_graph(12).graph.critical_path();
+  EXPECT_GT(cp12, 1.5 * cp6);
+  EXPECT_LT(cp12, 4.0 * cp6);
+}
+
+TEST(QrGraph, SchedulesRespectDependenciesUnderEveryPolicy) {
+  const QrGraph qr = build_qr_graph(8);
+  Platform platform({10.0, 30.0, 70.0, 95.0});
+  for (const auto& name : dag_policy_names()) {
+    auto policy = make_dag_policy(name, 17);
+    const DagSimResult result = simulate_dag(qr.graph, platform, *policy);
+    EXPECT_EQ(result.total_tasks_done, qr.graph.num_tasks()) << name;
+    std::vector<std::size_t> position(qr.graph.num_tasks());
+    for (std::size_t pos = 0; pos < result.completion_order.size(); ++pos) {
+      position[result.completion_order[pos]] = pos;
+    }
+    for (DagTaskId t = 0; t < qr.graph.num_tasks(); ++t) {
+      for (const DagTaskId dep : qr.graph.task(t).deps) {
+        EXPECT_LT(position[dep], position[t]) << name;
+      }
+    }
+  }
+}
+
+TEST(QrGraph, DataAwareReducesTransfersVsRandom) {
+  const QrGraph qr = build_qr_graph(10);
+  Platform platform({10.0, 35.0, 60.0, 90.0});
+  RandomDagPolicy random_policy(23);
+  DataAwareDagPolicy aware_policy;
+  const DagSimResult random_result =
+      simulate_dag(qr.graph, platform, random_policy);
+  const DagSimResult aware_result =
+      simulate_dag(qr.graph, platform, aware_policy);
+  EXPECT_LT(aware_result.total_transfers, random_result.total_transfers);
+}
+
+TEST(QrGraph, RejectsZeroTiles) {
+  EXPECT_THROW(build_qr_graph(0), std::invalid_argument);
+}
+
+TEST(QrGraph, TileIndexValidation) {
+  const QrGraph qr = build_qr_graph(3);
+  EXPECT_NO_THROW(qr.tile(2, 0));
+  EXPECT_NO_THROW(qr.tile(0, 2));
+  EXPECT_THROW(qr.tile(3, 0), std::invalid_argument);
+  EXPECT_THROW(qr.tile(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

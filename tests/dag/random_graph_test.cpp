@@ -1,0 +1,94 @@
+// Fuzzing the DAG engine with random layered graphs.
+#include "dag/random_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/dag_engine.hpp"
+
+namespace hetsched {
+namespace {
+
+class RandomGraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphFuzz, EveryPolicySchedulesEveryRandomGraphValidly) {
+  RandomGraphConfig config;
+  config.layers = 5 + GetParam() % 4;
+  config.tasks_per_layer = 6;
+  config.tiles = 24;
+  const TaskGraph g = build_random_graph(config, GetParam());
+  ASSERT_GT(g.num_tasks(), 0u);
+
+  Platform platform({12.0, 37.0, 66.0});
+  for (const auto& name : dag_policy_names()) {
+    auto policy = make_dag_policy(name, GetParam() * 7 + 1);
+    const DagSimResult result = simulate_dag(g, platform, *policy);
+
+    // All tasks exactly once.
+    EXPECT_EQ(result.total_tasks_done, g.num_tasks()) << name;
+    std::set<DagTaskId> seen(result.completion_order.begin(),
+                             result.completion_order.end());
+    EXPECT_EQ(seen.size(), g.num_tasks()) << name;
+
+    // Dependencies respected.
+    std::vector<std::size_t> position(g.num_tasks());
+    for (std::size_t pos = 0; pos < result.completion_order.size(); ++pos) {
+      position[result.completion_order[pos]] = pos;
+    }
+    for (DagTaskId t = 0; t < g.num_tasks(); ++t) {
+      for (const DagTaskId dep : g.task(t).deps) {
+        EXPECT_LT(position[dep], position[t]) << name;
+      }
+    }
+
+    // Makespan respects the dependency-aware lower bound.
+    EXPECT_GE(result.makespan,
+              DagSimResult::makespan_lower_bound(g, platform) - 1e-9)
+        << name;
+
+    // Every distinct tile read must cross to at least one worker.
+    std::set<TileId> read_tiles;
+    for (DagTaskId t = 0; t < g.num_tasks(); ++t) {
+      for (const TileId tile : g.task(t).inputs) read_tiles.insert(tile);
+    }
+    EXPECT_GE(result.total_transfers, read_tiles.size()) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(RandomGraph, DeterministicForSeed) {
+  RandomGraphConfig config;
+  const TaskGraph a = build_random_graph(config, 42);
+  const TaskGraph b = build_random_graph(config, 42);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (DagTaskId t = 0; t < a.num_tasks(); ++t) {
+    EXPECT_EQ(a.task(t).deps, b.task(t).deps);
+    EXPECT_EQ(a.task(t).inputs, b.task(t).inputs);
+  }
+}
+
+TEST(RandomGraph, DifferentSeedsDiffer) {
+  RandomGraphConfig config;
+  const TaskGraph a = build_random_graph(config, 1);
+  const TaskGraph b = build_random_graph(config, 2);
+  EXPECT_TRUE(a.num_tasks() != b.num_tasks() ||
+              a.total_work() != b.total_work());
+}
+
+TEST(RandomGraph, RejectsDegenerateConfigs) {
+  RandomGraphConfig config;
+  config.layers = 0;
+  EXPECT_THROW(build_random_graph(config, 1), std::invalid_argument);
+  config = RandomGraphConfig{};
+  config.work_hi = 0.1;  // < work_lo
+  EXPECT_THROW(build_random_graph(config, 1), std::invalid_argument);
+  config = RandomGraphConfig{};
+  config.write_probability = 1.5;
+  EXPECT_THROW(build_random_graph(config, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,110 @@
+#include "hier/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "platform/speed_model.hpp"
+
+namespace hetsched {
+namespace {
+
+std::vector<Platform> make_racks(std::size_t racks, std::size_t workers,
+                                 std::uint64_t seed) {
+  Rng rng(derive_stream(seed, "racks"));
+  UniformIntervalSpeeds model(10.0, 100.0);
+  std::vector<Platform> out;
+  for (std::size_t r = 0; r < racks; ++r) {
+    out.push_back(make_platform(model, workers, rng));
+  }
+  return out;
+}
+
+TEST(Hierarchical, DomainsTileTheSquareExactly) {
+  const auto racks = make_racks(5, 4, 1);
+  HierarchicalConfig config;
+  config.n = 100;
+  const HierarchicalResult result = run_hierarchical_outer(racks, config);
+  std::uint64_t tasks = 0;
+  for (const auto& rack : result.racks) tasks += rack.tasks;
+  EXPECT_EQ(tasks, 10000u);
+}
+
+TEST(Hierarchical, SingleRackDegeneratesToFlat) {
+  const auto racks = make_racks(1, 8, 2);
+  HierarchicalConfig config;
+  config.n = 60;
+  const HierarchicalResult result = run_hierarchical_outer(racks, config);
+  ASSERT_EQ(result.racks.size(), 1u);
+  EXPECT_EQ(result.racks[0].domain.rows, 60u);
+  EXPECT_EQ(result.racks[0].domain.cols, 60u);
+  EXPECT_EQ(result.inter_rack_blocks, 120u);  // whole vectors, once
+}
+
+TEST(Hierarchical, InterRackVolumeNearRackLowerBound) {
+  // The static split is a 7/4-approximation; on random instances it is
+  // typically within a few percent of the rack-level bound.
+  const auto racks = make_racks(6, 5, 3);
+  HierarchicalConfig config;
+  config.n = 120;
+  const HierarchicalResult result = run_hierarchical_outer(racks, config);
+  const double ratio = result.inter_normalized(config.n);
+  EXPECT_GE(ratio, 0.95);  // discretization can dip slightly below
+  EXPECT_LE(ratio, 1.75 + 0.1);
+}
+
+TEST(Hierarchical, FasterRacksGetLargerDomains) {
+  std::vector<Platform> racks;
+  racks.push_back(Platform(std::vector<double>(4, 10.0)));   // slow rack
+  racks.push_back(Platform(std::vector<double>(4, 100.0)));  // fast rack
+  HierarchicalConfig config;
+  config.n = 80;
+  const HierarchicalResult result = run_hierarchical_outer(racks, config);
+  EXPECT_GT(result.racks[1].tasks, 5u * result.racks[0].tasks);
+}
+
+TEST(Hierarchical, RackImbalanceSmallForProportionalSplit) {
+  const auto racks = make_racks(4, 6, 5);
+  HierarchicalConfig config;
+  config.n = 120;
+  const HierarchicalResult result = run_hierarchical_outer(racks, config);
+  // Static split by aggregate speed: rack finish times within ~15 %.
+  EXPECT_LT(result.rack_imbalance(), 0.15);
+}
+
+TEST(Hierarchical, IntraVolumePositiveAndBounded) {
+  const auto racks = make_racks(3, 5, 7);
+  HierarchicalConfig config;
+  config.n = 90;
+  const HierarchicalResult result = run_hierarchical_outer(racks, config);
+  EXPECT_GT(result.intra_rack_blocks, 0u);
+  for (const auto& rack : result.racks) {
+    if (rack.tasks == 0) continue;
+    // A rack's workers can at most replicate the rack's whole domain
+    // border each.
+    EXPECT_LE(rack.intra_blocks,
+              static_cast<std::uint64_t>(rack.domain.rows + rack.domain.cols) *
+                  5u);
+  }
+}
+
+TEST(Hierarchical, DeterministicForSeed) {
+  const auto racks = make_racks(3, 4, 9);
+  HierarchicalConfig config;
+  config.n = 60;
+  config.seed = 11;
+  const HierarchicalResult a = run_hierarchical_outer(racks, config);
+  const HierarchicalResult b = run_hierarchical_outer(racks, config);
+  EXPECT_EQ(a.intra_rack_blocks, b.intra_rack_blocks);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Hierarchical, RejectsBadInput) {
+  EXPECT_THROW(run_hierarchical_outer({}, {}), std::invalid_argument);
+  const auto racks = make_racks(2, 3, 1);
+  HierarchicalConfig config;
+  config.n = 0;
+  EXPECT_THROW(run_hierarchical_outer(racks, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

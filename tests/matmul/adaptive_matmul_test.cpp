@@ -1,0 +1,93 @@
+#include "matmul/adaptive_matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/experiment.hpp"
+#include "platform/lower_bound.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(AdaptiveMatmul, CompletesAllTasks) {
+  AdaptiveMatmulStrategy strategy(MatmulConfig{12}, 6, 1);
+  Rng rng(derive_stream(1, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 6, rng);
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 1728u);
+}
+
+TEST(AdaptiveMatmul, EveryTaskServedOnce) {
+  AdaptiveMatmulStrategy strategy(MatmulConfig{6}, 3, 2);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 216u);
+}
+
+TEST(AdaptiveMatmul, SwitchesBeforeThePoolDrains) {
+  AdaptiveMatmulStrategy strategy(MatmulConfig{24}, 16, 3);
+  Rng rng(derive_stream(3, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 16, rng);
+  simulate(strategy, platform);
+  EXPECT_TRUE(strategy.switched());
+  EXPECT_GT(strategy.tasks_at_switch(), 50u);
+  EXPECT_LT(strategy.tasks_at_switch(), 24u * 24u * 24u / 2u);
+}
+
+TEST(AdaptiveMatmul, MatchesTunedTwoPhaseWithinMargin) {
+  ExperimentConfig tuned;
+  tuned.kernel = Kernel::kMatmul;
+  tuned.strategy = "DynamicMatrix2Phases";
+  tuned.n = 30;
+  tuned.p = 30;
+  tuned.reps = 3;
+  tuned.seed = 7;
+  const double tuned_mean = run_experiment(tuned).normalized.mean;
+
+  double adaptive_sum = 0.0;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    const std::uint64_t rep_seed = derive_stream(7, "rep." + std::to_string(r));
+    Rng rng(derive_stream(rep_seed, "experiment.speeds"));
+    const Platform platform =
+        make_platform(UniformIntervalSpeeds(10.0, 100.0), 30, rng);
+    AdaptiveMatmulStrategy strategy(MatmulConfig{30}, 30, rep_seed);
+    const SimResult result = simulate(strategy, platform);
+    adaptive_sum += result.normalized_volume(
+        matmul_lower_bound(30, platform.relative_speeds()));
+  }
+  EXPECT_LT(adaptive_sum / 3.0, 1.15 * tuned_mean);
+}
+
+TEST(AdaptiveMatmul, SupportsRequeue) {
+  AdaptiveMatmulStrategy strategy(MatmulConfig{8}, 2, 4);
+  Platform platform({20.0, 40.0});
+  SimConfig config;
+  config.faults.push_back(WorkerFault{0.5, 0, 0.0});
+  const SimResult result = simulate(strategy, platform, config);
+  EXPECT_EQ(result.total_tasks_done, 512u);
+}
+
+TEST(AdaptiveMatmul, RejectsBadParameters) {
+  EXPECT_THROW(AdaptiveMatmulStrategy(MatmulConfig{6}, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptiveMatmulStrategy(MatmulConfig{6}, 1, 1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,161 @@
+#include "matmul/dynamic_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matmul/matmul_factory.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(DynamicMatrix, FirstRequestShipsThreeBlocksOneTask) {
+  DynamicMatrixStrategy strategy(MatmulConfig{6}, 1, 1);
+  const auto a = strategy.on_request(0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->blocks.size(), 3u);  // A, B, C corner blocks
+  EXPECT_EQ(a->tasks.size(), 1u);
+  EXPECT_EQ(strategy.known_extent(0), 1u);
+}
+
+TEST(DynamicMatrix, KthRequestShips3Times2kMinus1Blocks) {
+  // Single worker: extending y-1 -> y ships 3 * (2(y-1) + 1) blocks and
+  // enables 3(y-1)^2 + 3(y-1) + 1 tasks.
+  DynamicMatrixStrategy strategy(MatmulConfig{8}, 1, 2);
+  for (std::uint32_t y = 1; y <= 8; ++y) {
+    const auto a = strategy.on_request(0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->blocks.size(), 3u * (2 * (y - 1) + 1));
+    EXPECT_EQ(a->tasks.size(), 3u * (y - 1) * (y - 1) + 3 * (y - 1) + 1);
+  }
+  EXPECT_EQ(strategy.unassigned_tasks(), 0u);
+  EXPECT_FALSE(strategy.on_request(0).has_value());
+}
+
+TEST(DynamicMatrix, BlockOperandsSplitEvenly) {
+  DynamicMatrixStrategy strategy(MatmulConfig{10}, 1, 3);
+  for (int step = 0; step < 5; ++step) {
+    const auto a = strategy.on_request(0);
+    ASSERT_TRUE(a.has_value());
+    std::size_t na = 0, nb = 0, nc = 0;
+    for (const auto& ref : a->blocks) {
+      switch (ref.operand) {
+        case Operand::kMatA: ++na; break;
+        case Operand::kMatB: ++nb; break;
+        case Operand::kMatC: ++nc; break;
+        default: FAIL() << "vector operand from matmul strategy";
+      }
+    }
+    EXPECT_EQ(na, nb);
+    EXPECT_EQ(nb, nc);
+  }
+}
+
+TEST(DynamicMatrix, EveryTaskMarkedExactlyOnceAcrossWorkers) {
+  DynamicMatrixStrategy strategy(MatmulConfig{6}, 3, 4);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) {
+        EXPECT_TRUE(seen.insert(id).second) << "task assigned twice";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 216u);
+}
+
+TEST(DynamicMatrix, TasksLieInsideKnownCube) {
+  DynamicMatrixStrategy strategy(MatmulConfig{7}, 1, 5);
+  std::set<std::uint32_t> is, js, ks;
+  while (auto a = strategy.on_request(0)) {
+    for (const auto& ref : a->blocks) {
+      switch (ref.operand) {
+        case Operand::kMatA: is.insert(ref.row); ks.insert(ref.col); break;
+        case Operand::kMatB: ks.insert(ref.row); js.insert(ref.col); break;
+        case Operand::kMatC: is.insert(ref.row); js.insert(ref.col); break;
+        default: break;
+      }
+    }
+    for (const TaskId id : a->tasks) {
+      const auto [i, j, k] = matmul_task_coords(7, id);
+      EXPECT_TRUE(is.count(i));
+      EXPECT_TRUE(js.count(j));
+      EXPECT_TRUE(ks.count(k));
+    }
+  }
+}
+
+TEST(DynamicMatrix2Phases, SwitchesAtThreshold) {
+  // n = 8 (512 tasks): a lone phase-1 worker marks 1+7+19+37+61+91 = 216
+  // tasks after six extensions, leaving 296 <= 300 for phase 2 — the
+  // threshold is crossed while the pool is provably non-empty.
+  const std::uint64_t threshold = 300;
+  DynamicMatrixStrategy strategy(MatmulConfig{8}, 2, 6, threshold);
+  while (strategy.unassigned_tasks() > threshold) {
+    ASSERT_TRUE(strategy.on_request(0).has_value());
+  }
+  std::uint64_t phase2 = 0;
+  while (auto a = strategy.on_request(1)) {
+    EXPECT_EQ(a->tasks.size(), 1u);
+    EXPECT_LE(a->blocks.size(), 3u);
+    ++phase2;
+  }
+  EXPECT_EQ(phase2, strategy.phase2_tasks_served());
+  EXPECT_GT(phase2, 0u);
+  EXPECT_LE(phase2, threshold);
+}
+
+TEST(DynamicMatrix2Phases, FullPhase2DegeneratesToRandom) {
+  DynamicMatrixStrategy strategy(MatmulConfig{4}, 1, 7, 64);
+  std::set<TaskId> seen;
+  while (auto a = strategy.on_request(0)) {
+    ASSERT_EQ(a->tasks.size(), 1u);
+    seen.insert(a->tasks[0]);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 64u);
+}
+
+TEST(MakeDynamicMatrix2Phases, RejectsBadFraction) {
+  EXPECT_THROW(make_dynamic_matrix_2phases(MatmulConfig{4}, 1, 1, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(make_dynamic_matrix_2phases(MatmulConfig{4}, 1, 1, 2.0),
+               std::invalid_argument);
+}
+
+TEST(MatmulFactory, BuildsEveryKnownStrategy) {
+  for (const auto& name : matmul_strategy_names()) {
+    MatmulStrategyOptions options;
+    options.phase2_fraction = 0.05;
+    const auto strategy =
+        make_matmul_strategy(name, MatmulConfig{5}, 2, 1, options);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), name);
+    EXPECT_EQ(strategy->total_tasks(), 125u);
+  }
+}
+
+TEST(MatmulFactory, RejectsUnknownName) {
+  EXPECT_THROW(make_matmul_strategy("Nope", MatmulConfig{5}, 2, 1),
+               std::invalid_argument);
+}
+
+TEST(DynamicMatrix, NamesDistinguishVariants) {
+  DynamicMatrixStrategy pure(MatmulConfig{4}, 1, 1);
+  DynamicMatrixStrategy two(MatmulConfig{4}, 1, 1, 10);
+  EXPECT_EQ(pure.name(), "DynamicMatrix");
+  EXPECT_EQ(two.name(), "DynamicMatrix2Phases");
+}
+
+TEST(DynamicMatrix, RejectsZeroWorkers) {
+  EXPECT_THROW(DynamicMatrixStrategy(MatmulConfig{4}, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,64 @@
+#include "matmul/matmul_problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(MatmulProblem, TaskCountIsNCubed) {
+  EXPECT_EQ(MatmulConfig{40}.total_tasks(), 64000u);
+  EXPECT_EQ(MatmulConfig{100}.total_tasks(), 1000000u);
+  EXPECT_EQ(MatmulConfig{1}.total_tasks(), 1u);
+}
+
+TEST(MatmulProblem, TaskIdRoundTrips) {
+  const std::uint32_t n = 11;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        const TaskId id = matmul_task_id(n, i, j, k);
+        const auto [ri, rj, rk] = matmul_task_coords(n, id);
+        EXPECT_EQ(ri, i);
+        EXPECT_EQ(rj, j);
+        EXPECT_EQ(rk, k);
+      }
+    }
+  }
+}
+
+TEST(MatmulProblem, TaskIdsAreDenseAndUnique) {
+  const std::uint32_t n = 7;
+  std::vector<bool> seen(n * n * n, false);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        const TaskId id = matmul_task_id(n, i, j, k);
+        ASSERT_LT(id, seen.size());
+        EXPECT_FALSE(seen[id]);
+        seen[id] = true;
+      }
+    }
+  }
+}
+
+TEST(MatmulProblem, BlockIndexIsRowMajor) {
+  EXPECT_EQ(block_index(10, 0, 0), 0u);
+  EXPECT_EQ(block_index(10, 0, 9), 9u);
+  EXPECT_EQ(block_index(10, 1, 0), 10u);
+  EXPECT_EQ(block_index(10, 9, 9), 99u);
+}
+
+TEST(MatmulProblem, ValidateAcceptsPaperSizes) {
+  EXPECT_NO_THROW(validate(MatmulConfig{40}));
+  EXPECT_NO_THROW(validate(MatmulConfig{100}));
+}
+
+TEST(MatmulProblem, ValidateRejectsDegenerate) {
+  EXPECT_THROW(validate(MatmulConfig{0}), std::invalid_argument);
+  EXPECT_THROW(validate(MatmulConfig{1000}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,130 @@
+#include "matmul/matmul_variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "matmul/dynamic_matrix.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(PerWorkerSwitchMatmul, ThresholdsFollowSpeeds) {
+  const std::vector<double> speeds{10.0, 90.0};
+  PerWorkerSwitchMatmulStrategy strategy(MatmulConfig{20}, speeds, 1, 3.0);
+  EXPECT_GT(strategy.switch_extent(1), strategy.switch_extent(0));
+  EXPECT_GT(strategy.switch_extent(0), 0u);
+}
+
+TEST(PerWorkerSwitchMatmul, CompletesAllTasks) {
+  const std::vector<double> speeds{15.0, 45.0, 80.0};
+  PerWorkerSwitchMatmulStrategy strategy(MatmulConfig{10}, speeds, 2, 3.0);
+  const Platform platform(speeds);
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 1000u);
+}
+
+TEST(PerWorkerSwitchMatmul, EveryTaskServedOnce) {
+  const std::vector<double> speeds{20.0, 60.0};
+  PerWorkerSwitchMatmulStrategy strategy(MatmulConfig{7}, speeds, 3, 3.0);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 343u);
+}
+
+TEST(PerWorkerSwitchMatmul, VolumeComparableToGlobalSwitch) {
+  Rng rng(derive_stream(5, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 16, rng);
+  const double beta = 2.8;
+
+  PerWorkerSwitchMatmulStrategy aware(MatmulConfig{20}, platform.speeds(), 7,
+                                      beta);
+  const SimResult a = simulate(aware, platform);
+
+  DynamicMatrixStrategy global(
+      MatmulConfig{20}, 16, 7,
+      static_cast<std::uint64_t>(std::exp(-beta) * 8000.0));
+  const SimResult b = simulate(global, platform);
+
+  EXPECT_NEAR(static_cast<double>(a.total_blocks),
+              static_cast<double>(b.total_blocks),
+              0.2 * static_cast<double>(b.total_blocks));
+}
+
+TEST(PerWorkerSwitchMatmul, RejectsBadInputs) {
+  EXPECT_THROW(PerWorkerSwitchMatmulStrategy(MatmulConfig{5}, {}, 1, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PerWorkerSwitchMatmulStrategy(MatmulConfig{5}, {1.0}, 1, 0.0),
+      std::invalid_argument);
+}
+
+TEST(BoundedLruMatmul, UnboundedCacheNeverRefetches) {
+  const std::uint32_t n = 8;
+  BoundedLruMatmulStrategy strategy(MatmulConfig{n}, 2, 3, 3 * n * n);
+  const Platform platform({20.0, 60.0});
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 512u);
+  EXPECT_EQ(strategy.refetches(), 0u);
+}
+
+TEST(BoundedLruMatmul, TinyCacheStillCompletes) {
+  BoundedLruMatmulStrategy strategy(MatmulConfig{6}, 2, 4, 3);
+  const Platform platform({10.0, 40.0});
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 216u);
+  EXPECT_GT(strategy.refetches(), 0u);
+}
+
+TEST(BoundedLruMatmul, SmallerCachesCostMore) {
+  const Platform platform({10.0, 30.0, 60.0});
+  std::uint64_t prev = 0;
+  for (const std::uint32_t capacity : {192u, 48u, 12u, 3u}) {
+    BoundedLruMatmulStrategy strategy(MatmulConfig{8}, 3, 5, capacity);
+    const SimResult result = simulate(strategy, platform);
+    EXPECT_EQ(result.total_tasks_done, 512u);
+    if (prev != 0) {
+      EXPECT_GE(result.total_blocks, prev);
+    }
+    prev = result.total_blocks;
+  }
+}
+
+TEST(BoundedLruMatmul, EveryTaskServedOnce) {
+  BoundedLruMatmulStrategy strategy(MatmulConfig{5}, 2, 6, 20);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 125u);
+}
+
+TEST(BoundedLruMatmul, RejectsBadInputs) {
+  EXPECT_THROW(BoundedLruMatmulStrategy(MatmulConfig{5}, 0, 1, 10),
+               std::invalid_argument);
+  EXPECT_THROW(BoundedLruMatmulStrategy(MatmulConfig{5}, 1, 1, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

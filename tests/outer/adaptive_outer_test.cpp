@@ -1,0 +1,126 @@
+#include "outer/adaptive_outer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/experiment.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(AdaptiveOuter, CompletesAllTasks) {
+  AdaptiveOuterStrategy strategy(OuterConfig{40}, 8, 1);
+  Rng rng(derive_stream(1, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 8, rng);
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 1600u);
+}
+
+TEST(AdaptiveOuter, EveryTaskServedOnce) {
+  AdaptiveOuterStrategy strategy(OuterConfig{20}, 3, 2);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 400u);
+}
+
+TEST(AdaptiveOuter, SwitchesBeforeThePoolDrains) {
+  AdaptiveOuterStrategy strategy(OuterConfig{100}, 12, 3);
+  Rng rng(derive_stream(3, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 12, rng);
+  simulate(strategy, platform);
+  EXPECT_TRUE(strategy.switched());
+  // The switch happens with a meaningful tail left (like the analysis's
+  // e^{-beta} share, a few percent), not at the very end.
+  EXPECT_GT(strategy.tasks_at_switch(), 20u);
+  EXPECT_LT(strategy.tasks_at_switch(), 4000u);
+}
+
+TEST(AdaptiveOuter, MatchesTunedTwoPhaseWithinMargin) {
+  // The headline property: the model-free rule performs within ~10% of
+  // the analysis-tuned two-phase strategy.
+  ExperimentConfig tuned;
+  tuned.kernel = Kernel::kOuter;
+  tuned.strategy = "DynamicOuter2Phases";
+  tuned.n = 100;
+  tuned.p = 20;
+  tuned.reps = 5;
+  tuned.seed = 9;
+  const double tuned_mean = run_experiment(tuned).normalized.mean;
+
+  double adaptive_sum = 0.0;
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    const std::uint64_t rep_seed = derive_stream(9, "rep." + std::to_string(r));
+    Rng rng(derive_stream(rep_seed, "experiment.speeds"));
+    const Platform platform =
+        make_platform(UniformIntervalSpeeds(10.0, 100.0), 20, rng);
+    AdaptiveOuterStrategy strategy(OuterConfig{100}, 20, rep_seed);
+    const SimResult result = simulate(strategy, platform);
+    const auto rs = platform.relative_speeds();
+    double lb = 0.0;
+    for (const double v : rs) lb += std::sqrt(v);
+    adaptive_sum += static_cast<double>(result.total_blocks) / (200.0 * lb);
+  }
+  const double adaptive_mean = adaptive_sum / 5.0;
+  EXPECT_LT(adaptive_mean, 1.10 * tuned_mean);
+}
+
+TEST(AdaptiveOuter, BeatsPureDynamic) {
+  ExperimentConfig pure;
+  pure.kernel = Kernel::kOuter;
+  pure.strategy = "DynamicOuter";
+  pure.n = 100;
+  pure.p = 20;
+  pure.reps = 3;
+  pure.seed = 11;
+  const double pure_mean = run_experiment(pure).normalized.mean;
+
+  double adaptive_sum = 0.0;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    const std::uint64_t rep_seed =
+        derive_stream(11, "rep." + std::to_string(r));
+    Rng rng(derive_stream(rep_seed, "experiment.speeds"));
+    const Platform platform =
+        make_platform(UniformIntervalSpeeds(10.0, 100.0), 20, rng);
+    AdaptiveOuterStrategy strategy(OuterConfig{100}, 20, rep_seed);
+    const SimResult result = simulate(strategy, platform);
+    const auto rs = platform.relative_speeds();
+    double lb = 0.0;
+    for (const double v : rs) lb += std::sqrt(v);
+    adaptive_sum += static_cast<double>(result.total_blocks) / (200.0 * lb);
+  }
+  EXPECT_LT(adaptive_sum / 3.0, pure_mean);
+}
+
+TEST(AdaptiveOuter, SupportsRequeue) {
+  AdaptiveOuterStrategy strategy(OuterConfig{16}, 2, 4);
+  Platform platform({20.0, 40.0});
+  SimConfig config;
+  config.faults.push_back(WorkerFault{0.2, 0, 0.0});
+  const SimResult result = simulate(strategy, platform, config);
+  EXPECT_EQ(result.total_tasks_done, 256u);
+}
+
+TEST(AdaptiveOuter, RejectsBadParameters) {
+  EXPECT_THROW(AdaptiveOuterStrategy(OuterConfig{10}, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptiveOuterStrategy(OuterConfig{10}, 1, 1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,188 @@
+#include "outer/dynamic_outer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "outer/outer_factory.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(DynamicOuter, FirstRequestShipsOnePairAndOneTask) {
+  DynamicOuterStrategy strategy(OuterConfig{10}, 1, 1);
+  const auto a = strategy.on_request(0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->blocks.size(), 2u);  // one a block + one b block
+  EXPECT_EQ(a->tasks.size(), 1u);  // only the corner task is enabled
+  EXPECT_EQ(strategy.known_rows(0), 1u);
+}
+
+TEST(DynamicOuter, KthRequestEnablesLShape) {
+  // A single worker, no competition: the k-th extension enables exactly
+  // 2(k-1) + 1 new tasks.
+  DynamicOuterStrategy strategy(OuterConfig{12}, 1, 2);
+  for (std::uint32_t step = 1; step <= 12; ++step) {
+    const auto a = strategy.on_request(0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->blocks.size(), 2u);
+    EXPECT_EQ(a->tasks.size(), 2u * (step - 1) + 1);
+  }
+  // All n^2 tasks are now marked.
+  EXPECT_EQ(strategy.unassigned_tasks(), 0u);
+  EXPECT_FALSE(strategy.on_request(0).has_value());
+}
+
+TEST(DynamicOuter, TasksMatchShippedIndices) {
+  DynamicOuterStrategy strategy(OuterConfig{8}, 1, 3);
+  std::set<std::uint32_t> rows, cols;
+  while (auto a = strategy.on_request(0)) {
+    for (const auto& ref : a->blocks) {
+      (ref.operand == Operand::kVecA ? rows : cols).insert(ref.row);
+    }
+    for (const TaskId id : a->tasks) {
+      const auto [i, j] = outer_task_coords(8, id);
+      EXPECT_TRUE(rows.count(i)) << "task row not owned";
+      EXPECT_TRUE(cols.count(j)) << "task col not owned";
+    }
+  }
+}
+
+TEST(DynamicOuter, EveryTaskMarkedExactlyOnceAcrossWorkers) {
+  DynamicOuterStrategy strategy(OuterConfig{10}, 3, 4);
+  std::set<TaskId> seen;
+  std::uint64_t total = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) {
+        EXPECT_TRUE(seen.insert(id).second) << "task assigned twice";
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(DynamicOuter, CompetitionShrinksLaterAllocations) {
+  // With several workers racing, some of a worker's L-shape is already
+  // marked by others, so its later requests yield fewer tasks than the
+  // single-worker 2k+1 bound.
+  DynamicOuterStrategy strategy(OuterConfig{20}, 4, 5);
+  bool undersized = false;
+  for (int round = 0; round < 15; ++round) {
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      const std::uint32_t k = strategy.known_rows(w);
+      if (a->tasks.size() < 2u * (k - 1) + 1) undersized = true;
+    }
+  }
+  EXPECT_TRUE(undersized);
+}
+
+TEST(DynamicOuter, PureModeNeverServesPhase2) {
+  DynamicOuterStrategy strategy(OuterConfig{16}, 2, 6);
+  for (int step = 0; step < 200; ++step) {
+    if (!strategy.on_request(step % 2).has_value()) break;
+  }
+  EXPECT_EQ(strategy.phase2_tasks_served(), 0u);
+}
+
+TEST(DynamicOuter2Phases, SwitchesAtThreshold) {
+  const std::uint64_t threshold = 30;
+  DynamicOuterStrategy strategy(OuterConfig{10}, 2, 7, threshold);
+  while (strategy.unassigned_tasks() > threshold) {
+    ASSERT_TRUE(strategy.on_request(0).has_value());
+  }
+  // Every subsequent serve is a single random task.
+  std::uint64_t phase2 = 0;
+  while (auto a = strategy.on_request(1)) {
+    EXPECT_EQ(a->tasks.size(), 1u);
+    ++phase2;
+  }
+  EXPECT_EQ(phase2, strategy.phase2_tasks_served());
+  EXPECT_LE(phase2, threshold);
+  EXPECT_GT(phase2, 0u);
+}
+
+TEST(DynamicOuter2Phases, FullPhase2DegeneratesToRandom) {
+  // Threshold = total tasks: phase 1 never runs.
+  DynamicOuterStrategy strategy(OuterConfig{6}, 1, 8, 36);
+  std::set<TaskId> seen;
+  while (auto a = strategy.on_request(0)) {
+    ASSERT_EQ(a->tasks.size(), 1u);
+    seen.insert(a->tasks[0]);
+  }
+  EXPECT_EQ(seen.size(), 36u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 36u);
+}
+
+TEST(DynamicOuter2Phases, Phase2ReusesPhase1Blocks) {
+  // After phase 1, a worker owns many blocks, so random tasks often
+  // need fewer than 2 transfers.
+  DynamicOuterStrategy strategy(OuterConfig{30}, 1, 9, 200);
+  std::uint64_t phase2_blocks = 0;
+  std::uint64_t phase2_tasks = 0;
+  while (auto a = strategy.on_request(0)) {
+    if (strategy.phase2_tasks_served() > phase2_tasks) {
+      phase2_blocks += a->blocks.size();
+      phase2_tasks = strategy.phase2_tasks_served();
+    }
+  }
+  ASSERT_GT(phase2_tasks, 0u);
+  EXPECT_LT(static_cast<double>(phase2_blocks),
+            2.0 * static_cast<double>(phase2_tasks));
+}
+
+TEST(MakeDynamicOuter2Phases, FractionConvertsToTasks) {
+  auto strategy = make_dynamic_outer_2phases(OuterConfig{10}, 1, 1, 0.25);
+  // Threshold is 25 tasks; phase 2 serves at most that many.
+  while (strategy.on_request(0).has_value()) {
+  }
+  EXPECT_LE(strategy.phase2_tasks_served(), 25u);
+  EXPECT_GT(strategy.phase2_tasks_served(), 0u);
+}
+
+TEST(MakeDynamicOuter2Phases, RejectsBadFraction) {
+  EXPECT_THROW(make_dynamic_outer_2phases(OuterConfig{10}, 1, 1, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(make_dynamic_outer_2phases(OuterConfig{10}, 1, 1, 1.5),
+               std::invalid_argument);
+}
+
+TEST(OuterFactory, BuildsEveryKnownStrategy) {
+  for (const auto& name : outer_strategy_names()) {
+    OuterStrategyOptions options;
+    options.phase2_fraction = 0.05;
+    const auto strategy =
+        make_outer_strategy(name, OuterConfig{8}, 2, 1, options);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), name);
+    EXPECT_EQ(strategy->total_tasks(), 64u);
+  }
+}
+
+TEST(OuterFactory, RejectsUnknownName) {
+  EXPECT_THROW(make_outer_strategy("Nope", OuterConfig{8}, 2, 1),
+               std::invalid_argument);
+}
+
+TEST(DynamicOuter, NamesDistinguishVariants) {
+  DynamicOuterStrategy pure(OuterConfig{8}, 1, 1);
+  DynamicOuterStrategy two(OuterConfig{8}, 1, 1, 10);
+  EXPECT_EQ(pure.name(), "DynamicOuter");
+  EXPECT_EQ(two.name(), "DynamicOuter2Phases");
+}
+
+TEST(DynamicOuter, RejectsZeroWorkers) {
+  EXPECT_THROW(DynamicOuterStrategy(OuterConfig{8}, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,50 @@
+#include "outer/outer_problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(OuterProblem, TaskCountIsNSquared) {
+  EXPECT_EQ(OuterConfig{100}.total_tasks(), 10000u);
+  EXPECT_EQ(OuterConfig{1}.total_tasks(), 1u);
+  EXPECT_EQ(OuterConfig{1000}.total_tasks(), 1000000u);
+}
+
+TEST(OuterProblem, TaskIdRoundTrips) {
+  const std::uint32_t n = 37;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const TaskId id = outer_task_id(n, i, j);
+      const auto [ri, rj] = outer_task_coords(n, id);
+      EXPECT_EQ(ri, i);
+      EXPECT_EQ(rj, j);
+    }
+  }
+}
+
+TEST(OuterProblem, TaskIdsAreDenseAndUnique) {
+  const std::uint32_t n = 12;
+  std::vector<bool> seen(n * n, false);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const TaskId id = outer_task_id(n, i, j);
+      ASSERT_LT(id, static_cast<TaskId>(n) * n);
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(OuterProblem, ValidateAcceptsPaperSizes) {
+  EXPECT_NO_THROW(validate(OuterConfig{100}));
+  EXPECT_NO_THROW(validate(OuterConfig{1000}));
+}
+
+TEST(OuterProblem, ValidateRejectsDegenerate) {
+  EXPECT_THROW(validate(OuterConfig{0}), std::invalid_argument);
+  EXPECT_THROW(validate(OuterConfig{1u << 21}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

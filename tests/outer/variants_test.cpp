@@ -1,0 +1,145 @@
+// Tests for the per-worker-switch and memory-bounded variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "outer/bounded_lru.hpp"
+#include "outer/dynamic_outer.hpp"
+#include "outer/per_worker_switch.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(PerWorkerSwitch, ThresholdsFollowSpeeds) {
+  const std::vector<double> speeds{10.0, 90.0};
+  PerWorkerSwitchOuterStrategy strategy(OuterConfig{100}, speeds, 1, 4.0);
+  // Faster worker has a higher x_k, hence more dynamic-phase rows.
+  EXPECT_GT(strategy.switch_rows(1), strategy.switch_rows(0));
+  EXPECT_GT(strategy.switch_rows(0), 0u);
+  EXPECT_LE(strategy.switch_rows(1), 100u);
+}
+
+TEST(PerWorkerSwitch, CompletesAllTasks) {
+  const std::vector<double> speeds{15.0, 45.0, 80.0};
+  PerWorkerSwitchOuterStrategy strategy(OuterConfig{30}, speeds, 2, 4.0);
+  const Platform platform(speeds);
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 900u);
+}
+
+TEST(PerWorkerSwitch, EveryTaskServedOnce) {
+  const std::vector<double> speeds{20.0, 60.0};
+  PerWorkerSwitchOuterStrategy strategy(OuterConfig{16}, speeds, 3, 4.0);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(PerWorkerSwitch, VolumeComparableToGlobalSwitch) {
+  // The paper's claim: speed-awareness buys little. Both variants
+  // should land within ~15% of each other.
+  Rng rng(derive_stream(7, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 20, rng);
+  const double beta = 4.4;
+
+  PerWorkerSwitchOuterStrategy per_worker(OuterConfig{100}, platform.speeds(),
+                                          11, beta);
+  const SimResult a = simulate(per_worker, platform);
+
+  DynamicOuterStrategy global(
+      OuterConfig{100}, 20, 11,
+      static_cast<std::uint64_t>(std::exp(-beta) * 10000.0));
+  const SimResult b = simulate(global, platform);
+
+  EXPECT_NEAR(static_cast<double>(a.total_blocks),
+              static_cast<double>(b.total_blocks),
+              0.15 * static_cast<double>(b.total_blocks));
+}
+
+TEST(PerWorkerSwitch, RejectsBadInputs) {
+  EXPECT_THROW(PerWorkerSwitchOuterStrategy(OuterConfig{10}, {}, 1, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PerWorkerSwitchOuterStrategy(OuterConfig{10}, {1.0, -1.0}, 1, 4.0),
+      std::invalid_argument);
+  EXPECT_THROW(PerWorkerSwitchOuterStrategy(OuterConfig{10}, {1.0}, 1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BoundedLru, UnboundedCacheMatchesDynamicBehaviour) {
+  // Capacity 2n: never evicts, so no refetches.
+  BoundedLruOuterStrategy strategy(OuterConfig{20}, 3, 5, 40);
+  const Platform platform({10.0, 30.0, 60.0});
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 400u);
+  EXPECT_EQ(strategy.refetches(), 0u);
+}
+
+TEST(BoundedLru, TinyCacheStillCompletes) {
+  BoundedLruOuterStrategy strategy(OuterConfig{16}, 2, 6, 2);
+  const Platform platform({10.0, 40.0});
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 256u);
+  EXPECT_GT(strategy.refetches(), 0u);
+}
+
+TEST(BoundedLru, SmallerCachesCostMoreCommunication) {
+  const Platform platform({10.0, 25.0, 45.0, 80.0});
+  std::uint64_t prev = 0;
+  for (const std::uint32_t capacity : {80u, 24u, 8u, 2u}) {
+    BoundedLruOuterStrategy strategy(OuterConfig{40}, 4, 7, capacity);
+    const SimResult result = simulate(strategy, platform);
+    EXPECT_EQ(result.total_tasks_done, 1600u);
+    if (prev != 0) {
+      EXPECT_GE(result.total_blocks, prev) << "capacity " << capacity;
+    }
+    prev = result.total_blocks;
+  }
+}
+
+TEST(BoundedLru, EveryTaskServedOnce) {
+  BoundedLruOuterStrategy strategy(OuterConfig{12}, 2, 8, 6);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 144u);
+}
+
+TEST(BoundedLru, RefetchCountsOnlyEvictedBlocks) {
+  // First pass over distinct blocks is never a refetch.
+  BoundedLruOuterStrategy strategy(OuterConfig{8}, 1, 9, 16);
+  while (strategy.on_request(0).has_value()) {
+  }
+  EXPECT_EQ(strategy.refetches(), 0u);
+}
+
+TEST(BoundedLru, RejectsBadInputs) {
+  EXPECT_THROW(BoundedLruOuterStrategy(OuterConfig{8}, 0, 1, 4),
+               std::invalid_argument);
+  EXPECT_THROW(BoundedLruOuterStrategy(OuterConfig{8}, 1, 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

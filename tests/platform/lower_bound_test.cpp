@@ -1,0 +1,82 @@
+#include "platform/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/platform.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(LowerBound, OuterHomogeneousClosedForm) {
+  // p equal workers: LB = 2 N p sqrt(1/p) = 2 N sqrt(p).
+  const std::vector<double> rs(16, 1.0 / 16.0);
+  EXPECT_NEAR(outer_lower_bound(100, rs), 2.0 * 100.0 * 4.0, 1e-9);
+}
+
+TEST(LowerBound, OuterSingleWorkerIsPerimeterOfWholeSquare) {
+  const std::vector<double> rs{1.0};
+  EXPECT_NEAR(outer_lower_bound(50, rs), 100.0, 1e-12);
+}
+
+TEST(LowerBound, MatmulHomogeneousClosedForm) {
+  // p equal workers: LB = 3 N^2 p^(1/3).
+  const std::vector<double> rs(8, 1.0 / 8.0);
+  EXPECT_NEAR(matmul_lower_bound(10, rs), 3.0 * 100.0 * 2.0, 1e-9);
+}
+
+TEST(LowerBound, MatmulSingleWorker) {
+  const std::vector<double> rs{1.0};
+  EXPECT_NEAR(matmul_lower_bound(10, rs), 300.0, 1e-12);
+}
+
+TEST(LowerBound, OuterScalesLinearlyWithN) {
+  const std::vector<double> rs{0.25, 0.75};
+  EXPECT_NEAR(outer_lower_bound(200, rs), 2.0 * outer_lower_bound(100, rs),
+              1e-9);
+}
+
+TEST(LowerBound, MatmulScalesQuadraticallyWithN) {
+  const std::vector<double> rs{0.25, 0.75};
+  EXPECT_NEAR(matmul_lower_bound(200, rs), 4.0 * matmul_lower_bound(100, rs),
+              1e-9);
+}
+
+TEST(LowerBound, MoreWorkersMeansMoreCommunication) {
+  // Splitting work across more workers can only increase the bound.
+  const std::vector<double> one{1.0};
+  const std::vector<double> four(4, 0.25);
+  EXPECT_GT(outer_lower_bound(100, four), outer_lower_bound(100, one));
+  EXPECT_GT(matmul_lower_bound(100, four), matmul_lower_bound(100, one));
+}
+
+TEST(LowerBound, PowerSumBasics) {
+  const std::vector<double> rs{0.5, 0.5};
+  EXPECT_NEAR(rel_speed_power_sum(rs, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(rel_speed_power_sum(rs, 0.5), 2.0 * std::sqrt(0.5), 1e-12);
+  EXPECT_NEAR(rel_speed_power_sum(rs, 0.0), 2.0, 1e-12);
+}
+
+TEST(LowerBound, PowerSumRejectsNonPositive) {
+  EXPECT_THROW(rel_speed_power_sum({0.5, 0.0}, 0.5), std::invalid_argument);
+}
+
+TEST(LowerBound, HeterogeneousOuterMatchesManualComputation) {
+  Platform platform({10.0, 40.0});  // rs = 0.2, 0.8
+  const auto rs = platform.relative_speeds();
+  const double expect = 2.0 * 100.0 * (std::sqrt(0.2) + std::sqrt(0.8));
+  EXPECT_NEAR(outer_lower_bound(100, rs), expect, 1e-9);
+}
+
+TEST(LowerBound, HeterogeneousMatmulMatchesManualComputation) {
+  Platform platform({10.0, 40.0});
+  const auto rs = platform.relative_speeds();
+  const double expect =
+      3.0 * 100.0 * 100.0 *
+      (std::pow(0.2, 2.0 / 3.0) + std::pow(0.8, 2.0 / 3.0));
+  EXPECT_NEAR(matmul_lower_bound(100, rs), expect, 1e-6);
+}
+
+}  // namespace
+}  // namespace hetsched

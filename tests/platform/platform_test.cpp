@@ -1,0 +1,73 @@
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hetsched {
+namespace {
+
+TEST(Platform, BasicAccessors) {
+  Platform platform({10.0, 20.0, 30.0});
+  EXPECT_EQ(platform.size(), 3u);
+  EXPECT_DOUBLE_EQ(platform.speed(0), 10.0);
+  EXPECT_DOUBLE_EQ(platform.speed(2), 30.0);
+  EXPECT_DOUBLE_EQ(platform.total_speed(), 60.0);
+}
+
+TEST(Platform, RelativeSpeedsSumToOne) {
+  Platform platform({15.0, 25.0, 60.0});
+  const auto rs = platform.relative_speeds();
+  EXPECT_NEAR(std::accumulate(rs.begin(), rs.end(), 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(rs[0], 0.15, 1e-12);
+  EXPECT_NEAR(rs[2], 0.60, 1e-12);
+}
+
+TEST(Platform, AlphaMatchesDefinition) {
+  Platform platform({10.0, 30.0});
+  // alpha_k = sum_{i != k} s_i / s_k
+  EXPECT_DOUBLE_EQ(platform.alpha(0), 3.0);
+  EXPECT_DOUBLE_EQ(platform.alpha(1), 1.0 / 3.0);
+}
+
+TEST(Platform, SingleWorkerAlphaIsZero) {
+  Platform platform({42.0});
+  EXPECT_DOUBLE_EQ(platform.alpha(0), 0.0);
+}
+
+TEST(Platform, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(Platform(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Platform({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Platform({-1.0}), std::invalid_argument);
+}
+
+TEST(MakePlatform, DrawsRequestedCount) {
+  UniformIntervalSpeeds model(10.0, 100.0);
+  Rng rng(1);
+  const Platform platform = make_platform(model, 25, rng);
+  EXPECT_EQ(platform.size(), 25u);
+  for (std::size_t k = 0; k < 25; ++k) {
+    EXPECT_GE(platform.speed(k), 10.0);
+    EXPECT_LT(platform.speed(k), 100.0);
+  }
+}
+
+TEST(MakePlatform, DeterministicGivenRngState) {
+  UniformIntervalSpeeds model(10.0, 100.0);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const Platform a = make_platform(model, 10, rng_a);
+  const Platform b = make_platform(model, 10, rng_b);
+  EXPECT_EQ(a.speeds(), b.speeds());
+}
+
+TEST(MakeHomogeneousPlatform, AllSpeedsEqual) {
+  const Platform platform = make_homogeneous_platform(7, 50.0);
+  EXPECT_EQ(platform.size(), 7u);
+  for (std::size_t k = 0; k < 7; ++k) EXPECT_DOUBLE_EQ(platform.speed(k), 50.0);
+  const auto rs = platform.relative_speeds();
+  for (const double r : rs) EXPECT_NEAR(r, 1.0 / 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hetsched

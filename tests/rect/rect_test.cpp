@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "platform/platform.hpp"
+#include "rect/rect_analysis.hpp"
+#include "rect/rect_problem.hpp"
+#include "rect/rect_strategies.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(RectProblem, TaskIdRoundTrips) {
+  const RectConfig config{7, 13};
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    for (std::uint32_t j = 0; j < 13; ++j) {
+      const auto [ri, rj] = rect_task_coords(config, rect_task_id(config, i, j));
+      EXPECT_EQ(ri, i);
+      EXPECT_EQ(rj, j);
+    }
+  }
+}
+
+TEST(RectProblem, AspectPenalty) {
+  EXPECT_DOUBLE_EQ(rect_aspect_penalty(RectConfig{100, 100}), 1.0);
+  // 4:1 aspect: (4+1)/(2*2) = 1.25.
+  EXPECT_DOUBLE_EQ(rect_aspect_penalty(RectConfig{400, 100}), 1.25);
+  EXPECT_DOUBLE_EQ(rect_aspect_penalty(RectConfig{100, 400}), 1.25);
+}
+
+TEST(RectProblem, ValidateRejectsDegenerate) {
+  EXPECT_THROW(validate(RectConfig{0, 10}), std::invalid_argument);
+  EXPECT_THROW(validate(RectConfig{10, 0}), std::invalid_argument);
+}
+
+TEST(DynamicRect, ProportionalAcquisitionKeepsFractionsClose) {
+  DynamicRectStrategy strategy(RectConfig{40, 160}, 1, 1);
+  for (int step = 0; step < 100; ++step) {
+    ASSERT_TRUE(strategy.on_request(0).has_value());
+    const auto [fr, fc] = strategy.coverage(0);
+    // Fractions differ by at most one acquisition's worth.
+    EXPECT_NEAR(fr, fc, 1.0 / 40.0 + 1e-12) << "step " << step;
+  }
+}
+
+TEST(DynamicRect, ServesEveryTaskOnce) {
+  DynamicRectStrategy strategy(RectConfig{9, 17}, 3, 2);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      for (const TaskId id : a->tasks) EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 9u * 17u);
+}
+
+TEST(DynamicRect, SquareCaseMatchesPaperStep) {
+  // On a square domain the proportional rule alternates row/column, so
+  // two consecutive single-index acquisitions behave like the paper's
+  // one pair acquisition.
+  DynamicRectStrategy strategy(RectConfig{10, 10}, 1, 3);
+  std::uint64_t blocks = 0;
+  std::uint64_t tasks = 0;
+  while (auto a = strategy.on_request(0)) {
+    blocks += a->blocks.size();
+    tasks += a->tasks.size();
+  }
+  EXPECT_EQ(tasks, 100u);
+  EXPECT_EQ(blocks, 20u);  // single worker gets every block once
+}
+
+TEST(PointwiseRect, SortedServesLexicographically) {
+  PointwiseRectStrategy strategy(RectConfig{3, 4}, 1, 1,
+                                 PointwiseRectStrategy::Order::kSorted);
+  for (TaskId expect = 0; expect < 12; ++expect) {
+    const auto a = strategy.on_request(0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->tasks[0], expect);
+  }
+}
+
+TEST(PointwiseRect, RandomServesAllOnce) {
+  PointwiseRectStrategy strategy(RectConfig{6, 11}, 2, 5,
+                                 PointwiseRectStrategy::Order::kRandom);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      seen.insert(a->tasks[0]);
+    }
+  }
+  EXPECT_EQ(seen.size(), 66u);
+}
+
+TEST(RectFactory, BuildsEveryStrategy) {
+  for (const char* name :
+       {"RandomRect", "SortedRect", "DynamicRect", "DynamicRect2Phases"}) {
+    auto s = make_rect_strategy(name, RectConfig{8, 12}, 2, 1, 0.05);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+    EXPECT_EQ(s->total_tasks(), 96u);
+  }
+  EXPECT_THROW(make_rect_strategy("Nope", RectConfig{4, 4}, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(RectSimulation, DynamicBeatsRandomOnWideDomain) {
+  Rng rng(derive_stream(3, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 10, rng);
+  auto run = [&](const char* name) {
+    auto s = make_rect_strategy(name, RectConfig{50, 200}, 10, 7, 0.02);
+    return simulate(*s, platform).total_blocks;
+  };
+  EXPECT_LT(run("DynamicRect2Phases"), run("RandomRect"));
+  EXPECT_LT(run("DynamicRect"), run("RandomRect"));
+}
+
+TEST(RectAnalysis, SquareCaseMatchesOuterAnalysis) {
+  // R = C must reduce exactly to the paper's square model.
+  const std::vector<double> rs(20, 0.05);
+  RectAnalysis rect(rs, RectConfig{100, 100});
+  // Compare against the known square anchors.
+  const auto opt = rect.optimal_beta();
+  EXPECT_NEAR(opt.x, 4.39, 0.05);
+  EXPECT_NEAR(opt.f, 2.17, 0.05);
+  EXPECT_DOUBLE_EQ(rect.aspect_penalty(), 1.0);
+}
+
+TEST(RectAnalysis, AspectPenaltyRaisesPhase1) {
+  const std::vector<double> rs(20, 0.05);
+  RectAnalysis square(rs, RectConfig{100, 100});
+  RectAnalysis wide(rs, RectConfig{25, 400});  // same area, 16:1
+  const double beta = 4.0;
+  EXPECT_NEAR(wide.phase1_volume(beta) / square.phase1_volume(beta),
+              wide.aspect_penalty(), 1e-9);
+  EXPECT_GT(wide.ratio(beta), square.ratio(beta));
+}
+
+TEST(RectAnalysis, TracksSimulationOnRectangularDomain) {
+  Rng rng(derive_stream(11, "speeds"));
+  const Platform platform =
+      make_platform(UniformIntervalSpeeds(10.0, 100.0), 20, rng);
+  RectAnalysis analysis(platform.relative_speeds(), RectConfig{50, 200});
+  const double beta = analysis.optimal_beta().x;
+
+  auto strategy = make_rect_strategy("DynamicRect2Phases", RectConfig{50, 200},
+                                     20, 13, std::exp(-beta));
+  const SimResult result = simulate(*strategy, platform);
+  const double measured =
+      static_cast<double>(result.total_blocks) / analysis.lower_bound();
+  EXPECT_NEAR(measured, analysis.ratio(beta), 0.08 * analysis.ratio(beta));
+}
+
+TEST(RectAnalysis, RejectsBadInputs) {
+  EXPECT_THROW(RectAnalysis({}, RectConfig{10, 10}), std::invalid_argument);
+  EXPECT_THROW(RectAnalysis({0.5, 0.4}, RectConfig{10, 10}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,84 @@
+#include "runtime/block_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(BlockMatrix, StartsZeroed) {
+  BlockMatrix m(3, 4);
+  EXPECT_EQ(m.n_blocks(), 3u);
+  EXPECT_EQ(m.block_size(), 4u);
+  EXPECT_EQ(m.block_elems(), 16u);
+  for (std::uint32_t r = 0; r < 12; ++r) {
+    for (std::uint32_t c = 0; c < 12; ++c) EXPECT_EQ(m.at(r, c), 0.0);
+  }
+}
+
+TEST(BlockMatrix, ElementAndBlockViewsAgree) {
+  BlockMatrix m(2, 3);
+  m.at(4, 5) = 7.5;  // block (1,1), local (1,2)
+  const auto blk = m.block(1, 1);
+  EXPECT_DOUBLE_EQ(blk[1 * 3 + 2], 7.5);
+
+  auto blk01 = m.block(0, 1);
+  blk01[0] = -2.0;  // block (0,1), local (0,0) -> global (0,3)
+  EXPECT_DOUBLE_EQ(m.at(0, 3), -2.0);
+}
+
+TEST(BlockMatrix, BlocksAreContiguousAndDisjoint) {
+  BlockMatrix m(2, 2);
+  m.block(0, 0)[0] = 1.0;
+  m.block(0, 1)[0] = 2.0;
+  m.block(1, 0)[0] = 3.0;
+  m.block(1, 1)[0] = 4.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 4.0);
+}
+
+TEST(BlockMatrix, FillAppliesFunction) {
+  BlockMatrix m(2, 2);
+  m.fill([](std::uint32_t r, std::uint32_t c) {
+    return static_cast<double>(10 * r + c);
+  });
+  EXPECT_DOUBLE_EQ(m.at(3, 2), 32.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(BlockMatrix, MaxAbsDiff) {
+  BlockMatrix a(2, 2), b(2, 2);
+  a.at(1, 1) = 5.0;
+  b.at(1, 1) = 3.5;
+  b.at(3, 3) = -1.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.5);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(a), 0.0);
+}
+
+TEST(BlockMatrix, MaxAbsDiffRejectsShapeMismatch) {
+  BlockMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a.max_abs_diff(b), std::invalid_argument);
+}
+
+TEST(BlockMatrix, RejectsZeroDimensions) {
+  EXPECT_THROW(BlockMatrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(BlockMatrix(4, 0), std::invalid_argument);
+}
+
+TEST(BlockVector, BlockViews) {
+  BlockVector v(3, 4);
+  EXPECT_EQ(v.size(), 12u);
+  v.block(1)[2] = 9.0;
+  EXPECT_DOUBLE_EQ(v.at(6), 9.0);
+  v.at(11) = 3.0;
+  EXPECT_DOUBLE_EQ(v.block(2)[3], 3.0);
+}
+
+TEST(BlockVector, RejectsZeroDimensions) {
+  EXPECT_THROW(BlockVector(0, 4), std::invalid_argument);
+  EXPECT_THROW(BlockVector(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,75 @@
+#include "runtime/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(OuterBlock, ComputesRankOneProduct) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  std::vector<double> out(9, -1.0);
+  outer_block(a, b, out, 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(out[r * 3 + c], a[r] * b[c]);
+    }
+  }
+}
+
+TEST(OuterBlock, OverwritesPreviousContents) {
+  const std::vector<double> a{2.0};
+  const std::vector<double> b{3.0};
+  std::vector<double> out{999.0};
+  outer_block(a, b, out, 1);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+}
+
+TEST(GemmBlock, IdentityTimesMatrix) {
+  const std::uint32_t l = 3;
+  std::vector<double> eye(9, 0.0);
+  for (std::uint32_t i = 0; i < l; ++i) eye[i * l + i] = 1.0;
+  std::vector<double> b{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> c(9, 0.0);
+  gemm_block_accumulate(eye, b, c, l);
+  for (int e = 0; e < 9; ++e) EXPECT_DOUBLE_EQ(c[e], b[e]);
+}
+
+TEST(GemmBlock, AccumulatesIntoC) {
+  const std::uint32_t l = 2;
+  const std::vector<double> a{1, 0, 0, 1};
+  const std::vector<double> b{1, 1, 1, 1};
+  std::vector<double> c{5, 5, 5, 5};
+  gemm_block_accumulate(a, b, c, l);
+  for (int e = 0; e < 4; ++e) EXPECT_DOUBLE_EQ(c[e], 6.0);
+}
+
+TEST(GemmBlock, KnownSmallProduct) {
+  const std::uint32_t l = 2;
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{5, 6, 7, 8};
+  std::vector<double> c(4, 0.0);
+  gemm_block_accumulate(a, b, c, l);
+  EXPECT_DOUBLE_EQ(c[0], 19.0);
+  EXPECT_DOUBLE_EQ(c[1], 22.0);
+  EXPECT_DOUBLE_EQ(c[2], 43.0);
+  EXPECT_DOUBLE_EQ(c[3], 50.0);
+}
+
+TEST(GemmBlock, RepeatedAccumulationMatchesScaling) {
+  const std::uint32_t l = 4;
+  std::vector<double> a(16), b(16);
+  for (int e = 0; e < 16; ++e) {
+    a[e] = 0.5 * e - 3.0;
+    b[e] = 0.25 * e + 1.0;
+  }
+  std::vector<double> once(16, 0.0), thrice(16, 0.0);
+  gemm_block_accumulate(a, b, once, l);
+  for (int rep = 0; rep < 3; ++rep) gemm_block_accumulate(a, b, thrice, l);
+  for (int e = 0; e < 16; ++e) EXPECT_NEAR(thrice[e], 3.0 * once[e], 1e-12);
+}
+
+}  // namespace
+}  // namespace hetsched

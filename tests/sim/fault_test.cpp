@@ -1,0 +1,156 @@
+// Fault-injection tests: crashes requeue work, stragglers shift it,
+// and the kernels still complete exactly once.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/experiment.hpp"
+#include "matmul/matmul_factory.hpp"
+#include "outer/outer_factory.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched {
+namespace {
+
+SimConfig with_faults(std::vector<WorkerFault> faults) {
+  SimConfig config;
+  config.faults = std::move(faults);
+  return config;
+}
+
+TEST(FaultInjection, CrashedWorkerTasksAreRequeuedAndCompleted) {
+  auto strategy = make_outer_strategy("RandomOuter", OuterConfig{30}, 3, 1);
+  Platform platform({20.0, 30.0, 50.0});
+  RecordingTrace trace;
+  const SimResult result = simulate(
+      *strategy, platform, with_faults({WorkerFault{0.5, 2, 0.0}}), &trace);
+  EXPECT_EQ(result.total_tasks_done, 900u);
+  EXPECT_EQ(result.crashed_workers, 1u);
+  EXPECT_GE(result.requeued_tasks, 1u);
+  // Every task completes exactly once despite the crash.
+  std::set<TaskId> completed;
+  for (const auto& ev : trace.completions()) {
+    EXPECT_TRUE(completed.insert(ev.task).second);
+  }
+  EXPECT_EQ(completed.size(), 900u);
+  // The dead worker does nothing after t = 0.5.
+  for (const auto& ev : trace.completions()) {
+    if (ev.worker == 2) {
+      EXPECT_LE(ev.time, 0.5 + 1e-9);
+    }
+  }
+}
+
+TEST(FaultInjection, CrashWorksForDataAwareStrategies) {
+  for (const char* name :
+       {"DynamicOuter", "DynamicOuter2Phases", "SortedOuter"}) {
+    OuterStrategyOptions options;
+    options.phase2_fraction = 0.05;
+    auto strategy = make_outer_strategy(name, OuterConfig{24}, 4, 2, options);
+    Platform platform({10.0, 20.0, 40.0, 80.0});
+    const SimResult result = simulate(
+        *strategy, platform, with_faults({WorkerFault{0.2, 3, 0.0}}));
+    EXPECT_EQ(result.total_tasks_done, 576u) << name;
+    EXPECT_EQ(result.crashed_workers, 1u) << name;
+  }
+}
+
+TEST(FaultInjection, CrashWorksForMatmul) {
+  MatmulStrategyOptions options;
+  options.phase2_fraction = 0.05;
+  auto strategy =
+      make_matmul_strategy("DynamicMatrix2Phases", MatmulConfig{8}, 3, 3,
+                           options);
+  Platform platform({20.0, 40.0, 60.0});
+  const SimResult result =
+      simulate(*strategy, platform, with_faults({WorkerFault{0.3, 1, 0.0}}));
+  EXPECT_EQ(result.total_tasks_done, 512u);
+}
+
+TEST(FaultInjection, MultipleCrashesSurvivedByLastWorker) {
+  auto strategy = make_outer_strategy("RandomOuter", OuterConfig{16}, 3, 4);
+  Platform platform({30.0, 30.0, 30.0});
+  const SimResult result = simulate(
+      *strategy, platform,
+      with_faults({WorkerFault{0.1, 0, 0.0}, WorkerFault{0.2, 1, 0.0}}));
+  EXPECT_EQ(result.total_tasks_done, 256u);
+  EXPECT_EQ(result.crashed_workers, 2u);
+  // The survivor did the lion's share.
+  EXPECT_GT(result.workers[2].tasks_done, 200u);
+}
+
+TEST(FaultInjection, LateCrashAfterRetirementIsHarmless) {
+  auto strategy = make_outer_strategy("RandomOuter", OuterConfig{10}, 2, 5);
+  Platform platform({50.0, 50.0});
+  // The run finishes around t = 1; crash far later.
+  const SimResult result = simulate(
+      *strategy, platform, with_faults({WorkerFault{100.0, 0, 0.0}}));
+  EXPECT_EQ(result.total_tasks_done, 100u);
+  EXPECT_EQ(result.requeued_tasks, 0u);
+}
+
+TEST(FaultInjection, CrashCostsCommunication) {
+  // The dead worker's cached blocks are lost; survivors must re-fetch
+  // data for the requeued tasks, so volume can only grow.
+  auto clean = make_outer_strategy("DynamicOuter", OuterConfig{40}, 4, 6);
+  auto faulty = make_outer_strategy("DynamicOuter", OuterConfig{40}, 4, 6);
+  Platform platform({25.0, 25.0, 25.0, 25.0});
+  const SimResult a = simulate(*clean, platform);
+  const SimResult b =
+      simulate(*faulty, platform, with_faults({WorkerFault{0.5, 0, 0.0}}));
+  EXPECT_EQ(a.total_tasks_done, b.total_tasks_done);
+  EXPECT_GE(b.makespan, a.makespan);  // three workers finish the job
+}
+
+TEST(FaultInjection, StragglerSlowsButCompletes) {
+  auto strategy = make_outer_strategy("RandomOuter", OuterConfig{30}, 2, 7);
+  Platform platform({50.0, 50.0});
+  const SimResult slowed = simulate(
+      *strategy, platform, with_faults({WorkerFault{0.1, 1, 0.1}}));
+  EXPECT_EQ(slowed.total_tasks_done, 900u);
+  // Demand-driven balancing shifts work to the healthy worker.
+  EXPECT_GT(slowed.workers[0].tasks_done, 2u * slowed.workers[1].tasks_done);
+  EXPECT_EQ(slowed.crashed_workers, 0u);
+}
+
+TEST(FaultInjection, WorkStealingCannotRequeueAndSaysSo) {
+  auto strategy =
+      make_outer_strategy("WorkStealingOuter", OuterConfig{16}, 2, 8);
+  Platform platform({30.0, 30.0});
+  EXPECT_THROW(simulate(*strategy, platform,
+                        with_faults({WorkerFault{0.1, 0, 0.0}})),
+               std::invalid_argument);
+}
+
+TEST(FaultInjection, RejectsMalformedFaults) {
+  auto strategy = make_outer_strategy("RandomOuter", OuterConfig{8}, 2, 9);
+  Platform platform({10.0, 10.0});
+  EXPECT_THROW(simulate(*strategy, platform,
+                        with_faults({WorkerFault{0.1, 5, 0.0}})),
+               std::invalid_argument);
+  EXPECT_THROW(simulate(*strategy, platform,
+                        with_faults({WorkerFault{0.1, 0, 1.5}})),
+               std::invalid_argument);
+  EXPECT_THROW(simulate(*strategy, platform,
+                        with_faults({WorkerFault{-1.0, 0, 0.0}})),
+               std::invalid_argument);
+}
+
+TEST(FaultInjection, RequeueRestoresPoolMembership) {
+  // Direct strategy-level check of the requeue contract.
+  auto strategy = make_outer_strategy("SortedOuter", OuterConfig{4}, 1, 10);
+  const auto a = strategy->on_request(0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(strategy->unassigned_tasks(), 15u);
+  EXPECT_TRUE(strategy->requeue(a->tasks));
+  EXPECT_EQ(strategy->unassigned_tasks(), 16u);
+  // Lexicographic service sees the requeued task again.
+  const auto b = strategy->on_request(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->tasks[0], a->tasks[0]);
+}
+
+}  // namespace
+}  // namespace hetsched

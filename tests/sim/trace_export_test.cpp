@@ -1,0 +1,44 @@
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "outer/outer_factory.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(TraceExport, EmitsCompleteEventsPerTask) {
+  auto strategy = make_outer_strategy("SortedOuter", OuterConfig{4}, 2, 1);
+  Platform platform({10.0, 20.0});
+  RecordingTrace trace;
+  simulate(*strategy, platform, {}, &trace);
+
+  std::ostringstream out;
+  export_chrome_trace(out, trace, platform);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"compute\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"comm\""), std::string::npos);
+  // 16 tasks => 16 complete events.
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = text.find("\"ph\":\"X\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 16u);
+}
+
+TEST(TraceExport, EmptyTraceStillValidJsonShell) {
+  RecordingTrace trace;
+  Platform platform({1.0});
+  std::ostringstream out;
+  export_chrome_trace(out, trace, platform);
+  EXPECT_NE(out.str().find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,137 @@
+#include "static_part/column_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "platform/lower_bound.hpp"
+#include "platform/platform.hpp"
+#include "platform/speed_model.hpp"
+
+namespace hetsched {
+namespace {
+
+void expect_valid_partition(const SquarePartition& part,
+                            const std::vector<double>& areas) {
+  ASSERT_EQ(part.rects.size(), areas.size());
+  double perim = 0.0;
+  for (std::size_t k = 0; k < areas.size(); ++k) {
+    const PartitionRect& r = part.rects[k];
+    EXPECT_EQ(r.owner, k);
+    EXPECT_NEAR(r.area(), areas[k], 1e-9) << "rect " << k;
+    EXPECT_GE(r.x, -1e-12);
+    EXPECT_GE(r.y, -1e-12);
+    EXPECT_LE(r.x + r.w, 1.0 + 1e-9);
+    EXPECT_LE(r.y + r.h, 1.0 + 1e-9);
+    perim += r.half_perimeter();
+  }
+  EXPECT_NEAR(perim, part.total_half_perimeter, 1e-9);
+  // Total area covers the unit square.
+  double area = 0.0;
+  for (const auto& r : part.rects) area += r.area();
+  EXPECT_NEAR(area, 1.0, 1e-9);
+}
+
+TEST(ColumnPartition, SingleProcessorIsWholeSquare) {
+  const auto part = partition_unit_square({1.0});
+  expect_valid_partition(part, {1.0});
+  EXPECT_EQ(part.columns, 1u);
+  EXPECT_NEAR(part.total_half_perimeter, 2.0, 1e-12);
+}
+
+TEST(ColumnPartition, TwoEqualProcessorsSplitInHalf) {
+  const std::vector<double> areas{0.5, 0.5};
+  const auto part = partition_unit_square(areas);
+  expect_valid_partition(part, areas);
+  // One column of two stacked rectangles: 2*0.5*2 ... the DP picks
+  // min(2 columns: cost 1*0.5+1 + 1*0.5+1 = 3, 1 column: 2*1+1 = 3).
+  EXPECT_NEAR(part.total_half_perimeter, 3.0, 1e-9);
+}
+
+TEST(ColumnPartition, FourEqualProcessorsFormTwoColumns) {
+  const std::vector<double> areas(4, 0.25);
+  const auto part = partition_unit_square(areas);
+  expect_valid_partition(part, areas);
+  // 2 columns x 2 rows of squares: cost = sum(w+h) = 4*(0.5+0.5) = 4.
+  EXPECT_EQ(part.columns, 2u);
+  EXPECT_NEAR(part.total_half_perimeter, 4.0, 1e-9);
+}
+
+TEST(ColumnPartition, PerfectSquaresAchieveLowerBound) {
+  // p equal processors with p a perfect square: sqrt(p) columns of
+  // sqrt(p) squares achieves 2 sum sqrt(a) exactly.
+  const std::size_t p = 9;
+  const std::vector<double> areas(p, 1.0 / p);
+  const auto part = partition_unit_square(areas);
+  const double lb = 2.0 * rel_speed_power_sum(areas, 0.5);
+  EXPECT_NEAR(part.total_half_perimeter, lb, 1e-9);
+}
+
+TEST(ColumnPartition, HandlesVerySkewedAreas) {
+  const std::vector<double> areas{0.90, 0.05, 0.05};
+  const auto part = partition_unit_square(areas);
+  expect_valid_partition(part, areas);
+}
+
+TEST(ColumnPartition, WithinSevenFourthsOfLowerBoundRandomInstances) {
+  // The paper cites this construction as a 7/4-approximation.
+  Rng rng(123);
+  UniformIntervalSpeeds model(10.0, 100.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t p = 2 + rng.next_below(40);
+    const Platform platform = make_platform(model, p, rng);
+    const auto areas = platform.relative_speeds();
+    const auto part = partition_unit_square(areas);
+    expect_valid_partition(part, areas);
+    const double lb = 2.0 * rel_speed_power_sum(areas, 0.5);
+    EXPECT_LE(part.total_half_perimeter, 1.75 * lb + 1e-9)
+        << "trial " << trial << " p=" << p;
+    EXPECT_GE(part.total_half_perimeter, lb - 1e-9);
+  }
+}
+
+TEST(ColumnPartition, ColumnsTileTheSquareWithoutOverlap) {
+  Rng rng(5);
+  UniformIntervalSpeeds model(10.0, 100.0);
+  const Platform platform = make_platform(model, 12, rng);
+  const auto areas = platform.relative_speeds();
+  const auto part = partition_unit_square(areas);
+  // Sample points and check exactly one rectangle contains each.
+  for (int s = 0; s < 2000; ++s) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    int hits = 0;
+    for (const auto& r : part.rects) {
+      if (x >= r.x && x < r.x + r.w && y >= r.y && y < r.y + r.h) ++hits;
+    }
+    EXPECT_EQ(hits, 1) << "point (" << x << ", " << y << ")";
+  }
+}
+
+TEST(ColumnPartition, RejectsBadInput) {
+  EXPECT_THROW(partition_unit_square({}), std::invalid_argument);
+  EXPECT_THROW(partition_unit_square({0.5, 0.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(partition_unit_square({0.6, 0.6}), std::invalid_argument);
+}
+
+TEST(StaticOuterVolume, ScalesWithN) {
+  const std::vector<double> rs{0.5, 0.5};
+  EXPECT_NEAR(static_outer_volume(200, rs), 2.0 * static_outer_volume(100, rs),
+              1e-9);
+}
+
+TEST(StaticOuterRatio, BetweenOneAndSevenFourths) {
+  Rng rng(9);
+  UniformIntervalSpeeds model(10.0, 100.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Platform platform = make_platform(model, 20, rng);
+    const double ratio = static_outer_ratio(platform.relative_speeds());
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LE(ratio, 1.75 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,178 @@
+#include "steal/work_stealing.hpp"
+
+#include "matmul/matmul_problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(WorkStealing, ServesEveryTaskExactlyOnce) {
+  WorkStealingOuterStrategy strategy(OuterConfig{12}, 3, 1);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      ASSERT_EQ(a->tasks.size(), 1u);
+      EXPECT_TRUE(seen.insert(a->tasks[0]).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 144u);
+}
+
+TEST(WorkStealing, InitialBandsAreLexicographicRows) {
+  WorkStealingOuterStrategy strategy(OuterConfig{9}, 3, 2);
+  // Worker 1's band starts at row 3: its first task is (3, 0).
+  const auto a = strategy.on_request(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->tasks[0], outer_task_id(9, 3, 0));
+  // Worker 0 starts at the origin.
+  const auto b = strategy.on_request(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->tasks[0], outer_task_id(9, 0, 0));
+}
+
+TEST(WorkStealing, NoStealsWhenDemandIsBalanced) {
+  // Round-robin service of equal bands: nobody ever runs dry before the
+  // end, so no steals until the bands are exhausted.
+  WorkStealingOuterStrategy strategy(OuterConfig{8}, 2, 3);
+  for (int round = 0; round < 32; ++round) {
+    ASSERT_TRUE(strategy.on_request(0).has_value());
+    ASSERT_TRUE(strategy.on_request(1).has_value());
+  }
+  EXPECT_EQ(strategy.steals(), 0u);
+}
+
+TEST(WorkStealing, IdleWorkerStealsFromVictim) {
+  WorkStealingOuterStrategy strategy(OuterConfig{8}, 2, 4);
+  // Worker 0 consumes its entire band (32 tasks), then must steal.
+  for (int t = 0; t < 32; ++t) {
+    ASSERT_TRUE(strategy.on_request(0).has_value());
+  }
+  EXPECT_EQ(strategy.steals(), 0u);
+  ASSERT_TRUE(strategy.on_request(0).has_value());
+  EXPECT_EQ(strategy.steals(), 1u);
+  // The thief took half of the victim's 32 remaining tasks, minus the
+  // one it just served.
+  EXPECT_EQ(strategy.deque_size(0), 15u);
+  EXPECT_EQ(strategy.deque_size(1), 16u);
+}
+
+TEST(WorkStealing, StealsTakeVictimsTail) {
+  WorkStealingOuterStrategy strategy(OuterConfig{4}, 2, 5);
+  // Drain worker 0's band (rows 0-1 = 8 tasks).
+  for (int t = 0; t < 8; ++t) ASSERT_TRUE(strategy.on_request(0).has_value());
+  // Steal: takes the tail of worker 1's band (end of row 3), so worker
+  // 1 still holds its head (3rd row start = task (2,0)).
+  ASSERT_TRUE(strategy.on_request(0).has_value());
+  const auto v = strategy.on_request(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->tasks[0], outer_task_id(4, 2, 0));
+}
+
+TEST(WorkStealing, SingleWorkerNeverSteals) {
+  WorkStealingOuterStrategy strategy(OuterConfig{6}, 1, 6);
+  while (strategy.on_request(0).has_value()) {
+  }
+  EXPECT_EQ(strategy.steals(), 0u);
+  EXPECT_EQ(strategy.unassigned_tasks(), 0u);
+}
+
+TEST(WorkStealing, BandLocalityKeepsOwnBandCheap) {
+  // A worker consuming only its own band receives its band's rows once
+  // and each column once: band_rows + n blocks.
+  const std::uint32_t n = 10;
+  WorkStealingOuterStrategy strategy(OuterConfig{n}, 2, 7);
+  std::uint64_t blocks = 0;
+  for (std::uint32_t t = 0; t < (n / 2) * n; ++t) {
+    const auto a = strategy.on_request(0);
+    ASSERT_TRUE(a.has_value());
+    blocks += a->blocks.size();
+  }
+  EXPECT_EQ(blocks, n / 2 + n);
+  EXPECT_EQ(strategy.steals(), 0u);
+}
+
+TEST(WorkStealing, HeterogeneousPlatformTriggersSteals) {
+  WorkStealingOuterStrategy strategy(OuterConfig{30}, 4, 8);
+  Platform platform({10.0, 20.0, 40.0, 90.0});
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 900u);
+  EXPECT_GT(strategy.steals(), 0u);
+  // Fast workers get tasks beyond their band, so they pay replication.
+  EXPECT_GT(result.total_blocks, 2u * 30u);
+}
+
+TEST(WorkStealing, LoadBalancesLikeDemandDriven) {
+  WorkStealingOuterStrategy strategy(OuterConfig{40}, 4, 9);
+  Platform platform({10.0, 30.0, 60.0, 90.0});
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_LT(result.finish_spread(), 0.15);
+}
+
+TEST(WorkStealing, RejectsZeroWorkers) {
+  EXPECT_THROW(WorkStealingOuterStrategy(OuterConfig{4}, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(WorkStealing, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    WorkStealingOuterStrategy strategy(OuterConfig{20}, 3, seed);
+    Platform platform({15.0, 45.0, 85.0});
+    return simulate(strategy, platform).total_blocks;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(WorkStealingMatmul, ServesEveryTaskExactlyOnce) {
+  WorkStealingMatmulStrategy strategy(MatmulConfig{6}, 3, 1);
+  std::set<TaskId> seen;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      const auto a = strategy.on_request(w);
+      if (!a.has_value()) continue;
+      progress = true;
+      ASSERT_EQ(a->tasks.size(), 1u);
+      EXPECT_TRUE(seen.insert(a->tasks[0]).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 216u);
+}
+
+TEST(WorkStealingMatmul, BandsAreOutputRowSlabs) {
+  WorkStealingMatmulStrategy strategy(MatmulConfig{6}, 3, 2);
+  // Worker 1's band starts at i = 2: first task is (2, 0, 0).
+  const auto a = strategy.on_request(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->tasks[0], matmul_task_id(6, 2, 0, 0));
+}
+
+TEST(WorkStealingMatmul, AtMostThreeBlocksPerTask) {
+  WorkStealingMatmulStrategy strategy(MatmulConfig{6}, 2, 3);
+  while (auto a = strategy.on_request(0)) {
+    EXPECT_LE(a->blocks.size(), 3u);
+  }
+}
+
+TEST(WorkStealingMatmul, FullRunOnHeterogeneousPlatform) {
+  WorkStealingMatmulStrategy strategy(MatmulConfig{8}, 4, 4);
+  Platform platform({10.0, 25.0, 55.0, 95.0});
+  const SimResult result = simulate(strategy, platform);
+  EXPECT_EQ(result.total_tasks_done, 512u);
+  EXPECT_GT(strategy.steals(), 0u);
+  EXPECT_LT(result.finish_spread(), 0.2);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Regression-check bench outputs against tools/expectations.json.
+
+Usage:
+    python3 tools/check_results.py results/ [--spec tools/expectations.json]
+
+Each spec entry names a bench output file (without .txt) and a list of
+rules evaluated at an x position (first CSV column, matched with a
+small tolerance):
+
+  {"x": 100, "series": "S.mean", "min": a, "max": b}
+      a <= S.mean(x) <= b
+  {"x": 100, "ratio_above": ["A", "B"], "factor": f}
+      A(x) >= f * B(x)
+  {"x": 100, "within_pct": ["A", "B"], "pct": q}
+      |A(x) - B(x)| <= (q/100) * B(x)
+
+Exits non-zero if any rule fails — wire into CI after regenerating the
+results directory.
+"""
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+
+def load_table(path):
+    rows = []
+    header = None
+    with open(path) as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if line.startswith("#") or not line.strip():
+                continue
+            cells = next(csv.reader([line]))
+            if header is None:
+                header = cells
+            else:
+                rows.append(cells)
+    return header, rows
+
+
+def value_at(header, rows, x, column):
+    if column not in header:
+        raise KeyError(f"column {column!r} not in {header}")
+    col_idx = header.index(column)
+    for row in rows:
+        try:
+            row_x = float(row[0])
+        except ValueError:
+            continue
+        if abs(row_x - x) <= 1e-9 + 1e-6 * abs(x):
+            cell = row[col_idx]
+            if cell == "":
+                raise KeyError(f"empty cell for {column} at x={x}")
+            return float(cell)
+    raise KeyError(f"x={x} not found in table")
+
+
+def check_rule(header, rows, rule):
+    x = rule["x"]
+    if "series" in rule:
+        v = value_at(header, rows, x, rule["series"])
+        ok = rule.get("min", -1e300) <= v <= rule.get("max", 1e300)
+        detail = (f"{rule['series']}({x}) = {v:.4g} "
+                  f"in [{rule.get('min', '-inf')}, {rule.get('max', 'inf')}]")
+        return ok, detail
+    if "ratio_above" in rule:
+        a_name, b_name = rule["ratio_above"]
+        a = value_at(header, rows, x, a_name)
+        b = value_at(header, rows, x, b_name)
+        ok = a >= rule["factor"] * b
+        return ok, (f"{a_name}({x}) = {a:.4g} >= {rule['factor']} * "
+                    f"{b_name}({x}) = {rule['factor'] * b:.4g}")
+    if "within_pct" in rule:
+        a_name, b_name = rule["within_pct"]
+        a = value_at(header, rows, x, a_name)
+        b = value_at(header, rows, x, b_name)
+        ok = abs(a - b) <= rule["pct"] / 100.0 * abs(b)
+        return ok, (f"|{a_name}({x}) - {b_name}({x})| = {abs(a - b):.4g} "
+                    f"<= {rule['pct']}% of {b:.4g}")
+    raise ValueError(f"unknown rule shape: {rule}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir")
+    parser.add_argument("--spec", default=os.path.join(
+        os.path.dirname(__file__), "expectations.json"))
+    args = parser.parse_args()
+
+    with open(args.spec) as fh:
+        spec = json.load(fh)
+
+    failures = 0
+    checks = 0
+    for bench, rules in spec.items():
+        if bench.startswith("_"):
+            continue
+        path = os.path.join(args.results_dir, bench + ".txt")
+        if not os.path.exists(path):
+            print(f"MISSING {bench}: {path} not found")
+            failures += 1
+            continue
+        header, rows = load_table(path)
+        for rule in rules:
+            checks += 1
+            try:
+                ok, detail = check_rule(header, rows, rule)
+            except (KeyError, ValueError) as err:
+                ok, detail = False, str(err)
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} {bench}: {detail}")
+            if not ok:
+                failures += 1
+
+    print(f"\n{checks - failures}/{checks} checks passed")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,280 @@
+// hetsched command-line driver: one binary exposing the library's main
+// entry points for interactive use and scripting.
+//
+//   hetsched_cli run   --kernel=outer --strategy=DynamicOuter2Phases
+//                      [--n=100] [--p=20] [--scenario=default]
+//                      [--reps=10] [--seed=42] [--beta=4.2] [--json]
+//   hetsched_cli tune  --kernel=matmul [--p=100] [--n=40]
+//   hetsched_cli sweep --kernel=outer [--n=100] [--p=10,50,100]
+//                      [--strategies=RandomOuter,DynamicOuter] [--json]
+//   hetsched_cli partition --speeds=10,40,25,25
+//   hetsched_cli dag   --factorization=cholesky [--tiles=16] [--p=8]
+//   hetsched_cli help
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/matmul_analysis.hpp"
+#include "analysis/outer_analysis.hpp"
+#include "common/cli.hpp"
+#include "core/campaign.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "core/figure.hpp"
+#include "core/report.hpp"
+#include "dag/cholesky.hpp"
+#include "dag/dag_engine.hpp"
+#include "dag/lu.hpp"
+#include "dag/qr.hpp"
+#include "platform/platform.hpp"
+#include "static_part/column_partition.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+int usage() {
+  std::cout <<
+      "hetsched_cli <command> [--flags]\n"
+      "\n"
+      "commands:\n"
+      "  run        run one experiment and report normalized volume\n"
+      "             --kernel=outer|matmul --strategy=<name> [--n= --p=]\n"
+      "             [--scenario=default|hom|unif.1|...|dyn.20] [--reps=]\n"
+      "             [--seed=] [--beta=] [--json] [--details]\n"
+      "  sweep      sweep worker counts for several strategies\n"
+      "             --kernel=... [--p=10,50,100] [--strategies=a,b,c]\n"
+      "             [--analysis] [--json]\n"
+      "  tune       print the analysis-optimal beta for (kernel, p, n)\n"
+      "  partition  static 7/4 rectangle partition for explicit speeds\n"
+      "             --speeds=10,40,25,25 [--n=100]\n"
+      "  dag        compare ready-task policies on a factorization graph\n"
+      "             --factorization=cholesky|qr|lu [--tiles=16] [--p=8]\n"
+      "             [--reps=3] [--seed=]\n"
+      "  campaign   run a strategy x worker-count matrix as one parallel\n"
+      "             batch, JSON output\n"
+      "             --kernel=... [--strategies=a,b] [--p=10,50] [--reps=]\n"
+      "  help       this text\n";
+  return 2;
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_run(const CliArgs& args) {
+  ExperimentConfig config;
+  config.kernel = kernel_from_string(args.get("kernel", "outer"));
+  config.strategy = args.get(
+      "strategy",
+      config.kernel == Kernel::kOuter ? "DynamicOuter2Phases"
+                                      : "DynamicMatrix2Phases");
+  config.n = static_cast<std::uint32_t>(
+      args.get_int("n", config.kernel == Kernel::kOuter ? 100 : 40));
+  config.p = static_cast<std::uint32_t>(args.get_int("p", 20));
+  config.scenario = named_scenario(args.get("scenario", "default"));
+  config.reps = static_cast<std::uint32_t>(args.get_int("reps", 10));
+  config.seed = args.get_int("seed", 42);
+  if (args.has("beta")) {
+    config.phase2_fraction = std::exp(-args.get_double("beta", 4.0));
+  }
+
+  const ExperimentResult result = run_experiment(config);
+  if (args.get_bool("json", false)) {
+    write_experiment_json(std::cout, config, result,
+                          args.get_bool("details", false));
+    return 0;
+  }
+  std::cout << config.strategy << " on " << config.p << " workers, n="
+            << config.n << " (" << config.scenario.name << ")\n";
+  if (result.beta > 0.0) {
+    std::cout << "beta                : " << result.beta << "\n";
+  }
+  std::cout << "normalized volume   : " << result.normalized.mean
+            << " (sd " << result.normalized.stddev << ")\n";
+  std::cout << "analysis prediction : " << result.analysis_ratio.mean << "\n";
+  std::cout << "makespan            : " << result.makespan.mean << "\n";
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  const Kernel kernel = kernel_from_string(args.get("kernel", "outer"));
+  const auto n = static_cast<std::uint32_t>(
+      args.get_int("n", kernel == Kernel::kOuter ? 100 : 40));
+  const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 5));
+  const std::uint64_t seed = args.get_int("seed", 42);
+  std::vector<std::uint32_t> ps;
+  for (const auto v : args.get_int_list("p", {10, 50, 100})) {
+    ps.push_back(static_cast<std::uint32_t>(v));
+  }
+  std::vector<std::string> strategies = split_names(args.get(
+      "strategies", kernel == Kernel::kOuter
+                        ? "RandomOuter,DynamicOuter,DynamicOuter2Phases"
+                        : "RandomMatrix,DynamicMatrix,DynamicMatrix2Phases"));
+
+  const auto points = sweep_worker_count(
+      kernel, n, ps, named_scenario(args.get("scenario", "default")),
+      strategies, args.get_bool("analysis", true), seed, reps);
+  if (args.get_bool("json", false)) {
+    write_sweep_json(std::cout, "p", points);
+  } else {
+    print_sweep_csv(points, "p", std::cout);
+  }
+  return 0;
+}
+
+int cmd_tune(const CliArgs& args) {
+  const Kernel kernel = kernel_from_string(args.get("kernel", "outer"));
+  const auto p = static_cast<std::uint32_t>(args.get_int("p", 20));
+  const auto n = static_cast<std::uint32_t>(
+      args.get_int("n", kernel == Kernel::kOuter ? 100 : 40));
+  const std::vector<double> rs(p, 1.0 / static_cast<double>(p));
+  const auto opt = kernel == Kernel::kOuter
+                       ? OuterAnalysis(rs, n).optimal_beta()
+                       : MatmulAnalysis(rs, n).optimal_beta();
+  std::cout << "kernel=" << to_string(kernel) << " p=" << p << " n=" << n
+            << "\n";
+  std::cout << "beta*            : " << opt.x << "\n";
+  std::cout << "predicted ratio  : " << opt.f << "\n";
+  std::cout << "phase2 fraction  : " << std::exp(-opt.x) << "\n";
+  return 0;
+}
+
+int cmd_partition(const CliArgs& args) {
+  const std::string speeds_csv = args.get("speeds", "");
+  if (speeds_csv.empty()) {
+    std::cerr << "partition: --speeds=s1,s2,... is required\n";
+    return 2;
+  }
+  std::vector<double> speeds;
+  for (const auto& tok : split_names(speeds_csv)) {
+    speeds.push_back(std::stod(tok));
+  }
+  const Platform platform(speeds);
+  const auto rs = platform.relative_speeds();
+  const SquarePartition part = partition_unit_square(rs);
+  TableWriter table({"worker", "speed", "x", "y", "w", "h", "half-perim"});
+  for (std::size_t k = 0; k < part.rects.size(); ++k) {
+    const auto& r = part.rects[k];
+    table.row({std::to_string(k), CsvWriter::format(speeds[k], 4),
+               CsvWriter::format(r.x, 4), CsvWriter::format(r.y, 4),
+               CsvWriter::format(r.w, 4), CsvWriter::format(r.h, 4),
+               CsvWriter::format(r.half_perimeter(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "columns: " << part.columns
+            << ", total half-perimeter: " << part.total_half_perimeter
+            << ", vs lower bound: " << static_outer_ratio(rs) << "x\n";
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", 100));
+  std::cout << "static volume for n=" << n << ": "
+            << static_outer_volume(n, rs) << " blocks\n";
+  return 0;
+}
+
+int cmd_dag(const CliArgs& args) {
+  const std::string fact = args.get("factorization", "cholesky");
+  const auto tiles = static_cast<std::uint32_t>(args.get_int("tiles", 16));
+  const auto p = static_cast<std::uint32_t>(args.get_int("p", 8));
+  const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 3));
+  const std::uint64_t seed = args.get_int("seed", 42);
+
+  TaskGraph graph;
+  if (fact == "cholesky") {
+    graph = build_cholesky_graph(tiles).graph;
+  } else if (fact == "qr") {
+    graph = build_qr_graph(tiles).graph;
+  } else if (fact == "lu") {
+    graph = build_lu_graph(tiles).graph;
+  } else {
+    std::cerr << "dag: unknown factorization " << fact << "\n";
+    return 2;
+  }
+  std::cout << fact << " T=" << tiles << ": " << graph.num_tasks()
+            << " tasks, " << graph.num_tiles() << " tiles, critical path "
+            << graph.critical_path() << "\n";
+
+  TableWriter table({"policy", "transfers", "makespan/LB"});
+  for (const auto& name : dag_policy_names()) {
+    double transfers = 0.0, inflation = 0.0;
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      const std::uint64_t rep_seed =
+          derive_stream(seed, "rep." + std::to_string(r));
+      Rng speed_rng(derive_stream(rep_seed, "speeds"));
+      const Platform platform =
+          make_platform(UniformIntervalSpeeds(10.0, 100.0), p, speed_rng);
+      auto policy = make_dag_policy(name, rep_seed);
+      const DagSimResult result = simulate_dag(graph, platform, *policy);
+      transfers += static_cast<double>(result.total_transfers);
+      inflation += result.makespan /
+                   DagSimResult::makespan_lower_bound(graph, platform);
+    }
+    table.row({name, CsvWriter::format(transfers / reps, 6),
+               CsvWriter::format(inflation / reps, 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_campaign(const CliArgs& args) {
+  const Kernel kernel = kernel_from_string(args.get("kernel", "outer"));
+  const auto n = static_cast<std::uint32_t>(
+      args.get_int("n", kernel == Kernel::kOuter ? 100 : 40));
+  const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 5));
+  const std::uint64_t seed = args.get_int("seed", 42);
+  const std::vector<std::string> strategies = split_names(args.get(
+      "strategies", kernel == Kernel::kOuter
+                        ? "RandomOuter,DynamicOuter,DynamicOuter2Phases"
+                        : "RandomMatrix,DynamicMatrix,DynamicMatrix2Phases"));
+
+  Campaign campaign("cli");
+  for (const auto v : args.get_int_list("p", {10, 50, 100})) {
+    for (const auto& strategy : strategies) {
+      ExperimentConfig config;
+      config.kernel = kernel;
+      config.strategy = strategy;
+      config.n = n;
+      config.p = static_cast<std::uint32_t>(v);
+      config.reps = reps;
+      config.seed = seed;
+      config.scenario = named_scenario(args.get("scenario", "default"));
+      campaign.add(strategy + ".p" + std::to_string(v), config);
+    }
+  }
+  const auto outcomes =
+      campaign.run(static_cast<unsigned>(args.get_int("jobs", 0)));
+  write_campaign_json(std::cout, campaign.name(), outcomes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const CliArgs args(argc - 1, argv + 1);
+    if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "tune") return cmd_tune(args);
+    if (command == "partition") return cmd_partition(args);
+    if (command == "dag") return cmd_dag(args);
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "help" || command == "--help") {
+      usage();
+      return 0;
+    }
+    std::cerr << "unknown command: " << command << "\n\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Plot the bench harness outputs as the paper's figures.
+
+Usage:
+    # run the benches first, capturing CSVs
+    for b in build/bench/fig*; do $b > results/$(basename $b).txt; done
+    python3 tools/plot_figures.py results/ [-o plots/]
+
+Each results/*.txt file is parsed as: '#'-prefixed provenance lines,
+then a CSV whose first column is the x axis and whose remaining columns
+come in <series>.mean / <series>.sd pairs. One PNG per input file.
+Requires matplotlib; falls back to a terse ASCII rendition without it.
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import OrderedDict
+
+
+def parse_bench_file(path):
+    """Returns (title, x_name, rows) where rows maps series -> (xs, means, sds)."""
+    comments = []
+    data_lines = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if line.startswith("#"):
+                comments.append(line.lstrip("# "))
+            elif line.strip():
+                data_lines.append(line)
+    if not data_lines:
+        raise ValueError(f"{path}: no CSV payload")
+    reader = csv.reader(data_lines)
+    header = next(reader)
+    x_name = header[0]
+
+    def split_col(col):
+        """Returns (series name, 'mean'|'sd'); bare columns are means."""
+        if "." in col:
+            base, kind = col.rsplit(".", 1)
+            if kind in ("mean", "sd"):
+                return base, kind
+        return col, "mean"
+
+    series = OrderedDict()
+    for col in header[1:]:
+        base, _ = split_col(col)
+        if base not in series:
+            series[base] = {"x": [], "mean": [], "sd": []}
+
+    for row in reader:
+        if not row or not row[0]:
+            continue
+        try:
+            x = float(row[0])
+        except ValueError:
+            x = row[0]  # categorical axis (e.g. scenario names)
+        for idx, col in enumerate(header[1:], start=1):
+            base, kind = split_col(col)
+            cell = row[idx] if idx < len(row) else ""
+            if cell == "":
+                continue
+            value = float(cell)
+            if kind == "mean":
+                series[base]["x"].append(x)
+                series[base]["mean"].append(value)
+            elif kind == "sd":
+                series[base]["sd"].append(value)
+    title = comments[0] if comments else os.path.basename(path)
+    return title, x_name, series
+
+
+def plot_matplotlib(title, x_name, series, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, data in series.items():
+        if not data["mean"]:
+            continue
+        xs = data["x"]
+        categorical = xs and isinstance(xs[0], str)
+        positions = range(len(xs)) if categorical else xs
+        sds = data["sd"] if len(data["sd"]) == len(data["mean"]) else None
+        ax.errorbar(positions, data["mean"], yerr=sds, marker="o",
+                    capsize=3, label=name)
+        if categorical:
+            ax.set_xticks(range(len(xs)))
+            ax.set_xticklabels(xs, rotation=30)
+    ax.set_xlabel(x_name)
+    ax.set_ylabel("normalized communication")
+    ax.set_title(title, fontsize=10)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=130)
+    plt.close(fig)
+
+
+def plot_ascii(title, x_name, series):
+    print(f"== {title} ==")
+    for name, data in series.items():
+        if not data["mean"]:
+            continue
+        lo, hi = min(data["mean"]), max(data["mean"])
+        print(f"  {name:<24} {x_name}-range n={len(data['mean'])} "
+              f"min={lo:.3f} max={hi:.3f}")
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", help="directory of bench outputs")
+    parser.add_argument("-o", "--out", default="plots",
+                        help="output directory for PNGs")
+    args = parser.parse_args()
+
+    files = sorted(
+        os.path.join(args.results_dir, f)
+        for f in os.listdir(args.results_dir)
+        if f.endswith(".txt") and (f.startswith("fig") or f.startswith("abl")
+                                   or f.startswith("ext")
+                                   or f.startswith("sec")))
+    if not files:
+        sys.exit(f"no bench outputs found in {args.results_dir}")
+
+    try:
+        import matplotlib  # noqa: F401
+        have_mpl = True
+        os.makedirs(args.out, exist_ok=True)
+    except ImportError:
+        have_mpl = False
+        print("matplotlib not available; printing summaries only\n")
+
+    for path in files:
+        try:
+            title, x_name, series = parse_bench_file(path)
+        except ValueError as err:
+            print(f"skipping {path}: {err}")
+            continue
+        if have_mpl:
+            out_path = os.path.join(
+                args.out,
+                os.path.splitext(os.path.basename(path))[0] + ".png")
+            plot_matplotlib(title, x_name, series, out_path)
+            print(f"wrote {out_path}")
+        else:
+            plot_ascii(title, x_name, series)
+
+
+if __name__ == "__main__":
+    main()
