@@ -7,10 +7,13 @@
 
 #include <cstdint>
 #include <iostream>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "core/experiment.hpp"
 #include "core/figure.hpp"
 
 namespace hetsched::bench {
@@ -21,10 +24,29 @@ inline void print_header(const std::string& figure, const std::string& what,
   std::cout << "# " << params << "\n";
 }
 
+/// Provenance line for replication-engine timing. Benches whose data
+/// stream must stay machine-parseable (JSON) pass std::cerr.
+inline void print_perf(const std::string& what, const ExperimentResult& result,
+                       std::ostream& out = std::cout) {
+  out << "# perf: " << what << " wall_time_sec=" << result.wall_time_sec
+      << " reps_per_sec=" << result.reps_per_sec
+      << " rep_parallelism=" << result.rep_parallelism << "\n";
+}
+
+/// Narrow-checked CLI conversion: negative or >= 2^32 values must fail
+/// loudly instead of wrapping into bogus p/n grids.
 inline std::vector<std::uint32_t> to_u32(const std::vector<std::int64_t>& v) {
   std::vector<std::uint32_t> out;
   out.reserve(v.size());
-  for (const auto x : v) out.push_back(static_cast<std::uint32_t>(x));
+  for (const auto x : v) {
+    if (x < 0 ||
+        x > static_cast<std::int64_t>(
+                std::numeric_limits<std::uint32_t>::max())) {
+      throw std::invalid_argument(
+          "bench::to_u32: value out of uint32 range: " + std::to_string(x));
+    }
+    out.push_back(static_cast<std::uint32_t>(x));
+  }
   return out;
 }
 

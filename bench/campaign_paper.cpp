@@ -51,6 +51,10 @@ int main(int argc, char** argv) {
         100);
 
   const auto outcomes = campaign.run(parallelism);
+  // Provenance on stderr so the JSON document on stdout stays parseable.
+  for (const auto& outcome : outcomes) {
+    bench::print_perf(outcome.label, outcome.result, std::cerr);
+  }
   write_campaign_json(std::cout, campaign.name(), outcomes);
   return 0;
 }

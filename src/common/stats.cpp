@@ -32,11 +32,14 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   if (other.max_ > max_) max_ = other.max_;
 }
 
+Summary RunningStats::to_summary() const noexcept {
+  return Summary{mean(), stddev(), n_ ? min_ : 0.0, n_ ? max_ : 0.0, n_};
+}
+
 Summary summarize(const std::vector<double>& values) noexcept {
   RunningStats rs;
   for (const double v : values) rs.push(v);
-  return Summary{rs.mean(), rs.stddev(), rs.count() ? rs.min() : 0.0,
-                 rs.count() ? rs.max() : 0.0, rs.count()};
+  return rs.to_summary();
 }
 
 }  // namespace hetsched

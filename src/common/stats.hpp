@@ -12,6 +12,15 @@
 
 namespace hetsched {
 
+/// Simple descriptive summary of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
 class RunningStats {
  public:
   void push(double x) noexcept;
@@ -28,21 +37,16 @@ class RunningStats {
   /// Merges another accumulator (parallel aggregation).
   void merge(const RunningStats& other) noexcept;
 
+  /// Snapshot as a Summary; an empty accumulator reports 0 min/max
+  /// instead of the +/- infinity sentinels.
+  Summary to_summary() const noexcept;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
-};
-
-/// Simple descriptive summary of a sample vector.
-struct Summary {
-  double mean = 0.0;
-  double stddev = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-  std::size_t count = 0;
 };
 
 Summary summarize(const std::vector<double>& values) noexcept;

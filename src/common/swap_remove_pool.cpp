@@ -36,8 +36,10 @@ bool SwapRemovePool::insert(std::uint64_t id) {
   return true;
 }
 
-std::uint64_t SwapRemovePool::pop_random(Rng& rng) noexcept {
-  assert(!ids_.empty());
+std::uint64_t SwapRemovePool::pop_random(Rng& rng) {
+  if (ids_.empty()) {
+    throw std::logic_error("SwapRemovePool::pop_random: pool is empty");
+  }
   const auto pos = static_cast<std::uint32_t>(rng.next_below(ids_.size()));
   const std::uint64_t id = ids_[pos];
   const std::uint64_t last = ids_.back();
@@ -48,12 +50,16 @@ std::uint64_t SwapRemovePool::pop_random(Rng& rng) noexcept {
   return id;
 }
 
-std::uint64_t SwapRemovePool::pop_first() noexcept {
-  assert(!ids_.empty());
-  while (first_cursor_ < position_.size() && position_[first_cursor_] == kAbsent) {
-    ++first_cursor_;
+std::uint64_t SwapRemovePool::pop_first() {
+  if (ids_.empty()) {
+    throw std::logic_error("SwapRemovePool::pop_first: pool is empty");
   }
-  assert(first_cursor_ < position_.size());
+  // Non-empty + cursor-is-a-lower-bound (insert rewinds it) guarantee a
+  // present id before the end, so the scan cannot run off the array.
+  while (position_[first_cursor_] == kAbsent) {
+    ++first_cursor_;
+    assert(first_cursor_ < position_.size());
+  }
   const std::uint64_t id = first_cursor_;
   remove(id);
   return id;

@@ -39,14 +39,15 @@ class SwapRemovePool {
   /// lexicographic cursor is rewound so pop_first stays correct.
   bool insert(std::uint64_t id);
 
-  /// Removes and returns a uniformly random element. Pool must be
-  /// non-empty.
-  std::uint64_t pop_random(Rng& rng) noexcept;
+  /// Removes and returns a uniformly random element. Throws
+  /// std::logic_error if the pool is empty (a scheduling bug: callers
+  /// must check empty() first).
+  std::uint64_t pop_random(Rng& rng);
 
   /// Removes and returns the smallest id still present (lexicographic
   /// service order). Amortized O(1) over the pool's lifetime because
-  /// ids never re-enter. Pool must be non-empty.
-  std::uint64_t pop_first() noexcept;
+  /// ids never re-enter. Throws std::logic_error if the pool is empty.
+  std::uint64_t pop_first();
 
   /// Present ids in unspecified order (for inspection/testing).
   const std::vector<std::uint64_t>& ids() const noexcept { return ids_; }

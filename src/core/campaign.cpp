@@ -1,10 +1,11 @@
 #include "core/campaign.hpp"
 
-#include <future>
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
-#include <thread>
 
 #include "common/json.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace hetsched {
 
@@ -27,31 +28,40 @@ void Campaign::add(std::string label, ExperimentConfig config) {
 }
 
 std::vector<CampaignOutcome> Campaign::run(unsigned parallelism) const {
-  if (parallelism == 0) {
-    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  return run_with([](const ExperimentConfig& c) { return run_experiment(c); },
+                  parallelism);
+}
+
+std::vector<CampaignOutcome> Campaign::run_with(const ExperimentRunner& runner,
+                                                unsigned parallelism) const {
+  if (!runner) {
+    throw std::invalid_argument("Campaign::run_with: runner must be callable");
   }
   std::vector<CampaignOutcome> outcomes(entries_.size());
-
-  // Simple bounded fan-out: launch up to `parallelism` futures, harvest
-  // the oldest when the window is full. Each run_experiment call is
-  // self-contained and deterministic, so ordering cannot matter.
-  std::vector<std::pair<std::size_t, std::future<ExperimentResult>>> window;
-  auto harvest_front = [&]() {
-    auto& [idx, future] = window.front();
-    outcomes[idx].result = future.get();
-    window.erase(window.begin());
-  };
-
   for (std::size_t e = 0; e < entries_.size(); ++e) {
     outcomes[e].label = entries_[e].label;
     outcomes[e].config = entries_[e].config;
-    if (window.size() >= parallelism) harvest_front();
-    const ExperimentConfig& config = entries_[e].config;
-    window.emplace_back(e, std::async(std::launch::async, [config] {
-                          return run_experiment(config);
-                        }));
   }
-  while (!window.empty()) harvest_front();
+  if (entries_.empty()) return outcomes;
+
+  const auto units = static_cast<std::uint32_t>(entries_.size());
+  std::uint32_t threads = 1;
+  std::optional<ParallelLease> lease;
+  if (parallelism > 0) {
+    threads = std::min(static_cast<std::uint32_t>(parallelism), units);
+  } else if (units > 1) {
+    // Auto: claim campaign-level workers from the shared budget. The
+    // experiments inside then find the budget drained and run their rep
+    // loops serially, so the two levels compose without oversubscribing.
+    lease.emplace(units);
+    threads = std::max(1u, lease->granted());
+    if (threads <= 1) lease.reset();
+  }
+  // Shared atomic-index queue: no future window, no head-of-line
+  // blocking on the oldest entry, results land at their entry index.
+  parallel_for_dynamic(threads, units, [&](std::uint64_t e) {
+    outcomes[e].result = runner(entries_[e].config);
+  });
   return outcomes;
 }
 
@@ -76,6 +86,10 @@ void write_campaign_json(std::ostream& out, const std::string& name,
     json.field("normalized_sd", outcome.result.normalized.stddev);
     json.field("analysis_mean", outcome.result.analysis_ratio.mean);
     json.field("makespan_mean", outcome.result.makespan.mean);
+    json.field("wall_time_sec", outcome.result.wall_time_sec);
+    json.field("reps_per_sec", outcome.result.reps_per_sec);
+    json.field("rep_parallelism",
+               static_cast<std::uint64_t>(outcome.result.rep_parallelism));
     json.end_object();
   }
   json.end_array();

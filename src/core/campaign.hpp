@@ -1,14 +1,15 @@
 // Declarative experiment campaigns.
 //
 // A campaign is a named list of experiment configurations executed as a
-// batch — repetitions of independent configs run concurrently on a
-// bounded pool of std::async workers (each experiment is already
-// internally deterministic, so concurrency cannot change results) — and
-// reported as one JSON document. This is the "reproduce everything with
-// one command" entry point used by bench/campaign_paper.
+// batch — entries are claimed from a shared atomic-index work queue by
+// a bounded set of worker threads (each experiment is internally
+// deterministic, so concurrency cannot change results) — and reported
+// as one JSON document. This is the "reproduce everything with one
+// command" entry point used by bench/campaign_paper.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -30,6 +31,10 @@ struct CampaignOutcome {
 
 class Campaign {
  public:
+  /// Maps a config to its result; injectable for tests/instrumentation.
+  using ExperimentRunner =
+      std::function<ExperimentResult(const ExperimentConfig&)>;
+
   explicit Campaign(std::string name);
 
   /// Adds one experiment; labels must be unique.
@@ -38,10 +43,19 @@ class Campaign {
   std::size_t size() const noexcept { return entries_.size(); }
   const std::string& name() const noexcept { return name_; }
 
-  /// Runs every entry, at most `parallelism` concurrently (0 = hardware
-  /// concurrency). Outcomes are returned in insertion order regardless
-  /// of completion order.
+  /// Runs every entry with run_experiment. Entries are pulled from a
+  /// shared work queue, so a slow entry never delays the ones behind
+  /// it. A nonzero parallelism is honored exactly (capped at the entry
+  /// count); 0 claims workers from the process-wide parallelism budget
+  /// (runtime/thread_pool.hpp), which also makes the experiments'
+  /// nested rep loops fall back to serial — campaign-level and
+  /// rep-level parallelism compose without oversubscription. Outcomes
+  /// are returned in insertion order regardless of completion order.
   std::vector<CampaignOutcome> run(unsigned parallelism = 0) const;
+
+  /// Same scheduling, custom experiment runner.
+  std::vector<CampaignOutcome> run_with(const ExperimentRunner& runner,
+                                        unsigned parallelism = 0) const;
 
  private:
   std::string name_;

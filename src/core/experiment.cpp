@@ -1,7 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "analysis/homogeneous.hpp"
@@ -11,6 +14,7 @@
 #include "matmul/matmul_factory.hpp"
 #include "outer/outer_factory.hpp"
 #include "platform/lower_bound.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace hetsched {
 
@@ -113,31 +117,74 @@ RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed) {
   return outcome;
 }
 
+namespace {
+
+struct ShardStats {
+  RunningStats normalized, analysis, makespan, spread;
+};
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.reps == 0) {
     throw std::invalid_argument("run_experiment: reps must be >= 1");
   }
+  const auto start = std::chrono::steady_clock::now();
   ExperimentResult result;
   result.beta = resolve_beta(config);
-  RunningStats norm, analysis, makespan, spread;
-  result.reps.reserve(config.reps);
-  for (std::uint32_t r = 0; r < config.reps; ++r) {
-    const std::uint64_t rep_seed =
-        derive_stream(config.seed, "rep." + std::to_string(r));
-    RepOutcome outcome = run_single(config, rep_seed);
-    norm.push(outcome.normalized);
-    analysis.push(outcome.analysis_ratio);
-    makespan.push(outcome.sim.makespan);
-    spread.push(outcome.sim.finish_spread());
-    result.reps.push_back(std::move(outcome));
-  }
-  auto to_summary = [](const RunningStats& rs) {
-    return Summary{rs.mean(), rs.stddev(), rs.min(), rs.max(), rs.count()};
+  result.reps.resize(config.reps);
+
+  // Deterministic parallel replication: shard s owns reps
+  // {s, s + kRepShards, ...}. Shards are the unit of work the rep
+  // workers claim, so each shard has exactly one writer, a fixed push
+  // order within it, and a fixed merge order across shards — the
+  // aggregation is bit-identical for any thread count.
+  const std::uint32_t shard_count = std::min(kRepShards, config.reps);
+  std::vector<ShardStats> shards(shard_count);
+  auto run_shard = [&](std::uint64_t s) {
+    ShardStats& shard = shards[s];
+    for (std::uint64_t r = s; r < config.reps; r += kRepShards) {
+      const std::uint64_t rep_seed =
+          derive_stream(config.seed, "rep." + std::to_string(r));
+      RepOutcome outcome = run_single(config, rep_seed);
+      shard.normalized.push(outcome.normalized);
+      shard.analysis.push(outcome.analysis_ratio);
+      shard.makespan.push(outcome.sim.makespan);
+      shard.spread.push(outcome.sim.finish_spread());
+      result.reps[r] = std::move(outcome);
+    }
   };
-  result.normalized = to_summary(norm);
-  result.analysis_ratio = to_summary(analysis);
-  result.makespan = to_summary(makespan);
-  result.finish_spread = to_summary(spread);
+
+  std::uint32_t threads = 1;
+  std::optional<ParallelLease> lease;
+  if (config.parallelism > 0) {
+    threads = std::min(config.parallelism, shard_count);
+  } else if (shard_count > 1) {
+    lease.emplace(shard_count);
+    threads = std::max(1u, lease->granted());
+    if (threads <= 1) lease.reset();  // serial: return the slot now
+  }
+  result.rep_parallelism = threads;
+  parallel_for_dynamic(threads, shard_count, run_shard);
+  lease.reset();
+
+  ShardStats total;
+  for (const ShardStats& shard : shards) {
+    total.normalized.merge(shard.normalized);
+    total.analysis.merge(shard.analysis);
+    total.makespan.merge(shard.makespan);
+    total.spread.merge(shard.spread);
+  }
+  result.normalized = total.normalized.to_summary();
+  result.analysis_ratio = total.analysis.to_summary();
+  result.makespan = total.makespan.to_summary();
+  result.finish_spread = total.spread.to_summary();
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.wall_time_sec = elapsed.count();
+  result.reps_per_sec =
+      elapsed.count() > 0.0 ? config.reps / elapsed.count() : 0.0;
   return result;
 }
 

@@ -38,6 +38,12 @@ struct ExperimentConfig {
   std::optional<double> phase2_fraction;
   std::uint64_t seed = 42;
   std::uint32_t reps = 10;
+  /// Threads for the replication loop. 0 = auto: claim workers from the
+  /// process-wide parallelism budget (runtime/thread_pool.hpp), which
+  /// falls back to serial reps when an enclosing campaign already holds
+  /// the budget. A nonzero value is honored exactly (capped at the
+  /// shard count). Results are bit-identical for every setting.
+  std::uint32_t parallelism = 0;
 };
 
 struct RepOutcome {
@@ -56,13 +62,27 @@ struct ExperimentResult {
   Summary finish_spread;
   double beta = 0.0;        // beta used (0 if not applicable)
   std::vector<RepOutcome> reps;
+  // Observability: how the replication engine ran this experiment.
+  double wall_time_sec = 0.0;         // wall time of the whole rep loop
+  double reps_per_sec = 0.0;          // reps / wall_time_sec
+  std::uint32_t rep_parallelism = 1;  // threads the rep loop actually used
 };
 
 /// Runs one repetition with an explicit per-rep seed.
 RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed);
 
 /// Runs config.reps repetitions with derived seeds and aggregates.
+///
+/// The rep loop is a deterministic parallel engine: per-rep seeds are
+/// independent (`derive_stream(seed, "rep.<r>")`), reps accumulate into
+/// a fixed number of stat shards (by rep % kRepShards, independent of
+/// the thread count) merged in shard order, and per-rep outcomes land
+/// at reps[r]. Summaries and outcome ordering are therefore
+/// bit-identical for any parallelism, including 1.
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Number of stat shards (= maximum useful rep parallelism).
+inline constexpr std::uint32_t kRepShards = 32;
 
 /// The beta the experiment will use: the explicit phase2_fraction if
 /// set, else the homogeneous-platform optimum for (kernel, p, n).

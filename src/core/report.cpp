@@ -45,6 +45,10 @@ void write_experiment_json(std::ostream& out, const ExperimentConfig& config,
   write_summary(json, result.makespan);
   json.key("finish_spread");
   write_summary(json, result.finish_spread);
+  json.field("wall_time_sec", result.wall_time_sec);
+  json.field("reps_per_sec", result.reps_per_sec);
+  json.field("rep_parallelism",
+             static_cast<std::uint64_t>(result.rep_parallelism));
 
   if (include_reps) {
     json.key("reps_detail");

@@ -1,0 +1,46 @@
+// The bench CLI plumbing is header-only; pull it in by relative path.
+#include "../../bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace hetsched::bench {
+namespace {
+
+TEST(BenchToU32, ConvertsValidValues) {
+  const auto out = to_u32({0, 10, 4294967295ll});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 10u);
+  EXPECT_EQ(out[2], 4294967295u);
+}
+
+TEST(BenchToU32, ThrowsOnNegativeWithValueInMessage) {
+  try {
+    to_u32({10, -3});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+TEST(BenchToU32, ThrowsBeyondUint32WithValueInMessage) {
+  try {
+    to_u32({std::int64_t{1} << 32});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("4294967296"), std::string::npos);
+  }
+}
+
+TEST(BenchDefaults, PaperPGridConverts) {
+  const auto grid = to_u32(default_p_grid());
+  ASSERT_FALSE(grid.empty());
+  EXPECT_EQ(grid.front(), 10u);
+  EXPECT_EQ(grid.back(), 300u);
+}
+
+}  // namespace
+}  // namespace hetsched::bench

@@ -75,6 +75,25 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(b.count(), 2u);
 }
 
+TEST(RunningStats, ToSummaryMatchesAccessors) {
+  RunningStats rs;
+  for (const double x : {1.0, 2.0, 4.0}) rs.push(x);
+  const Summary s = rs.to_summary();
+  EXPECT_DOUBLE_EQ(s.mean, rs.mean());
+  EXPECT_DOUBLE_EQ(s.stddev, rs.stddev());
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(RunningStats, ToSummaryOfEmptyHasZeroMinMax) {
+  const Summary s = RunningStats{}.to_summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);   // not the +inf sentinel
+  EXPECT_EQ(s.max, 0.0);   // not the -inf sentinel
+}
+
 TEST(Summarize, EmptyVector) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);

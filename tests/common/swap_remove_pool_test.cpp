@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 namespace hetsched {
@@ -93,6 +94,25 @@ TEST(SwapRemovePool, MixedOperationsKeepInvariant) {
     EXPECT_EQ(pool.size() + gone.size(), 50u);
     for (const std::uint64_t id : gone) EXPECT_FALSE(pool.contains(id));
   }
+}
+
+TEST(SwapRemovePool, PopOnEmptyPoolThrows) {
+  SwapRemovePool pool(0);
+  Rng rng(1);
+  EXPECT_THROW(pool.pop_first(), std::logic_error);
+  EXPECT_THROW(pool.pop_random(rng), std::logic_error);
+}
+
+TEST(SwapRemovePool, PopAfterDrainThrowsAndRecoversOnInsert) {
+  SwapRemovePool pool(3);
+  while (!pool.empty()) pool.pop_first();
+  Rng rng(2);
+  EXPECT_THROW(pool.pop_first(), std::logic_error);
+  EXPECT_THROW(pool.pop_random(rng), std::logic_error);
+  // A requeue after the drain brings the pool back to life.
+  EXPECT_TRUE(pool.insert(1));
+  EXPECT_EQ(pool.pop_first(), 1u);
+  EXPECT_THROW(pool.pop_first(), std::logic_error);
 }
 
 TEST(SwapRemovePool, IdsViewMatchesSize) {

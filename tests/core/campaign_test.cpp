@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
 
 namespace hetsched {
 namespace {
@@ -60,6 +66,65 @@ TEST(Campaign, RejectsEmptyNames) {
                std::invalid_argument);
 }
 
+TEST(Campaign, SlowEntryDoesNotBlockLaterEntries) {
+  // One slow entry at the head plus many fast ones: with two workers
+  // the fast entries must all be harvested while the slow one is still
+  // running. The old future window harvested FIFO, so everything queued
+  // behind the slow entry waited for it.
+  Campaign campaign("head-of-line");
+  ExperimentConfig slow;
+  slow.n = 1000;  // marker the injected-latency runner keys on
+  campaign.add("slow", slow);
+  for (int i = 0; i < 6; ++i) {
+    ExperimentConfig fast;
+    fast.n = static_cast<std::uint32_t>(10 + i);
+    campaign.add("fast" + std::to_string(i), fast);
+  }
+
+  std::mutex mutex;
+  std::vector<std::uint32_t> completion_order;
+  const auto runner = [&](const ExperimentConfig& c) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(c.n == 1000 ? 300 : 5));
+    const std::lock_guard<std::mutex> lock(mutex);
+    completion_order.push_back(c.n);
+    ExperimentResult result;
+    result.makespan.mean = c.n;  // marker to check outcome placement
+    return result;
+  };
+  const auto outcomes = campaign.run_with(runner, 2);
+
+  ASSERT_EQ(completion_order.size(), 7u);
+  EXPECT_EQ(completion_order.back(), 1000u)
+      << "fast entries waited on the slow head-of-line entry";
+  // Outcomes stay in insertion order with the right results attached.
+  ASSERT_EQ(outcomes.size(), 7u);
+  EXPECT_EQ(outcomes[0].label, "slow");
+  EXPECT_DOUBLE_EQ(outcomes[0].result.makespan.mean, 1000.0);
+  for (std::size_t e = 1; e < outcomes.size(); ++e) {
+    EXPECT_DOUBLE_EQ(outcomes[e].result.makespan.mean, outcomes[e].config.n);
+  }
+}
+
+TEST(Campaign, RunWithRejectsNullRunner) {
+  Campaign campaign("null-runner");
+  campaign.add("a", small_config("RandomOuter", 2));
+  EXPECT_THROW(campaign.run_with(nullptr, 1), std::invalid_argument);
+}
+
+TEST(Campaign, AutoParallelismLeavesNoBudgetForRepLoops) {
+  set_parallel_budget_capacity(2);
+  Campaign campaign("budget");
+  campaign.add("a", small_config("RandomOuter", 3));
+  campaign.add("b", small_config("RandomOuter", 4));
+  campaign.add("c", small_config("DynamicOuter", 3));
+  const auto outcomes = campaign.run(0);
+  set_parallel_budget_capacity(0);
+  for (const auto& o : outcomes) {
+    EXPECT_EQ(o.result.rep_parallelism, 1u) << o.label;
+  }
+}
+
 TEST(Campaign, JsonReportHasOneRowPerEntry) {
   Campaign campaign("report");
   campaign.add("only", small_config("DynamicOuter", 3));
@@ -70,6 +135,9 @@ TEST(Campaign, JsonReportHasOneRowPerEntry) {
   EXPECT_NE(text.find("\"campaign\": \"report\""), std::string::npos);
   EXPECT_NE(text.find("\"label\": \"only\""), std::string::npos);
   EXPECT_NE(text.find("\"normalized_mean\""), std::string::npos);
+  EXPECT_NE(text.find("\"wall_time_sec\""), std::string::npos);
+  EXPECT_NE(text.find("\"reps_per_sec\""), std::string::npos);
+  EXPECT_NE(text.find("\"rep_parallelism\""), std::string::npos);
 }
 
 }  // namespace

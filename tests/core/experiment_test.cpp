@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+
+#include "runtime/thread_pool.hpp"
 
 namespace hetsched {
 namespace {
@@ -159,6 +162,87 @@ TEST(RunExperiment, AnalysisRatioPositiveForAllStrategies) {
     const ExperimentResult result = run_experiment(config);
     EXPECT_GT(result.analysis_ratio.mean, 1.0) << name;
   }
+}
+
+TEST(RunExperiment, BitIdenticalAcrossParallelism) {
+  // The determinism contract of the parallel replication engine:
+  // summaries and per-rep outcome ordering do not depend on the thread
+  // count (1, 2, hardware).
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter2Phases";
+  config.n = 24;
+  config.p = 5;
+  config.reps = 12;
+  config.seed = 77;
+  config.parallelism = 1;
+  const ExperimentResult serial = run_experiment(config);
+  EXPECT_EQ(serial.rep_parallelism, 1u);
+
+  for (const std::uint32_t threads :
+       {2u, std::max(2u, parallel_budget_capacity())}) {
+    config.parallelism = threads;
+    const ExperimentResult parallel = run_experiment(config);
+    EXPECT_EQ(parallel.normalized.mean, serial.normalized.mean);
+    EXPECT_EQ(parallel.normalized.stddev, serial.normalized.stddev);
+    EXPECT_EQ(parallel.normalized.min, serial.normalized.min);
+    EXPECT_EQ(parallel.normalized.max, serial.normalized.max);
+    EXPECT_EQ(parallel.makespan.mean, serial.makespan.mean);
+    EXPECT_EQ(parallel.makespan.stddev, serial.makespan.stddev);
+    EXPECT_EQ(parallel.finish_spread.mean, serial.finish_spread.mean);
+    ASSERT_EQ(parallel.reps.size(), serial.reps.size());
+    for (std::size_t r = 0; r < serial.reps.size(); ++r) {
+      EXPECT_EQ(parallel.reps[r].sim.total_blocks,
+                serial.reps[r].sim.total_blocks);
+      EXPECT_EQ(parallel.reps[r].speeds, serial.reps[r].speeds);
+      EXPECT_EQ(parallel.reps[r].normalized, serial.reps[r].normalized);
+    }
+  }
+}
+
+TEST(RunExperiment, ReportsEngineObservability) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "RandomOuter";
+  config.n = 20;
+  config.p = 4;
+  config.reps = 3;
+  config.parallelism = 1;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.rep_parallelism, 1u);
+  EXPECT_GT(result.wall_time_sec, 0.0);
+  EXPECT_GT(result.reps_per_sec, 0.0);
+}
+
+TEST(RunExperiment, AutoParallelismClaimsBudget) {
+  set_parallel_budget_capacity(4);
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "RandomOuter";
+  config.n = 20;
+  config.p = 4;
+  config.reps = 8;
+  config.parallelism = 0;
+  const ExperimentResult result = run_experiment(config);
+  set_parallel_budget_capacity(0);
+  EXPECT_EQ(result.rep_parallelism, 4u);
+}
+
+TEST(RunExperiment, NestedAutoFallsBackToSerialWhenBudgetDrained) {
+  set_parallel_budget_capacity(2);
+  {
+    const ParallelLease outer(2);  // simulates an enclosing campaign
+    ExperimentConfig config;
+    config.kernel = Kernel::kOuter;
+    config.strategy = "RandomOuter";
+    config.n = 20;
+    config.p = 4;
+    config.reps = 4;
+    config.parallelism = 0;
+    const ExperimentResult result = run_experiment(config);
+    EXPECT_EQ(result.rep_parallelism, 1u);
+  }
+  set_parallel_budget_capacity(0);
 }
 
 TEST(AnalysisRatioFor, MatchesDirectConstruction) {

@@ -69,6 +69,26 @@ TEST(FaultInjection, CrashWorksForMatmul) {
   EXPECT_EQ(result.total_tasks_done, 512u);
 }
 
+TEST(FaultInjection, DynamicOuterLateCrashRequeueDrainsViaRandomFallback) {
+  // Regression for crash-requeue liveness under DynamicOuter: a task
+  // requeued late in the run has its row and column already in every
+  // survivor's known sets, so dynamic_request can never re-allocate it
+  // (it only pairs a *fresh* index against known ones). Only the random
+  // fallback can reclaim it; the pool must still fully drain.
+  Platform platform({30.0, 30.0, 30.0});
+  auto probe = make_outer_strategy("DynamicOuter", OuterConfig{20}, 3, 11);
+  const double makespan = simulate(*probe, platform).makespan;
+
+  auto strategy = make_outer_strategy("DynamicOuter", OuterConfig{20}, 3, 11);
+  const SimResult result =
+      simulate(*strategy, platform,
+               with_faults({WorkerFault{0.85 * makespan, 1, 0.0}}));
+  EXPECT_EQ(result.total_tasks_done, 400u);
+  EXPECT_EQ(result.crashed_workers, 1u);
+  EXPECT_GE(result.requeued_tasks, 1u);
+  EXPECT_EQ(strategy->unassigned_tasks(), 0u);
+}
+
 TEST(FaultInjection, MultipleCrashesSurvivedByLastWorker) {
   auto strategy = make_outer_strategy("RandomOuter", OuterConfig{16}, 3, 4);
   Platform platform({30.0, 30.0, 30.0});
