@@ -73,7 +73,8 @@ double analysis_ratio_for(Kernel kernel, std::uint32_t n,
   return MatmulAnalysis(platform.relative_speeds(), n).ratio(beta);
 }
 
-RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed) {
+RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
+                      const RepInstrumentation* instr) {
   Rng speed_rng(derive_stream(rep_seed, "experiment.speeds"));
   const Platform platform =
       make_platform(*config.scenario.speeds, config.p, speed_rng);
@@ -94,8 +95,16 @@ RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed) {
   sim_config.seed = rep_seed;
   sim_config.perturbation = config.scenario.perturbation;
 
+  TraceSink* trace = nullptr;
+  if (instr != nullptr) {
+    trace = instr->trace;
+    sim_config.metrics = instr->metrics;
+    if (instr->on_ready) instr->on_ready(*strategy, platform);
+  }
+
   RepOutcome outcome;
-  outcome.sim = simulate(*strategy, platform, sim_config);
+  outcome.sim = simulate(*strategy, platform, sim_config, trace);
+  if (instr != nullptr && instr->on_done) instr->on_done(outcome.sim);
   outcome.speeds = platform.speeds();
   outcome.beta = beta;
 

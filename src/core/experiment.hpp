@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,8 +69,29 @@ struct ExperimentResult {
   std::uint32_t rep_parallelism = 1;  // threads the rep loop actually used
 };
 
-/// Runs one repetition with an explicit per-rep seed.
-RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed);
+/// Optional observation plumbing for one repetition (src/obs builds on
+/// this; see docs/observability.md). Everything may stay null/empty.
+struct RepInstrumentation {
+  /// Receives every engine event (sim/trace.hpp). A MetricsTrace here
+  /// feeds a registry and a TimeSeriesSampler at once.
+  TraceSink* trace = nullptr;
+  /// When set, the engine publishes per-worker busy/idle/comm gauges
+  /// and run totals into it at the end of the rep.
+  MetricsRegistry* metrics = nullptr;
+  /// Called after the platform draw and strategy construction, before
+  /// the simulation starts — the place to register sampler channels
+  /// probing live strategy state.
+  std::function<void(Strategy&, const Platform&)> on_ready;
+  /// Called after the simulation, while the strategy is still alive —
+  /// the last chance to probe it (e.g. a final trajectory sample at
+  /// the makespan).
+  std::function<void(const SimResult&)> on_done;
+};
+
+/// Runs one repetition with an explicit per-rep seed, optionally
+/// instrumented.
+RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
+                      const RepInstrumentation* instr = nullptr);
 
 /// Runs config.reps repetitions with derived seeds and aggregates.
 ///

@@ -41,7 +41,13 @@ std::string DynamicMatrixStrategy::name() const {
 std::optional<Assignment> DynamicMatrixStrategy::on_request(
     std::uint32_t worker) {
   if (pool_.empty()) return std::nullopt;
-  if (in_phase2()) return random_request(worker);
+  if (in_phase2()) {
+    if (phase2_tasks_ != 0 && !phase_switch_notified_) {
+      phase_switch_notified_ = true;
+      notify_phase_switch(pool_.size());
+    }
+    return random_request(worker);
+  }
   return dynamic_request(worker);
 }
 
@@ -113,6 +119,7 @@ std::optional<Assignment> DynamicMatrixStrategy::dynamic_request(
   w.known_i.push_back(i);
   w.known_j.push_back(j);
   w.known_k.push_back(k);
+  notify_fetches(worker, assignment);
   return assignment;
 }
 
@@ -127,6 +134,7 @@ std::optional<Assignment> DynamicMatrixStrategy::random_request(
   charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, assignment);
   assignment.tasks.push_back(id);
   ++phase2_served_;
+  notify_fetches(worker, assignment);
   return assignment;
 }
 

@@ -49,6 +49,16 @@ class DynamicMatrixStrategy : public Strategy {
     return static_cast<std::uint32_t>(state_[worker].known_i.size());
   }
 
+  /// The analysis's x_k: y / N.
+  double knowledge_fraction(std::uint32_t worker) const override {
+    return static_cast<double>(state_[worker].known_i.size()) /
+           static_cast<double>(config_.n);
+  }
+
+  int current_phase() const override {
+    return phase2_tasks_ != 0 && in_phase2() ? 2 : 1;
+  }
+
  private:
   struct WorkerState {
     std::vector<std::uint32_t> known_i;  // I
@@ -72,6 +82,7 @@ class DynamicMatrixStrategy : public Strategy {
   std::vector<WorkerState> state_;
   Rng rng_;
   std::uint64_t phase2_served_ = 0;
+  bool phase_switch_notified_ = false;
 };
 
 /// Switch point expressed as the fraction of tasks handled by phase 2.

@@ -1,0 +1,52 @@
+#include "obs/export.hpp"
+
+#include "common/csv.hpp"
+#include "common/json.hpp"
+
+namespace hetsched {
+
+void write_timeseries_csv(std::ostream& out,
+                          const TimeSeriesSampler& sampler) {
+  std::vector<std::string> columns;
+  columns.reserve(sampler.channel_names().size() + 1);
+  columns.push_back("time");
+  for (const auto& name : sampler.channel_names()) columns.push_back(name);
+  CsvWriter csv(out, std::move(columns));
+  for (const auto& sample : sampler.samples()) {
+    std::vector<double> cells;
+    cells.reserve(sample.values.size() + 1);
+    cells.push_back(sample.time);
+    cells.insert(cells.end(), sample.values.begin(), sample.values.end());
+    csv.row(cells);
+  }
+}
+
+void write_timeseries_jsonl(std::ostream& out,
+                            const TimeSeriesSampler& sampler) {
+  {
+    JsonWriter meta(out, /*pretty=*/false);
+    meta.begin_object();
+    meta.field("type", "meta");
+    meta.field("interval", sampler.interval());
+    meta.key("channels");
+    meta.begin_array();
+    for (const auto& name : sampler.channel_names()) meta.value(name);
+    meta.end_array();
+    meta.end_object();
+  }
+  out << '\n';
+  for (const auto& sample : sampler.samples()) {
+    JsonWriter row(out, /*pretty=*/false);
+    row.begin_object();
+    row.field("type", "sample");
+    row.field("t", sample.time);
+    row.key("v");
+    row.begin_array();
+    for (const double v : sample.values) row.value(v);
+    row.end_array();
+    row.end_object();
+    out << '\n';
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,23 @@
+// Time-series exporters: CSV for plotting, JSON-lines for pipelines.
+//
+// Both formats carry the sampler's channel names verbatim, so a series
+// round-trips without a side schema; the JSONL stream opens with a
+// meta record and can be terminated by a metrics-snapshot record
+// (write_metrics_json) to make one self-describing file per run.
+#pragma once
+
+#include <ostream>
+
+#include "obs/sampler.hpp"
+
+namespace hetsched {
+
+/// Header "time,<ch1>,<ch2>,..." then one row per sample.
+void write_timeseries_csv(std::ostream& out, const TimeSeriesSampler& sampler);
+
+/// First line {"type":"meta","interval":dt,"channels":[...]} then one
+/// {"type":"sample","t":...,"v":[...]} line per sample.
+void write_timeseries_jsonl(std::ostream& out,
+                            const TimeSeriesSampler& sampler);
+
+}  // namespace hetsched

@@ -1,0 +1,90 @@
+#include "obs/instrument.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "obs/metrics_trace.hpp"
+
+namespace hetsched {
+
+namespace {
+
+double auto_interval(const ExperimentConfig& config,
+                     const Platform& platform) {
+  const double n = static_cast<double>(config.n);
+  const double total_tasks =
+      config.kernel == Kernel::kOuter ? n * n : n * n * n;
+  return total_tasks / platform.total_speed() / 192.0;
+}
+
+}  // namespace
+
+void run_instrumented_rep(const ExperimentConfig& config,
+                          std::uint64_t rep_seed,
+                          const InstrumentOptions& options,
+                          InstrumentedRep& out) {
+  out.recording.set_max_events(options.max_trace_events);
+  const std::uint32_t blocks_per_task =
+      config.kernel == Kernel::kOuter ? 2u : 3u;
+  MetricsTrace metrics_trace(
+      &out.registry, &out.sampler,
+      options.record_events ? &out.recording : nullptr, blocks_per_task);
+
+  RepInstrumentation instr;
+  instr.trace = &metrics_trace;
+  instr.metrics = &out.registry;
+  instr.on_ready = [&](Strategy& strategy, const Platform& platform) {
+    out.sampler.set_interval(options.sample_interval > 0.0
+                                 ? options.sample_interval
+                                 : auto_interval(config, platform));
+    const Strategy* s = &strategy;
+    out.sampler.add_channel("unmarked_fraction", [s] {
+      return static_cast<double>(s->unassigned_tasks()) /
+             static_cast<double>(s->total_tasks());
+    });
+    const MetricsTrace* mt = &metrics_trace;
+    out.sampler.add_channel("completed_fraction", [s, mt] {
+      return static_cast<double>(mt->tasks_completed()) /
+             static_cast<double>(s->total_tasks());
+    });
+    out.sampler.add_channel(
+        "phase", [s] { return static_cast<double>(s->current_phase()); });
+    if (strategy.knowledge_fraction(0) >= 0.0) {
+      // Probes run in registration order within each sample row, so
+      // the first knowledge channel sweeps the workers once and the
+      // other two read its cache instead of repeating the O(p) scan.
+      struct KnowledgeStats {
+        double mean = 0.0, min = 0.0, max = 0.0;
+      };
+      auto stats = std::make_shared<KnowledgeStats>();
+      const std::uint32_t p = strategy.workers();
+      out.sampler.add_channel("knowledge.mean", [s, p, stats] {
+        double sum = 0.0, lo = 1.0, hi = 0.0;
+        for (std::uint32_t k = 0; k < p; ++k) {
+          const double f = s->knowledge_fraction(k);
+          sum += f;
+          lo = std::min(lo, f);
+          hi = std::max(hi, f);
+        }
+        stats->mean = sum / static_cast<double>(p);
+        stats->min = lo;
+        stats->max = hi;
+        return stats->mean;
+      });
+      out.sampler.add_channel("knowledge.min", [stats] { return stats->min; });
+      out.sampler.add_channel("knowledge.max", [stats] { return stats->max; });
+    }
+  };
+
+  // The probes registered above reference the strategy, which only
+  // lives inside run_single — take the final sample there, not after.
+  instr.on_done = [&](const SimResult& sim) { out.sampler.finish(sim.makespan); };
+
+  out.outcome = run_single(config, rep_seed, &instr);
+  out.phase_switched = metrics_trace.phase_switched();
+  out.phase_switch_time = metrics_trace.phase_switch_time();
+  out.phase_switch_tasks_remaining =
+      metrics_trace.phase_switch_tasks_remaining();
+}
+
+}  // namespace hetsched

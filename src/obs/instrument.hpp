@@ -1,0 +1,59 @@
+// One-call instrumented repetition: platform draw -> strategy ->
+// simulation, with the full observability stack attached.
+//
+// This is the entry point the CLI (--trace-out/--metrics-out), the
+// figure benches, and the ODE-overlay tests share: it wires a
+// MetricsTrace into the engine, registers the standard trajectory
+// channels (unmarked-task fraction, knowledge x_k statistics, phase),
+// bounds the recorded event stream, and leaves every product — the
+// registry, the sampled series, the raw event recording, and the
+// RepOutcome — in one struct ready for the exporters.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+struct InstrumentOptions {
+  /// Simulated-time sampling cadence; <= 0 derives ~192 samples from
+  /// the predicted makespan (task count / total platform speed).
+  double sample_interval = 0.0;
+  /// RecordingTrace cap (see RecordingTrace::set_max_events);
+  /// 0 = unbounded, which on a (N/l)^3 matmul run means gigabytes.
+  std::size_t max_trace_events = 1u << 20;
+  /// Skip the raw event recording entirely (metrics + series only).
+  bool record_events = true;
+};
+
+/// Results of one instrumented repetition. Non-copyable (the registry
+/// owns mutexes); create one per run and pass it by reference.
+struct InstrumentedRep {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler;
+  RecordingTrace recording;
+  RepOutcome outcome;
+  bool phase_switched = false;
+  double phase_switch_time = -1.0;
+  std::uint64_t phase_switch_tasks_remaining = 0;
+
+  InstrumentedRep() = default;
+  InstrumentedRep(const InstrumentedRep&) = delete;
+  InstrumentedRep& operator=(const InstrumentedRep&) = delete;
+};
+
+/// Runs repetition `rep_seed` of `config` fully instrumented. The
+/// sampler carries the standard trajectory channels, in order:
+/// unmarked_fraction, completed_fraction, phase, and — when the
+/// strategy exposes knowledge sets (Strategy::knowledge_fraction) —
+/// knowledge.mean, knowledge.min, knowledge.max.
+void run_instrumented_rep(const ExperimentConfig& config,
+                          std::uint64_t rep_seed,
+                          const InstrumentOptions& options,
+                          InstrumentedRep& out);
+
+}  // namespace hetsched

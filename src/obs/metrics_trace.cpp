@@ -1,0 +1,130 @@
+#include "obs/metrics_trace.hpp"
+
+namespace hetsched {
+
+namespace {
+
+// Assignment batch sizes: the data-aware phase grows batches as ~2y+1
+// (outer) / ~3y^2 (matmul) before they collapse to 1 in phase 2, so
+// power-of-two buckets cover the whole range with stable resolution.
+std::vector<double> batch_buckets() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+}  // namespace
+
+void MetricsTrace::HistShard::flush() {
+  if (target == nullptr) return;
+  target->merge(counts, sum);
+  counts.assign(counts.size(), 0);
+  sum = 0.0;
+}
+
+MetricsTrace::MetricsTrace(MetricsRegistry* registry,
+                           TimeSeriesSampler* sampler, TraceSink* downstream,
+                           std::uint32_t blocks_per_task)
+    : registry_(registry),
+      sampler_(sampler),
+      downstream_(downstream),
+      blocks_per_task_(blocks_per_task) {
+  if (registry_ != nullptr) {
+    assignments_ = &registry_->counter("trace.assignments");
+    tasks_assigned_ = &registry_->counter("trace.tasks_assigned");
+    blocks_fetched_ = &registry_->counter("trace.blocks_fetched");
+    blocks_reused_ = &registry_->counter("trace.blocks_reused");
+    tasks_completed_counter_ = &registry_->counter("trace.tasks_completed");
+    retirements_ = &registry_->counter("trace.retirements");
+    data_fetches_ = &registry_->counter("trace.data_fetches");
+    phase_switches_ = &registry_->counter("trace.phase_switches");
+    assignment_tasks_.target =
+        &registry_->histogram("assignment.tasks", batch_buckets());
+    assignment_blocks_.target =
+        &registry_->histogram("assignment.blocks", batch_buckets());
+    assignment_tasks_.counts.assign(
+        assignment_tasks_.target->upper_bounds().size() + 1, 0);
+    assignment_blocks_.counts.assign(
+        assignment_blocks_.target->upper_bounds().size() + 1, 0);
+  }
+}
+
+MetricsTrace::~MetricsTrace() { flush(); }
+
+void MetricsTrace::flush() {
+  if (registry_ == nullptr) return;
+  assignments_->add(d_assignments_);
+  tasks_assigned_->add(d_tasks_assigned_);
+  blocks_fetched_->add(d_blocks_fetched_);
+  blocks_reused_->add(d_blocks_reused_);
+  tasks_completed_counter_->add(tasks_completed_ - flushed_tasks_completed_);
+  flushed_tasks_completed_ = tasks_completed_;
+  retirements_->add(d_retirements_);
+  data_fetches_->add(d_data_fetches_);
+  phase_switches_->add(d_phase_switches_);
+  d_assignments_ = d_tasks_assigned_ = d_blocks_fetched_ = d_blocks_reused_ =
+      d_retirements_ = d_data_fetches_ = d_phase_switches_ = 0;
+  assignment_tasks_.flush();
+  assignment_blocks_.flush();
+}
+
+void MetricsTrace::on_assignment(std::uint32_t worker, double now,
+                                 const Assignment& assignment) {
+  if (registry_ != nullptr) {
+    ++d_assignments_;
+    d_tasks_assigned_ += assignment.tasks.size();
+    d_blocks_fetched_ += assignment.blocks.size();
+    if (blocks_per_task_ != 0) {
+      // Inputs the kernel needs minus inputs actually shipped = hits in
+      // the worker's block cache. Clamped: a structured matmul batch
+      // can ship C-blocks ahead of the tasks that will write them.
+      const std::uint64_t required =
+          assignment.tasks.size() * static_cast<std::uint64_t>(blocks_per_task_);
+      if (required > assignment.blocks.size()) {
+        d_blocks_reused_ += required - assignment.blocks.size();
+      }
+    }
+    assignment_tasks_.observe(static_cast<double>(assignment.tasks.size()));
+    assignment_blocks_.observe(static_cast<double>(assignment.blocks.size()));
+  }
+  if (downstream_ != nullptr) downstream_->on_assignment(worker, now, assignment);
+}
+
+// Completions (plus the rare phase switch) drive the sampling clock:
+// they are the densest event stream, and every assignment/retirement
+// shares a timestamp with some completion in a demand-driven run, so
+// advancing here loses no resolution and keeps the other hooks to a
+// few plain increments.
+void MetricsTrace::on_completion(std::uint32_t worker, double now,
+                                 TaskId task) {
+  if (sampler_ != nullptr) sampler_->advance_to(now);
+  ++tasks_completed_;
+  if (downstream_ != nullptr) downstream_->on_completion(worker, now, task);
+}
+
+void MetricsTrace::on_retire(std::uint32_t worker, double now) {
+  ++d_retirements_;
+  if (downstream_ != nullptr) downstream_->on_retire(worker, now);
+}
+
+void MetricsTrace::on_phase_switch(double now, std::uint64_t tasks_remaining) {
+  if (sampler_ != nullptr) sampler_->advance_to(now);
+  if (!phase_switched_) {
+    phase_switched_ = true;
+    phase_switch_time_ = now;
+    phase_switch_remaining_ = tasks_remaining;
+  }
+  ++d_phase_switches_;
+  if (registry_ != nullptr) {
+    registry_->gauge("phase.switch_time").set(now);
+    registry_->gauge("phase.switch_tasks_remaining")
+        .set(static_cast<double>(tasks_remaining));
+  }
+  if (downstream_ != nullptr) downstream_->on_phase_switch(now, tasks_remaining);
+}
+
+void MetricsTrace::on_data_fetch(std::uint32_t worker, double now,
+                                 const BlockRef& block) {
+  ++d_data_fetches_;
+  if (downstream_ != nullptr) downstream_->on_data_fetch(worker, now, block);
+}
+
+}  // namespace hetsched

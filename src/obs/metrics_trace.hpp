@@ -1,0 +1,105 @@
+// MetricsTrace: the bridge between the engine's TraceSink hooks and
+// the metrics subsystem.
+//
+// One instance instruments one simulated run: it feeds event counters
+// and batch-size histograms into a MetricsRegistry, drives a
+// TimeSeriesSampler at the simulated-time cadence, records the
+// phase-switch instant of the two-phase strategies, and forwards every
+// hook to an optional downstream sink (e.g. a RecordingTrace kept for
+// chrome-trace export) so observation composes instead of forking.
+//
+// Hooks fire once per simulated event, so the hot path touches only
+// plain single-writer fields; the shared atomic instruments in the
+// registry are updated in one flush() (also run by the destructor).
+// Readers of the registry mid-run see the state as of the last flush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+class MetricsTrace final : public TraceSink {
+ public:
+  /// Any of the three collaborators may be null: a null registry skips
+  /// counters, a null sampler skips time series, a null downstream
+  /// forwards nothing. `blocks_per_task` is the kernel's per-task input
+  /// requirement (2 for the outer product, 3 for matmul); 0 disables
+  /// the blocks-reused accounting.
+  MetricsTrace(MetricsRegistry* registry, TimeSeriesSampler* sampler,
+               TraceSink* downstream = nullptr,
+               std::uint32_t blocks_per_task = 0);
+  ~MetricsTrace() override;
+
+  void on_assignment(std::uint32_t worker, double now,
+                     const Assignment& assignment) override;
+  void on_completion(std::uint32_t worker, double now, TaskId task) override;
+  void on_retire(std::uint32_t worker, double now) override;
+  void on_phase_switch(double now, std::uint64_t tasks_remaining) override;
+  void on_data_fetch(std::uint32_t worker, double now,
+                     const BlockRef& block) override;
+
+  /// Pushes everything accumulated since the last flush into the
+  /// registry. Call before snapshotting the registry mid-run; the
+  /// destructor flushes the remainder.
+  void flush();
+
+  bool phase_switched() const noexcept { return phase_switched_; }
+  /// Simulated time of the (first) phase switch; -1 when none occurred.
+  double phase_switch_time() const noexcept { return phase_switch_time_; }
+  std::uint64_t phase_switch_tasks_remaining() const noexcept {
+    return phase_switch_remaining_;
+  }
+  std::uint64_t tasks_completed() const noexcept { return tasks_completed_; }
+
+ private:
+  // Single-writer shard of one histogram: plain bucket counts merged
+  // into the shared atomic instrument at flush time.
+  struct HistShard {
+    Histogram* target = nullptr;
+    std::vector<std::uint64_t> counts;
+    double sum = 0.0;
+
+    void observe(double v) {
+      ++counts[target->bucket_index(v)];
+      sum += v;
+    }
+    void flush();
+  };
+
+  MetricsRegistry* registry_;
+  TimeSeriesSampler* sampler_;
+  TraceSink* downstream_;
+  std::uint32_t blocks_per_task_;
+
+  // Cached instruments plus the not-yet-flushed delta for each.
+  Counter* assignments_ = nullptr;
+  Counter* tasks_assigned_ = nullptr;
+  Counter* blocks_fetched_ = nullptr;
+  Counter* blocks_reused_ = nullptr;
+  Counter* tasks_completed_counter_ = nullptr;
+  Counter* retirements_ = nullptr;
+  Counter* data_fetches_ = nullptr;
+  Counter* phase_switches_ = nullptr;
+  std::uint64_t d_assignments_ = 0;
+  std::uint64_t d_tasks_assigned_ = 0;
+  std::uint64_t d_blocks_fetched_ = 0;
+  std::uint64_t d_blocks_reused_ = 0;
+  std::uint64_t flushed_tasks_completed_ = 0;
+  std::uint64_t d_retirements_ = 0;
+  std::uint64_t d_data_fetches_ = 0;
+  std::uint64_t d_phase_switches_ = 0;
+  HistShard assignment_tasks_;
+  HistShard assignment_blocks_;
+
+  bool phase_switched_ = false;
+  double phase_switch_time_ = -1.0;
+  std::uint64_t phase_switch_remaining_ = 0;
+  std::uint64_t tasks_completed_ = 0;
+};
+
+}  // namespace hetsched

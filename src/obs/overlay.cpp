@@ -1,0 +1,56 @@
+#include "obs/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/platform.hpp"
+
+namespace hetsched {
+
+TrajectoryModel::TrajectoryModel(Kernel kernel,
+                                 const std::vector<double>& speeds,
+                                 std::uint32_t n_blocks) {
+  const Platform platform(speeds);
+  workers_ = platform.size();
+  const double n = static_cast<double>(n_blocks);
+  const double total_tasks =
+      kernel == Kernel::kOuter ? n * n : n * n * n;
+  total_time_ = total_tasks / platform.total_speed();
+  if (kernel == Kernel::kOuter) {
+    outer_.emplace(platform.relative_speeds(), n_blocks);
+  } else {
+    matmul_.emplace(platform.relative_speeds(), n_blocks);
+  }
+}
+
+double TrajectoryModel::g(std::size_t k, double x) const {
+  return outer_ ? outer_->g(k, x) : matmul_->g(k, x);
+}
+
+double TrajectoryModel::time_fraction(std::size_t k, double x) const {
+  return outer_ ? outer_->time_fraction(k, x) : matmul_->time_fraction(k, x);
+}
+
+double TrajectoryModel::worker_x(std::size_t k, double t) const {
+  const double target = std::clamp(t / total_time_, 0.0, 1.0);
+  if (target >= 1.0) return 1.0;
+  // time_fraction(k, x) is continuous and strictly increasing on
+  // [0, 1] with range [0, 1): bisect to invert.
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (time_fraction(k, mid) < target ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double TrajectoryModel::unmarked_fraction(double t) const {
+  if (t >= total_time_) return 0.0;
+  double sum = 0.0;
+  for (std::size_t k = 0; k < workers_; ++k) {
+    sum += g(k, worker_x(k, t));
+  }
+  return std::clamp(sum / static_cast<double>(workers_), 0.0, 1.0);
+}
+
+}  // namespace hetsched

@@ -41,7 +41,13 @@ std::string DynamicOuterStrategy::name() const {
 std::optional<Assignment> DynamicOuterStrategy::on_request(
     std::uint32_t worker) {
   if (pool_.empty()) return std::nullopt;
-  if (in_phase2()) return random_request(worker);
+  if (in_phase2()) {
+    if (phase2_tasks_ != 0 && !phase_switch_notified_) {
+      phase_switch_notified_ = true;
+      notify_phase_switch(pool_.size());
+    }
+    return random_request(worker);
+  }
   return dynamic_request(worker);
 }
 
@@ -84,6 +90,7 @@ std::optional<Assignment> DynamicOuterStrategy::dynamic_request(
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
+  notify_fetches(worker, assignment);
   return assignment;
 }
 
@@ -103,6 +110,7 @@ std::optional<Assignment> DynamicOuterStrategy::random_request(
   }
   assignment.tasks.push_back(id);
   ++phase2_served_;
+  notify_fetches(worker, assignment);
   return assignment;
 }
 

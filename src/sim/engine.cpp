@@ -6,8 +6,10 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <string>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace hetsched {
 
@@ -84,6 +86,16 @@ SimResult simulate(Strategy& strategy, const Platform& platform,
     workers[k].speed = platform.speed(k);
     workers[k].base_speed = platform.speed(k);
   }
+
+  // Simulated clock shared with the strategy for strategy-level trace
+  // events (phase switches, per-block fetches). The guard detaches on
+  // every exit path — the clock lives on this stack frame.
+  double sim_now = 0.0;
+  strategy.attach_observer(trace, &sim_now);
+  struct DetachGuard {
+    Strategy& s;
+    ~DetachGuard() { s.attach_observer(nullptr, nullptr); }
+  } detach_guard{strategy};
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   std::uint64_t seq = 0;
@@ -163,6 +175,7 @@ SimResult simulate(Strategy& strategy, const Platform& platform,
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
+    sim_now = ev.time;
     WorkerState& w = workers[ev.worker];
     WorkerSimStats& stats = result.workers[ev.worker];
 
@@ -201,6 +214,38 @@ SimResult simulate(Strategy& strategy, const Platform& platform,
 
   for (std::uint32_t k = 0; k < p; ++k) {
     result.workers[k].final_speed = workers[k].speed;
+  }
+
+  if (config.metrics != nullptr) {
+    MetricsRegistry& m = *config.metrics;
+    m.counter("sim.tasks_done").add(result.total_tasks_done);
+    m.counter("sim.blocks").add(result.total_blocks);
+    m.counter("sim.requeued_tasks").add(result.requeued_tasks);
+    m.counter("sim.crashed_workers").add(result.crashed_workers);
+    m.gauge("sim.makespan").set(result.makespan);
+    std::string name;
+    name.reserve(32);
+    const auto worker_gauge = [&](const std::string& prefix,
+                                  const char* suffix) -> Gauge& {
+      name.assign(prefix);
+      name.append(suffix);
+      return m.gauge(name);
+    };
+    for (std::uint32_t k = 0; k < p; ++k) {
+      const WorkerSimStats& s = result.workers[k];
+      const std::string prefix = "worker." + std::to_string(k) + ".";
+      worker_gauge(prefix, "busy_time").set(s.busy_time);
+      // A demand-driven worker only waits between its last completion
+      // and the global end of the run (or after a crash).
+      worker_gauge(prefix, "idle_time")
+          .set(std::max(0.0, result.makespan - s.busy_time));
+      worker_gauge(prefix, "comm_time")
+          .set(static_cast<double>(s.blocks_received) /
+               config.metrics_comm_bandwidth);
+      worker_gauge(prefix, "blocks")
+          .set(static_cast<double>(s.blocks_received));
+      worker_gauge(prefix, "tasks").set(static_cast<double>(s.tasks_done));
+    }
   }
   return result;
 }

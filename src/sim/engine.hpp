@@ -18,6 +18,8 @@
 
 namespace hetsched {
 
+class MetricsRegistry;  // obs/metrics.hpp
+
 /// A scripted worker fault. factor == 0 kills the worker at `time`
 /// (its queued and in-flight tasks are requeued through the strategy);
 /// 0 < factor < 1 is a straggler event multiplying the worker's speed.
@@ -35,6 +37,15 @@ struct SimConfig {
   /// Scripted crashes / slowdowns. Crash injection requires the
   /// strategy to support Strategy::requeue.
   std::vector<WorkerFault> faults{};
+  /// Optional metrics sink: when set, the engine publishes per-worker
+  /// busy/idle/comm gauges and run totals at the end of the run
+  /// (names under "sim." and "worker.<k>.", see docs/observability.md).
+  MetricsRegistry* metrics = nullptr;
+  /// Blocks per time unit used to *estimate* per-worker comm time for
+  /// the metrics gauges. Communication stays fully overlapped (free) in
+  /// this engine — the estimate is reporting-only, matching the default
+  /// CommModel uplink of sim/comm_model.hpp.
+  double metrics_comm_bandwidth = 100.0;
 };
 
 struct WorkerSimStats {

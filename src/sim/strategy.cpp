@@ -1,0 +1,20 @@
+#include "sim/strategy.hpp"
+
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+void Strategy::notify_fetches(std::uint32_t worker,
+                              const Assignment& assignment) {
+  if (!has_observer()) return;
+  for (const BlockRef& block : assignment.blocks) {
+    obs_sink_->on_data_fetch(worker, *obs_clock_, block);
+  }
+}
+
+void Strategy::notify_phase_switch(std::uint64_t tasks_remaining) {
+  if (!has_observer()) return;
+  obs_sink_->on_phase_switch(*obs_clock_, tasks_remaining);
+}
+
+}  // namespace hetsched

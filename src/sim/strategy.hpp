@@ -46,6 +46,8 @@ struct Assignment {
   bool empty() const noexcept { return blocks.empty() && tasks.empty(); }
 };
 
+class TraceSink;  // sim/trace.hpp; broken include cycle (TraceSink uses Assignment)
+
 class Strategy {
  public:
   virtual ~Strategy() = default;
@@ -79,6 +81,48 @@ class Strategy {
     (void)tasks;
     return false;
   }
+
+  // -- Observability -------------------------------------------------
+  // The probes below let the metrics subsystem (src/obs) sample the
+  // quantities the paper's ODE model predicts without knowing the
+  // concrete strategy type. Defaults mean "not applicable".
+
+  /// Fraction in [0, 1] of each input dimension worker `worker` has
+  /// learned (the analysis's x_k: |I|/N for the outer product, y/N for
+  /// the matrix product). Negative when the strategy has no such
+  /// notion (pointwise strategies, static partitions, ...).
+  virtual double knowledge_fraction(std::uint32_t worker) const {
+    (void)worker;
+    return -1.0;
+  }
+
+  /// 1 while serving data-aware requests, 2 after the random-fallback
+  /// switch of a two-phase strategy; 0 when the strategy has no phase
+  /// structure.
+  virtual int current_phase() const { return 0; }
+
+  /// Attaches an observation sink and a simulated clock owned by the
+  /// driving engine (valid for the duration of the run; the engine
+  /// detaches both on exit). Strategies publish strategy-level events
+  /// — phase switches, per-block fetches — through the sink.
+  void attach_observer(TraceSink* sink, const double* clock) noexcept {
+    obs_sink_ = sink;
+    obs_clock_ = clock;
+  }
+
+ protected:
+  bool has_observer() const noexcept {
+    return obs_sink_ != nullptr && obs_clock_ != nullptr;
+  }
+  /// Emits on_data_fetch for every block of `assignment` (no-op when
+  /// no observer is attached). Implemented in sim/strategy.cpp.
+  void notify_fetches(std::uint32_t worker, const Assignment& assignment);
+  /// Emits on_phase_switch at the current simulated time.
+  void notify_phase_switch(std::uint64_t tasks_remaining);
+
+ private:
+  TraceSink* obs_sink_ = nullptr;
+  const double* obs_clock_ = nullptr;
 };
 
 }  // namespace hetsched

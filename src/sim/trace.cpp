@@ -2,18 +2,35 @@
 
 namespace hetsched {
 
+bool RecordingTrace::admit() {
+  if (max_events_ != 0 && stored_events() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
 void RecordingTrace::on_assignment(std::uint32_t worker, double now,
                                    const Assignment& assignment) {
+  if (!admit()) return;
   assignments_.push_back(AssignmentEvent{worker, now, assignment});
 }
 
 void RecordingTrace::on_completion(std::uint32_t worker, double now,
                                    TaskId task) {
+  if (!admit()) return;
   completions_.push_back(CompletionEvent{worker, now, task});
 }
 
 void RecordingTrace::on_retire(std::uint32_t worker, double now) {
+  if (!admit()) return;
   retirements_.push_back(RetireEvent{worker, now});
+}
+
+void RecordingTrace::on_phase_switch(double now,
+                                     std::uint64_t tasks_remaining) {
+  if (!admit()) return;
+  phase_switches_.push_back(PhaseSwitchEvent{now, tasks_remaining});
 }
 
 }  // namespace hetsched

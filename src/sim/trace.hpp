@@ -1,10 +1,12 @@
 // Optional observation hooks for the simulation engine.
 //
-// Tests and examples subscribe to assignment/completion events to check
-// engine invariants (no task computed twice, blocks counted once, ...)
+// Tests, examples, and the metrics subsystem (src/obs) subscribe to
+// assignment/completion events to check engine invariants (no task
+// computed twice, blocks counted once, ...) and to sample trajectories
 // without the engine knowing about them.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -26,9 +28,32 @@ class TraceSink {
 
   /// Worker `worker` retired (no further work possible) at `now`.
   virtual void on_retire(std::uint32_t worker, double now) = 0;
+
+  /// A two-phase strategy crossed from the data-aware phase into the
+  /// random phase at `now` with `tasks_remaining` unallocated tasks.
+  /// Default no-op so existing sinks keep compiling.
+  virtual void on_phase_switch(double now, std::uint64_t tasks_remaining) {
+    (void)now;
+    (void)tasks_remaining;
+  }
+
+  /// One block shipped master -> worker as part of serving a request.
+  /// Finer-grained companion of on_assignment (which carries the whole
+  /// batch); default no-op.
+  virtual void on_data_fetch(std::uint32_t worker, double now,
+                             const BlockRef& block) {
+    (void)worker;
+    (void)now;
+    (void)block;
+  }
 };
 
 /// A TraceSink that buffers everything; convenient in tests.
+///
+/// Memory can be bounded with `set_max_events`: once the total stored
+/// event count reaches the cap, further events are counted in
+/// `dropped_events()` instead of stored, so tracing a (N/l)^3 matmul
+/// run cannot silently exhaust RAM.
 class RecordingTrace final : public TraceSink {
  public:
   struct AssignmentEvent {
@@ -45,11 +70,36 @@ class RecordingTrace final : public TraceSink {
     std::uint32_t worker;
     double time;
   };
+  struct PhaseSwitchEvent {
+    double time;
+    std::uint64_t tasks_remaining;
+  };
+
+  RecordingTrace() = default;
+  /// Convenience: construct with an event cap (see set_max_events).
+  explicit RecordingTrace(std::size_t max_events) : max_events_(max_events) {}
 
   void on_assignment(std::uint32_t worker, double now,
                      const Assignment& assignment) override;
   void on_completion(std::uint32_t worker, double now, TaskId task) override;
   void on_retire(std::uint32_t worker, double now) override;
+  void on_phase_switch(double now, std::uint64_t tasks_remaining) override;
+
+  /// Caps the total number of stored events (assignments + completions
+  /// + retirements + phase switches). 0 = unbounded (the default).
+  /// Events past the cap are dropped and counted, never stored.
+  void set_max_events(std::size_t max_events) noexcept {
+    max_events_ = max_events;
+  }
+
+  /// Events discarded because the cap was reached.
+  std::uint64_t dropped_events() const noexcept { return dropped_; }
+
+  /// Events currently stored across all categories.
+  std::size_t stored_events() const noexcept {
+    return assignments_.size() + completions_.size() + retirements_.size() +
+           phase_switches_.size();
+  }
 
   const std::vector<AssignmentEvent>& assignments() const noexcept {
     return assignments_;
@@ -60,11 +110,19 @@ class RecordingTrace final : public TraceSink {
   const std::vector<RetireEvent>& retirements() const noexcept {
     return retirements_;
   }
+  const std::vector<PhaseSwitchEvent>& phase_switches() const noexcept {
+    return phase_switches_;
+  }
 
  private:
+  bool admit();  // false (and counts a drop) once the cap is reached
+
   std::vector<AssignmentEvent> assignments_;
   std::vector<CompletionEvent> completions_;
   std::vector<RetireEvent> retirements_;
+  std::vector<PhaseSwitchEvent> phase_switches_;
+  std::size_t max_events_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace hetsched

@@ -1,9 +1,11 @@
 // Chrome-tracing (catapult) export of a recorded schedule.
 //
-// Loading the emitted JSON in chrome://tracing or Perfetto gives a
-// per-worker Gantt chart of task executions with communication counts
-// in the event arguments — the fastest way to *see* what a strategy
-// did.
+// Loading the emitted JSON in chrome://tracing or https://ui.perfetto.dev
+// gives a per-worker Gantt chart of task executions with communication
+// counts in the event arguments — the fastest way to *see* what a
+// strategy did. Sampled metrics channels (obs/sampler.hpp) can ride
+// along as counter tracks ("ph":"C"), which Perfetto renders as
+// time-series lanes above the Gantt rows.
 #pragma once
 
 #include <ostream>
@@ -13,12 +15,19 @@
 
 namespace hetsched {
 
+class TimeSeriesSampler;  // obs/sampler.hpp
+
 /// Writes trace events in the Chrome tracing "complete event" format
 /// (phase "X"). Task durations are reconstructed from completion times
-/// and the worker speeds (valid for static-speed runs; with per-task
-/// perturbation durations are approximate). Assignment events appear as
-/// instant events carrying the block count.
+/// and the worker speeds; with per-task perturbation the true duration
+/// is unknown, so each is clamped into the gap since the worker's
+/// previous completion — reconstructed durations are therefore always
+/// non-negative and non-overlapping per worker. Assignment events
+/// appear as instant events carrying the block count, phase switches
+/// as global instant events, and `counters` (optional) as one counter
+/// track per sampled channel.
 void export_chrome_trace(std::ostream& out, const RecordingTrace& trace,
-                         const Platform& platform);
+                         const Platform& platform,
+                         const TimeSeriesSampler* counters = nullptr);
 
 }  // namespace hetsched

@@ -1,0 +1,103 @@
+// Integration anchor for the observability subsystem: the sampled
+// unmarked-task trajectory of a data-aware run must track the ODE
+// solution of the paper's analysis (Lemmas 1/2 for the outer product,
+// Lemmas 7/8 for matmul).
+//
+// Stated tolerance: the fluid model ignores discreteness (finite
+// batches, integer tasks) and worker asynchrony, which at n = 100 /
+// p = 20 leaves a max pointwise gap well under 0.08 over the region
+// where the prediction still has mass (>= 0.02); the matmul model at
+// n = 40 stays under 0.12. Empirical max gaps are ~0.045 and ~0.075 —
+// the asserted bounds leave seed-to-seed headroom without losing the
+// ability to catch a broken time mapping (which produces gaps > 0.3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "obs/instrument.hpp"
+#include "obs/overlay.hpp"
+
+namespace hetsched {
+namespace {
+
+struct OverlayError {
+  double max_err = 0.0;
+  double mean_err = 0.0;
+};
+
+OverlayError overlay_error(const ExperimentConfig& config) {
+  InstrumentedRep rep;
+  run_instrumented_rep(config, derive_stream(config.seed, "rep.0"), {}, rep);
+
+  const TrajectoryModel model(config.kernel, rep.outcome.speeds, config.n);
+  const auto& names = rep.sampler.channel_names();
+  const auto it =
+      std::find(names.begin(), names.end(), "unmarked_fraction");
+  EXPECT_NE(it, names.end());
+  const auto ch = static_cast<std::size_t>(it - names.begin());
+
+  OverlayError err;
+  double sum = 0.0;
+  std::size_t compared = 0;
+  for (std::size_t row = 0; row < rep.sampler.num_samples(); ++row) {
+    const double t = rep.sampler.sample_time(row);
+    const double ode = model.unmarked_fraction(t);
+    if (ode < 0.02) continue;  // fluid model has lost its mass
+    const double gap = std::abs(rep.sampler.sample_value(row, ch) - ode);
+    err.max_err = std::max(err.max_err, gap);
+    sum += gap;
+    ++compared;
+  }
+  EXPECT_GT(compared, 20u) << "too few comparable samples";
+  err.mean_err = sum / static_cast<double>(compared);
+  return err;
+}
+
+TEST(TrajectoryOverlay, DynamicOuterTracksOdePrediction) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter";
+  config.n = 100;
+  config.p = 20;
+  config.seed = 20140623;
+
+  const OverlayError err = overlay_error(config);
+  EXPECT_LT(err.max_err, 0.08);
+  EXPECT_LT(err.mean_err, 0.04);
+}
+
+TEST(TrajectoryOverlay, DynamicMatrixTracksOdePrediction) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kMatmul;
+  config.strategy = "DynamicMatrix";
+  config.n = 40;
+  config.p = 20;
+  config.seed = 20140623;
+
+  const OverlayError err = overlay_error(config);
+  EXPECT_LT(err.max_err, 0.12);
+  EXPECT_LT(err.mean_err, 0.05);
+}
+
+TEST(TrajectoryModel, BoundaryBehaviour) {
+  // Homogeneous platform, outer kernel: closed-form boundary values.
+  const std::vector<double> speeds(10, 50.0);
+  const TrajectoryModel model(Kernel::kOuter, speeds, 50);
+  EXPECT_NEAR(model.unmarked_fraction(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(model.unmarked_fraction(model.total_time()), 0.0, 1e-6);
+  EXPECT_EQ(model.unmarked_fraction(model.total_time() * 2.0), 0.0);
+  // Strictly decreasing in between.
+  double prev = 1.0;
+  for (int i = 1; i <= 10; ++i) {
+    const double u =
+        model.unmarked_fraction(model.total_time() * 0.1 * i);
+    EXPECT_LT(u, prev + 1e-12);
+    prev = u;
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

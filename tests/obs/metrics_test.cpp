@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hetsched {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, BucketsByUpperBoundWithOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1
+  h.observe(1.0);  // <= 1 (bounds are inclusive)
+  h.observe(3.0);  // <= 4
+  h.observe(9.0);  // overflow
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 0, 1, 1}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+}
+
+TEST(Histogram, BucketIndexMatchesObserve) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.5), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(100.0), 3u);
+}
+
+TEST(Histogram, MergeFoldsPreAggregatedShard) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.merge({2, 0, 3}, 40.0);  // two <=1 observations, three overflow
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{3, 0, 3}));
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 40.5);
+  EXPECT_THROW(h.merge({1, 2}, 0.0), std::invalid_argument);  // wrong width
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.inc();
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  // Re-request ignores (different) bounds and returns the original.
+  EXPECT_EQ(&reg.histogram("h", {5.0}), &h);
+  EXPECT_EQ(h.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistry, CrossKindNameReuseThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::invalid_argument);
+  reg.gauge("g");
+  EXPECT_THROW(reg.counter("g"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(7.0);
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[1].first, "zeta");
+  const auto gauges = reg.gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].first, "mid");
+  EXPECT_EQ(gauges[0].second, 7.0);
+}
+
+TEST(MetricsJson, WritesAllSectionsCompact) {
+  MetricsRegistry reg;
+  reg.counter("c").add(3);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h", {1.0}).observe(0.5);
+  std::ostringstream out;
+  write_metrics_json(out, reg);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("{\"type\":\"snapshot\","), 0u);
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"c\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"g\":1.5"), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(text.find("\"counts\""), std::string::npos);
+  // Compact (single JSON-lines record): no newline inside.
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,176 @@
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace hetsched {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Sampler, EmitsOneRowPerElapsedDeadline) {
+  TimeSeriesSampler sampler(1.0);
+  double v = 10.0;
+  sampler.add_channel("v", [&v] { return v; });
+  sampler.advance_to(0.5);  // deadline t=0
+  v = 20.0;
+  sampler.advance_to(2.5);  // deadlines t=1, t=2
+  const auto samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].time, 0.0);
+  EXPECT_EQ(samples[0].values[0], 10.0);
+  EXPECT_EQ(samples[1].time, 1.0);
+  EXPECT_EQ(samples[2].time, 2.0);
+  EXPECT_EQ(samples[2].values[0], 20.0);
+  // Idempotent: advancing to the same time adds nothing.
+  sampler.advance_to(2.5);
+  EXPECT_EQ(sampler.num_samples(), 3u);
+}
+
+TEST(Sampler, FinishAppendsFinalRowAtEndTime) {
+  TimeSeriesSampler sampler(1.0);
+  sampler.add_channel("v", [] { return 1.0; });
+  sampler.advance_to(1.5);
+  sampler.finish(1.75);
+  const auto samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 3u);  // t = 0, 1, 1.75
+  EXPECT_EQ(samples.back().time, 1.75);
+  // finish at an exact deadline does not duplicate the row.
+  TimeSeriesSampler exact(1.0);
+  exact.add_channel("v", [] { return 1.0; });
+  exact.finish(2.0);
+  ASSERT_EQ(exact.num_samples(), 3u);  // t = 0, 1, 2
+  EXPECT_EQ(exact.sample_time(2), 2.0);
+}
+
+TEST(Sampler, NoChannelsMeansNoRowsAndNoThrow) {
+  TimeSeriesSampler sampler;  // no interval either
+  sampler.advance_to(100.0);
+  sampler.finish(200.0);
+  EXPECT_EQ(sampler.num_samples(), 0u);
+}
+
+TEST(Sampler, MissingIntervalThrowsOnceChannelsExist) {
+  TimeSeriesSampler sampler;
+  sampler.add_channel("v", [] { return 0.0; });
+  EXPECT_THROW(sampler.advance_to(1.0), std::logic_error);
+  sampler.set_interval(0.5);
+  sampler.advance_to(1.0);
+  EXPECT_EQ(sampler.num_samples(), 3u);  // t = 0, 0.5, 1.0
+}
+
+TEST(Sampler, MidSeriesReconfigurationThrows) {
+  TimeSeriesSampler sampler(1.0);
+  sampler.add_channel("v", [] { return 0.0; });
+  EXPECT_THROW(sampler.add_channel("", nullptr), std::invalid_argument);
+  sampler.advance_to(0.0);
+  EXPECT_THROW(sampler.set_interval(2.0), std::logic_error);
+  EXPECT_THROW(sampler.add_channel("w", [] { return 1.0; }),
+               std::logic_error);
+}
+
+TEST(Sampler, ProbesRunInRegistrationOrder) {
+  TimeSeriesSampler sampler(1.0);
+  int order = 0;
+  int first = -1, second = -1;
+  sampler.add_channel("a", [&] { first = order++; return 0.0; });
+  sampler.add_channel("b", [&] { second = order++; return 0.0; });
+  sampler.advance_to(0.0);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Sampler, FlatAccessorsMatchMaterializedSamples) {
+  TimeSeriesSampler sampler(0.5);
+  double x = 0.0;
+  sampler.add_channel("x", [&x] { return x; });
+  sampler.add_channel("2x", [&x] { return 2.0 * x; });
+  for (int i = 0; i < 4; ++i) {
+    x = static_cast<double>(i);
+    sampler.advance_to(0.5 * i);
+  }
+  const auto samples = sampler.samples();
+  ASSERT_EQ(samples.size(), sampler.num_samples());
+  for (std::size_t row = 0; row < samples.size(); ++row) {
+    EXPECT_EQ(samples[row].time, sampler.sample_time(row));
+    for (std::size_t ch = 0; ch < 2; ++ch) {
+      EXPECT_EQ(samples[row].values[ch], sampler.sample_value(row, ch));
+    }
+  }
+}
+
+// Golden round-trip: a small deterministic series must survive the
+// JSONL exporter with every time and value intact.
+TEST(SamplerExport, JsonlRoundTrip) {
+  TimeSeriesSampler sampler(0.25);
+  double v = 0.0;
+  sampler.add_channel("up", [&v] { return v; });
+  sampler.add_channel("down", [&v] { return 10.0 - v; });
+  for (int i = 0; i <= 4; ++i) {
+    v = static_cast<double>(i);
+    sampler.advance_to(0.25 * i);
+  }
+  std::ostringstream out;
+  write_timeseries_jsonl(out, sampler);
+  const auto lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 1u + sampler.num_samples());
+
+  // Meta record first (exact golden line: format changes must be
+  // deliberate — downstream parsers key on these fields).
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"meta\",\"interval\":0.25,"
+            "\"channels\":[\"up\",\"down\"]}");
+
+  for (std::size_t row = 0; row < sampler.num_samples(); ++row) {
+    const std::string& line = lines[row + 1];
+    EXPECT_EQ(line.find("{\"type\":\"sample\",\"t\":"), 0u) << line;
+    // Round-trip the numbers: t then [v0, v1].
+    double t = -1.0, v0 = -1.0, v1 = -1.0;
+    ASSERT_EQ(std::sscanf(line.c_str(),
+                          "{\"type\":\"sample\",\"t\":%lf,\"v\":[%lf,%lf]}",
+                          &t, &v0, &v1),
+              3)
+        << line;
+    EXPECT_DOUBLE_EQ(t, sampler.sample_time(row));
+    EXPECT_DOUBLE_EQ(v0, sampler.sample_value(row, 0));
+    EXPECT_DOUBLE_EQ(v1, sampler.sample_value(row, 1));
+  }
+}
+
+TEST(SamplerExport, CsvRoundTrip) {
+  TimeSeriesSampler sampler(1.0);
+  double v = 0.0;
+  sampler.add_channel("v", [&v] { return v; });
+  for (int i = 0; i <= 2; ++i) {
+    v = static_cast<double>(i) + 0.5;
+    sampler.advance_to(static_cast<double>(i));
+  }
+  std::ostringstream out;
+  write_timeseries_csv(out, sampler);
+  const auto lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 1u + sampler.num_samples());
+  EXPECT_EQ(lines[0], "time,v");
+  for (std::size_t row = 0; row < sampler.num_samples(); ++row) {
+    double t = -1.0, val = -1.0;
+    ASSERT_EQ(std::sscanf(lines[row + 1].c_str(), "%lf,%lf", &t, &val), 2)
+        << lines[row + 1];
+    EXPECT_DOUBLE_EQ(t, sampler.sample_time(row));
+    EXPECT_DOUBLE_EQ(val, sampler.sample_value(row, 0));
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -2,13 +2,60 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <map>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "obs/sampler.hpp"
 #include "outer/outer_factory.hpp"
 #include "sim/engine.hpp"
 
 namespace hetsched {
 namespace {
+
+// Minimal scan of the compact single-line trace JSON: pulls the "X"
+// (complete) events' ts/dur/tid fields without a JSON parser.
+struct GanttSlice {
+  double ts;
+  double dur;
+  std::int64_t tid;
+};
+
+std::vector<GanttSlice> parse_complete_events(const std::string& text) {
+  std::vector<GanttSlice> out;
+  for (std::size_t pos = text.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = text.find("\"ph\":\"X\"", pos + 1)) {
+    // All X events are flat objects, so the fields sit between the
+    // enclosing braces around this match.
+    const std::size_t begin = text.rfind('{', pos);
+    const std::size_t end = text.find('}', pos);
+    const std::string obj = text.substr(begin, end - begin + 1);
+    GanttSlice slice{};
+    const auto field = [&obj](const char* name) {
+      const std::size_t at = obj.find(name);
+      EXPECT_NE(at, std::string::npos) << name << " missing in " << obj;
+      return std::stod(obj.substr(at + std::string(name).size()));
+    };
+    slice.ts = field("\"ts\":");
+    slice.dur = field("\"dur\":");
+    slice.tid = static_cast<std::int64_t>(field("\"tid\":"));
+    out.push_back(slice);
+  }
+  return out;
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
 
 TEST(TraceExport, EmitsCompleteEventsPerTask) {
   auto strategy = make_outer_strategy("SortedOuter", OuterConfig{4}, 2, 1);
@@ -38,6 +85,104 @@ TEST(TraceExport, EmptyTraceStillValidJsonShell) {
   std::ostringstream out;
   export_chrome_trace(out, trace, platform);
   EXPECT_NE(out.str().find("\"traceEvents\":[]"), std::string::npos);
+}
+
+// Under per-task speed perturbation 1/speed is only an estimate of a
+// task's true duration, so the exporter clamps slices into the gap
+// since the worker's previous completion: every duration must stay
+// non-negative and slices on one worker row must never overlap.
+TEST(TraceExport, PerturbedRunSlicesAreNonNegativeAndDisjoint) {
+  auto strategy = make_outer_strategy("DynamicOuter", OuterConfig{12}, 4, 3);
+  Platform platform({10.0, 25.0, 40.0, 80.0});
+  SimConfig sim_config;
+  sim_config.seed = 99;
+  sim_config.perturbation = PerturbationModel(20.0);  // +/- 20% per task
+  RecordingTrace trace;
+  simulate(*strategy, platform, sim_config, &trace);
+
+  std::ostringstream out;
+  export_chrome_trace(out, trace, platform);
+  const auto slices = parse_complete_events(out.str());
+  ASSERT_EQ(slices.size(), 144u);
+
+  std::map<std::int64_t, double> prev_end;
+  for (const auto& slice : slices) {
+    EXPECT_GE(slice.dur, 0.0);
+    // Events are emitted in completion order, so per-worker starts
+    // must not cut into the previous slice (tolerance for the %.12g
+    // round-trip through text).
+    const auto it = prev_end.find(slice.tid);
+    if (it != prev_end.end()) {
+      EXPECT_GE(slice.ts - it->second, -1e-3)
+          << "overlap on worker " << slice.tid;
+    }
+    prev_end[slice.tid] = slice.ts + slice.dur;
+  }
+}
+
+TEST(TraceExport, RecordingTraceCapDropsAndCounts) {
+  auto strategy = make_outer_strategy("SortedOuter", OuterConfig{8}, 2, 1);
+  Platform platform({10.0, 20.0});
+
+  // Uncapped reference run.
+  RecordingTrace full;
+  simulate(*strategy, platform, {}, &full);
+  const std::size_t total = full.stored_events();
+  EXPECT_EQ(full.dropped_events(), 0u);
+  ASSERT_GT(total, 20u);
+
+  auto strategy2 = make_outer_strategy("SortedOuter", OuterConfig{8}, 2, 1);
+  RecordingTrace capped(20);
+  simulate(*strategy2, platform, {}, &capped);
+  EXPECT_EQ(capped.stored_events(), 20u);
+  EXPECT_EQ(capped.dropped_events(), total - 20u);
+  // The capped prefix matches the uncapped run event-for-event.
+  ASSERT_LE(capped.completions().size(), full.completions().size());
+  for (std::size_t i = 0; i < capped.completions().size(); ++i) {
+    EXPECT_EQ(capped.completions()[i].task, full.completions()[i].task);
+  }
+}
+
+TEST(TraceExport, PhaseSwitchEmitsGlobalInstant) {
+  OuterStrategyOptions options;
+  options.phase2_fraction = std::exp(-2.0);
+  auto strategy = make_outer_strategy("DynamicOuter2Phases", OuterConfig{10},
+                                      2, 4, options);
+  Platform platform({10.0, 30.0});
+  RecordingTrace trace;
+  simulate(*strategy, platform, {}, &trace);
+  ASSERT_EQ(trace.phase_switches().size(), 1u);
+
+  std::ostringstream out;
+  export_chrome_trace(out, trace, platform);
+  const std::string text = out.str();
+  EXPECT_EQ(count_occurrences(text, "\"cat\":\"phase\""), 1u);
+  EXPECT_NE(text.find("phase switch ("), std::string::npos);
+  EXPECT_NE(text.find("\"s\":\"g\""), std::string::npos);
+}
+
+TEST(TraceExport, SampledChannelsBecomeCounterTracks) {
+  auto strategy = make_outer_strategy("SortedOuter", OuterConfig{4}, 2, 1);
+  Platform platform({10.0, 20.0});
+  RecordingTrace trace;
+  simulate(*strategy, platform, {}, &trace);
+
+  TimeSeriesSampler sampler(1.0);
+  double v = 0.0;
+  sampler.add_channel("load", [&v] { return v; });
+  for (int i = 0; i <= 3; ++i) {
+    v = static_cast<double>(i);
+    sampler.advance_to(static_cast<double>(i));
+  }
+
+  std::ostringstream out;
+  export_chrome_trace(out, trace, platform, &sampler);
+  const std::string text = out.str();
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"C\""), sampler.num_samples());
+  EXPECT_EQ(count_occurrences(text, "\"cat\":\"metrics\""),
+            sampler.num_samples());
+  EXPECT_NE(text.find("\"name\":\"load\""), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"value\":"), std::string::npos);
 }
 
 }  // namespace

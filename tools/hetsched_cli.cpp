@@ -11,8 +11,10 @@
 //   hetsched_cli dag   --factorization=cholesky [--tiles=16] [--p=8]
 //   hetsched_cli help
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,7 +30,10 @@
 #include "dag/dag_engine.hpp"
 #include "dag/lu.hpp"
 #include "dag/qr.hpp"
+#include "obs/export.hpp"
+#include "obs/instrument.hpp"
 #include "platform/platform.hpp"
+#include "sim/trace_export.hpp"
 #include "static_part/column_partition.hpp"
 
 namespace {
@@ -44,6 +49,18 @@ int usage() {
       "             --kernel=outer|matmul --strategy=<name> [--n= --p=]\n"
       "             [--scenario=default|hom|unif.1|...|dyn.20] [--reps=]\n"
       "             [--seed=] [--beta=] [--json] [--details]\n"
+      "             observability (re-runs repetition 0 instrumented):\n"
+      "             [--trace-out=FILE]   chrome-tracing JSON with per-worker\n"
+      "                                  Gantt rows, phase-switch markers and\n"
+      "                                  metric counter tracks; open the file\n"
+      "                                  in chrome://tracing (\"Load\") or at\n"
+      "                                  https://ui.perfetto.dev (\"Open trace\n"
+      "                                  file\")\n"
+      "             [--metrics-out=FILE] JSON-lines: meta record, one sample\n"
+      "                                  record per sampling instant, final\n"
+      "                                  metrics snapshot record\n"
+      "             [--sample-interval=DT] sampling cadence in simulated time\n"
+      "                                  units (default: ~192 samples/run)\n"
       "  sweep      sweep worker counts for several strategies\n"
       "             --kernel=... [--p=10,50,100] [--strategies=a,b,c]\n"
       "             [--analysis] [--json]\n"
@@ -70,6 +87,39 @@ std::vector<std::string> split_names(const std::string& csv) {
   return out;
 }
 
+// Re-runs repetition 0 of `config` with the metrics stack attached and
+// writes the requested artifacts: a chrome-tracing / Perfetto JSON file
+// (--trace-out) and/or a JSON-lines time series + metrics snapshot
+// (--metrics-out).
+void dump_observability(const CliArgs& args, const ExperimentConfig& config) {
+  const std::string trace_path = args.get("trace-out", "");
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (trace_path.empty() && metrics_path.empty()) return;
+
+  InstrumentOptions options;
+  options.sample_interval = args.get_double("sample-interval", 0.0);
+  InstrumentedRep rep;
+  run_instrumented_rep(config, derive_stream(config.seed, "rep.0"), options,
+                       rep);
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) throw std::runtime_error("cannot open " + trace_path);
+    export_chrome_trace(out, rep.recording, Platform(rep.outcome.speeds),
+                        &rep.sampler);
+    std::cerr << "wrote trace to " << trace_path
+              << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    write_timeseries_jsonl(out, rep.sampler);
+    write_metrics_json(out, rep.registry);
+    out << "\n";
+    std::cerr << "wrote metrics time series to " << metrics_path << "\n";
+  }
+}
+
 int cmd_run(const CliArgs& args) {
   ExperimentConfig config;
   config.kernel = kernel_from_string(args.get("kernel", "outer"));
@@ -88,6 +138,7 @@ int cmd_run(const CliArgs& args) {
   }
 
   const ExperimentResult result = run_experiment(config);
+  dump_observability(args, config);
   if (args.get_bool("json", false)) {
     write_experiment_json(std::cout, config, result,
                           args.get_bool("details", false));
