@@ -3,7 +3,9 @@
 // perform poorly... re-assign tasks"). This bench injects crashes and
 // stragglers into DynamicOuter2Phases runs and measures the price:
 // extra communication from lost caches and makespan inflation versus
-// the fault-free run with the same seeds.
+// the fault-free run with the same seeds. With --timed the same fault
+// scripts run through the comm-timed engine (shared EventCore), where
+// a crash additionally forfeits the victim's in-transit prefetches.
 #include <iostream>
 
 #include "bench/bench_util.hpp"
@@ -14,6 +16,7 @@
 #include "platform/lower_bound.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
+#include "sim/engine_timed.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetsched;
@@ -22,13 +25,15 @@ int main(int argc, char** argv) {
   const auto p = static_cast<std::uint32_t>(args.get_int("p", 20));
   const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 10));
   const std::uint64_t seed = args.get_int("seed", 20140623);
+  const bool timed = args.get_bool("timed", false);
 
   bench::print_header(
       "Extension (faults)", "crashes and stragglers under demand-driven "
                             "scheduling",
-      "DynamicOuter2Phases, n=" + std::to_string(n) + ", p=" +
+      std::string("DynamicOuter2Phases, n=") + std::to_string(n) + ", p=" +
           std::to_string(p) + ", faults at 30% of the fault-free makespan, "
-          "reps=" + std::to_string(reps));
+          "reps=" + std::to_string(reps) +
+          (timed ? ", comm-timed engine" : ""));
 
   CsvWriter csv(std::cout,
                 {"crashes", "volume_inflation", "makespan_inflation",
@@ -46,21 +51,29 @@ int main(int argc, char** argv) {
       const Platform platform =
           make_platform(UniformIntervalSpeeds(10.0, 100.0), p, speed_rng);
 
-      auto clean = make_outer_strategy("DynamicOuter2Phases", OuterConfig{n},
-                                       p, rep_seed, options);
-      SimConfig clean_config;
-      clean_config.seed = rep_seed;
-      const SimResult baseline = simulate(*clean, platform, clean_config);
+      auto run = [&](const std::vector<WorkerFault>& faults) {
+        auto strategy = make_outer_strategy("DynamicOuter2Phases",
+                                            OuterConfig{n}, p, rep_seed,
+                                            options);
+        if (timed) {
+          TimedSimConfig config;
+          config.seed = rep_seed;
+          config.faults = faults;
+          return simulate_timed(*strategy, platform, config);
+        }
+        SimConfig config;
+        config.seed = rep_seed;
+        config.faults = faults;
+        return simulate(*strategy, platform, config);
+      };
 
-      SimConfig faulty_config = clean_config;
+      const SimResult baseline = run({});
       // Crash the first `crashes` workers at 30% of the clean makespan.
+      std::vector<WorkerFault> faults;
       for (std::uint32_t c = 0; c < crashes; ++c) {
-        faulty_config.faults.push_back(
-            WorkerFault{0.3 * baseline.makespan, c, 0.0});
+        faults.push_back(WorkerFault{0.3 * baseline.makespan, c, 0.0});
       }
-      auto faulty = make_outer_strategy("DynamicOuter2Phases", OuterConfig{n},
-                                        p, rep_seed, options);
-      const SimResult result = simulate(*faulty, platform, faulty_config);
+      const SimResult result = run(faults);
 
       volume_infl.push(static_cast<double>(result.total_blocks) /
                        static_cast<double>(baseline.total_blocks));

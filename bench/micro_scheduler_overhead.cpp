@@ -1,12 +1,28 @@
 // Microbenchmark (google-benchmark): master-side decision cost per work
 // request for each strategy. The paper argues data-aware scheduling is
 // "not computationally expensive"; this quantifies it.
+//
+// Also carries the EventCore overhead gate: BM_*EngineEvents measure
+// whole-simulation ns/event for the flat, timed and DAG engines, and
+// BM_HeapBaseline measures raw binary-heap push/pop on the same
+// machine. CI compares the engine/heap ratio against the recorded
+// baselines in bench/baselines/scheduler_overhead.json and fails on a
+// >2x regression — the ratio cancels out host speed, so the gate
+// tracks the refactor's per-event cost, not the runner's CPU.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
 
+#include "dag/cholesky.hpp"
+#include "dag/dag_engine.hpp"
 #include "matmul/matmul_factory.hpp"
 #include "outer/outer_factory.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/engine_timed.hpp"
 
 namespace {
 
@@ -56,7 +72,86 @@ void BM_MatmulRequest(benchmark::State& state, const std::string& name) {
   state.SetItemsProcessed(static_cast<std::int64_t>(requests));
 }
 
+// Machine-speed calibration for the engine gate: the event loop is a
+// binary heap at heart, so raw heap churn is the natural unit of "one
+// event's worth of machinery" on this host.
+void BM_HeapBaseline(benchmark::State& state) {
+  using Entry = std::pair<double, std::uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  constexpr int kDepth = 64;
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  for (int i = 0; i < kDepth; ++i) heap.push({t += 0.7, seq++});
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const Entry top = heap.top();
+    heap.pop();
+    heap.push({top.first + 1.3, seq++});
+    benchmark::DoNotOptimize(heap.size());
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+void BM_FlatEngineEvents(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Platform platform({10, 15, 20, 25, 30, 40, 50, 80});
+  std::uint64_t events = 0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto strategy =
+        make_outer_strategy("DynamicOuter", OuterConfig{n}, 8, ++seed);
+    state.ResumeTiming();
+    const SimResult result = simulate(*strategy, platform);
+    benchmark::DoNotOptimize(result.makespan);
+    events += result.total_tasks_done;  // one TaskDone event per task
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_TimedEngineEvents(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Platform platform({10, 15, 20, 25, 30, 40, 50, 80});
+  std::uint64_t events = 0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto strategy =
+        make_outer_strategy("DynamicOuter", OuterConfig{n}, 8, ++seed);
+    state.ResumeTiming();
+    const TimedSimResult result = simulate_timed(*strategy, platform);
+    benchmark::DoNotOptimize(result.makespan);
+    events += result.total_tasks_done;  // one TaskDone per task...
+    for (const auto& w : result.workers) {
+      events += w.messages_received;  // ...plus one arrival per message
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_DagEngineEvents(benchmark::State& state) {
+  const auto tiles = static_cast<std::uint32_t>(state.range(0));
+  const CholeskyGraph ch = build_cholesky_graph(tiles);
+  Platform platform({10, 15, 20, 25, 30, 40, 50, 80});
+  std::uint64_t events = 0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    CriticalPathDagPolicy policy;
+    const DagSimResult result =
+        simulate_dag(ch.graph, platform, policy, ++seed);
+    benchmark::DoNotOptimize(result.makespan);
+    events += result.total_tasks_done;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
 }  // namespace
+
+BENCHMARK(BM_HeapBaseline);
+BENCHMARK(BM_FlatEngineEvents)->Arg(60);
+BENCHMARK(BM_TimedEngineEvents)->Arg(60);
+BENCHMARK(BM_DagEngineEvents)->Arg(16);
 
 BENCHMARK_CAPTURE(BM_OuterRequest, RandomOuter, "RandomOuter")->Arg(100);
 BENCHMARK_CAPTURE(BM_OuterRequest, SortedOuter, "SortedOuter")->Arg(100);

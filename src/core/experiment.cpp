@@ -91,19 +91,32 @@ RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
   }
   auto strategy = build_strategy(config, rep_seed, phase2_fraction);
 
-  SimConfig sim_config;
-  sim_config.seed = rep_seed;
-  sim_config.perturbation = config.scenario.perturbation;
-
   TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
   if (instr != nullptr) {
     trace = instr->trace;
-    sim_config.metrics = instr->metrics;
+    metrics = instr->metrics;
     if (instr->on_ready) instr->on_ready(*strategy, platform);
   }
 
   RepOutcome outcome;
-  outcome.sim = simulate(*strategy, platform, sim_config, trace);
+  if (config.timed) {
+    TimedSimConfig sim_config;
+    sim_config.seed = rep_seed;
+    sim_config.comm = config.comm;
+    sim_config.lookahead = config.lookahead;
+    sim_config.perturbation = config.scenario.perturbation;
+    sim_config.faults = config.faults;
+    sim_config.metrics = metrics;
+    outcome.sim = simulate_timed(*strategy, platform, sim_config, trace);
+  } else {
+    SimConfig sim_config;
+    sim_config.seed = rep_seed;
+    sim_config.perturbation = config.scenario.perturbation;
+    sim_config.faults = config.faults;
+    sim_config.metrics = metrics;
+    outcome.sim = simulate(*strategy, platform, sim_config, trace);
+  }
   if (instr != nullptr && instr->on_done) instr->on_done(outcome.sim);
   outcome.speeds = platform.speeds();
   outcome.beta = beta;

@@ -17,6 +17,7 @@
 #include "platform/platform.hpp"
 #include "platform/scenario.hpp"
 #include "sim/engine.hpp"
+#include "sim/engine_timed.hpp"
 
 namespace hetsched {
 
@@ -39,6 +40,17 @@ struct ExperimentConfig {
   std::optional<double> phase2_fraction;
   std::uint64_t seed = 42;
   std::uint32_t reps = 10;
+  /// Engine selection: false = overlap-assuming flat engine (the
+  /// paper's model), true = comm-timed engine (serial uplink +
+  /// lookahead prefetch). Both run through the same EventCore, so
+  /// faults/perturbation/metrics/trace behave identically.
+  bool timed = false;
+  /// Comm-timed engine knobs; ignored when `timed` is false.
+  CommModel comm{};
+  std::uint32_t lookahead = 4;
+  /// Scripted crashes / stragglers, applied to every repetition
+  /// (on top of the scenario's perturbation).
+  std::vector<WorkerFault> faults{};
   /// Threads for the replication loop. 0 = auto: claim workers from the
   /// process-wide parallelism budget (runtime/thread_pool.hpp), which
   /// falls back to serial reps when an enclosing campaign already holds

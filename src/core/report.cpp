@@ -34,6 +34,26 @@ void write_experiment_json(std::ostream& out, const ExperimentConfig& config,
   if (config.phase2_fraction.has_value()) {
     json.field("phase2_fraction", *config.phase2_fraction);
   }
+  // Engine extras appear only when they deviate from the default flat
+  // run, so existing outputs stay byte-identical.
+  if (config.timed) {
+    json.field("timed", true);
+    json.field("comm_bandwidth", config.comm.bandwidth);
+    json.field("comm_latency", config.comm.latency);
+    json.field("lookahead", static_cast<std::uint64_t>(config.lookahead));
+  }
+  if (!config.faults.empty()) {
+    json.key("faults");
+    json.begin_array();
+    for (const WorkerFault& f : config.faults) {
+      json.begin_object();
+      json.field("time", f.time);
+      json.field("worker", static_cast<std::uint64_t>(f.worker));
+      json.field("factor", f.factor);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
 
   json.field("beta", result.beta);
@@ -59,6 +79,14 @@ void write_experiment_json(std::ostream& out, const ExperimentConfig& config,
       json.field("lower_bound", rep.lower_bound);
       json.field("total_blocks", rep.sim.total_blocks);
       json.field("makespan", rep.sim.makespan);
+      if (config.timed) {
+        json.field("link_busy_time", rep.sim.link_busy_time);
+      }
+      if (!config.faults.empty()) {
+        json.field("requeued_tasks", rep.sim.requeued_tasks);
+        json.field("crashed_workers",
+                   static_cast<std::uint64_t>(rep.sim.crashed_workers));
+      }
       json.key("speeds");
       json.begin_array();
       for (const double s : rep.speeds) json.value(s);

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
-#include <queue>
 #include <stdexcept>
+
+#include "sim/event_core.hpp"
 
 namespace hetsched {
 
@@ -79,109 +80,185 @@ double DagSimResult::makespan_lower_bound(const TaskGraph& graph,
 
 namespace {
 
-struct DagEvent {
-  double time;
-  std::uint64_t seq;
-  std::uint32_t worker;
-  DagTaskId task;
-
-  bool operator>(const DagEvent& o) const noexcept {
-    return time != o.time ? time > o.time : seq > o.seq;
+/// The DAG engine on top of EventCore: the ready set plus indegree
+/// counting replace the master strategy, and the write-invalidate tile
+/// caches replace the per-worker block sets.
+class DagEngine final : public EventCoreClient {
+ public:
+  DagEngine(const TaskGraph& graph, DagPolicy& policy,
+            DagSimResult& result)
+      : graph_(graph),
+        policy_(policy),
+        result_(result),
+        levels_(graph.bottom_levels()),
+        successors_(graph.successors()) {
+    const auto n_tasks = static_cast<DagTaskId>(graph.num_tasks());
+    indegree_.resize(n_tasks);
+    for (DagTaskId t = 0; t < n_tasks; ++t) {
+      indegree_[t] = static_cast<std::uint32_t>(graph.task(t).deps.size());
+      if (indegree_[t] == 0) ready_.push_back(t);
+    }
   }
+
+  void bind(EventCore* core) {
+    core_ = core;
+    caches_.assign(core->num_workers(), DynamicBitset(graph_.num_tiles()));
+  }
+
+  bool has_ready() const noexcept { return !ready_.empty(); }
+
+  void mark_idle(std::uint32_t k) { idle_.push_back(k); }
+
+  void assign(std::uint32_t k, double now) {
+    assert(!ready_.empty());
+    const DagPolicyContext context{graph_, levels_, caches_[k]};
+    const DagTaskId chosen = policy_.select(ready_, context);
+    const auto it = std::find(ready_.begin(), ready_.end(), chosen);
+    assert(it != ready_.end());
+    *it = ready_.back();
+    ready_.pop_back();
+
+    // Charge the tile transfers this worker needs.
+    Assignment traced;
+    for (const TileId tile : graph_.task(chosen).inputs) {
+      if (caches_[k].set_if_clear(tile)) {
+        ++core_->stats().total_blocks;
+        ++core_->stats().workers[k].blocks_received;
+        if (core_->trace() != nullptr) {
+          traced.blocks.push_back(BlockRef{Operand::kMatA, tile, 0});
+        }
+      }
+    }
+    if (core_->trace() != nullptr) {
+      traced.tasks.push_back(chosen);
+      core_->trace()->on_assignment(k, now, traced);
+    }
+    const double duration =
+        graph_.task(chosen).work / core_->worker(k).speed;
+    core_->start_task(k, now, duration, chosen);
+  }
+
+  // Serve earlier-idled workers first (crash victims are skipped and
+  // dropped from the queue).
+  void serve_idle(double now) {
+    while (!idle_.empty() && !ready_.empty()) {
+      const std::uint32_t k = idle_.front();
+      idle_.pop_front();
+      if (core_->worker(k).failed) continue;
+      assign(k, now);
+    }
+  }
+
+  void on_task_done(std::uint32_t k, double now) override {
+    const auto task = static_cast<DagTaskId>(core_->worker(k).current);
+    result_.completion_order.push_back(task);
+
+    // Write-invalidate: the writer keeps the only valid copy of every
+    // tile it produced.
+    for (const TileId out : graph_.task(task).outputs) {
+      for (std::uint32_t other = 0; other < core_->num_workers(); ++other) {
+        if (other != k) caches_[other].reset(out);
+      }
+      caches_[k].set(out);
+    }
+
+    // Unlock successors.
+    for (const DagTaskId s : successors_[task]) {
+      assert(indegree_[s] > 0);
+      if (--indegree_[s] == 0) ready_.push_back(s);
+    }
+
+    idle_.push_back(k);
+    serve_idle(now);
+  }
+
+  // Crash support: the in-flight task (drained by the core) is the only
+  // pending work a DAG worker holds; its tile cache is simply lost.
+  void collect_pending(std::uint32_t k, std::vector<TaskId>& out) override {
+    (void)out;
+    caches_[k].clear();
+  }
+
+  bool requeue(std::vector<TaskId>& tasks) override {
+    // Dependencies of an assigned task were satisfied when it was
+    // handed out and completions only add to that, so the task goes
+    // straight back to the ready set.
+    for (const TaskId t : tasks) {
+      ready_.push_back(static_cast<DagTaskId>(t));
+    }
+    return true;
+  }
+
+  void after_requeue(double now) override { serve_idle(now); }
+
+ private:
+  const TaskGraph& graph_;
+  DagPolicy& policy_;
+  DagSimResult& result_;
+  std::vector<double> levels_;
+  std::vector<std::vector<DagTaskId>> successors_;
+  std::vector<std::uint32_t> indegree_;
+  std::vector<DagTaskId> ready_;
+  std::vector<DynamicBitset> caches_;
+  std::deque<std::uint32_t> idle_;
+  EventCore* core_ = nullptr;
 };
 
 }  // namespace
 
 DagSimResult simulate_dag(const TaskGraph& graph, const Platform& platform,
-                          DagPolicy& policy, std::uint64_t /*seed*/) {
+                          DagPolicy& policy, const DagSimConfig& config,
+                          TraceSink* trace) {
   graph.validate();
   const auto p = static_cast<std::uint32_t>(platform.size());
   const auto n_tasks = static_cast<DagTaskId>(graph.num_tasks());
 
   DagSimResult result;
-  result.workers.resize(p);
   result.completion_order.reserve(n_tasks);
 
-  const auto levels = graph.bottom_levels();
-  const auto& successors = graph.successors();
+  EventCoreOptions options;
+  options.seed = config.seed;
+  options.perturb_stream = "dag.perturb";
+  options.error_prefix = "simulate_dag";
+  options.perturbation = config.perturbation;
+  options.faults = config.faults;
+  options.metrics = config.metrics;
+  options.trace = trace;
 
-  std::vector<std::uint32_t> indegree(n_tasks);
-  std::vector<DagTaskId> ready;
-  for (DagTaskId t = 0; t < n_tasks; ++t) {
-    indegree[t] = static_cast<std::uint32_t>(graph.task(t).deps.size());
-    if (indegree[t] == 0) ready.push_back(t);
-  }
-
-  std::vector<DynamicBitset> caches(p, DynamicBitset(graph.num_tiles()));
-  std::priority_queue<DagEvent, std::vector<DagEvent>, std::greater<>> events;
-  std::uint64_t seq = 0;
-  std::deque<std::uint32_t> idle;
-
-  auto assign = [&](std::uint32_t worker, double now) {
-    assert(!ready.empty());
-    const DagPolicyContext context{graph, levels, caches[worker]};
-    const DagTaskId chosen = policy.select(ready, context);
-    const auto it = std::find(ready.begin(), ready.end(), chosen);
-    assert(it != ready.end());
-    *it = ready.back();
-    ready.pop_back();
-
-    // Charge the tile transfers this worker needs.
-    for (const TileId tile : graph.task(chosen).inputs) {
-      if (caches[worker].set_if_clear(tile)) {
-        ++result.total_transfers;
-        ++result.workers[worker].tiles_received;
-      }
-    }
-    const double duration = graph.task(chosen).work / platform.speed(worker);
-    result.workers[worker].busy_time += duration;
-    events.push(DagEvent{now + duration, seq++, worker, chosen});
-  };
+  DagEngine engine(graph, policy, result);
+  EventCore core(platform, options, engine);
+  engine.bind(&core);
 
   // Hand out initial work in worker-id order; the rest start idle
   // (a fresh Cholesky graph has a single ready task, POTRF(0)).
   std::uint32_t first_idle = 0;
-  while (first_idle < p && !ready.empty()) assign(first_idle++, 0.0);
-  for (std::uint32_t k = first_idle; k < p; ++k) idle.push_back(k);
+  while (first_idle < p && engine.has_ready()) engine.assign(first_idle++, 0.0);
+  for (std::uint32_t k = first_idle; k < p; ++k) engine.mark_idle(k);
 
-  while (!events.empty()) {
-    const DagEvent ev = events.top();
-    events.pop();
-    DagWorkerStats& stats = result.workers[ev.worker];
-    ++stats.tasks_done;
-    ++result.total_tasks_done;
-    stats.finish_time = ev.time;
-    result.makespan = std::max(result.makespan, ev.time);
-    result.completion_order.push_back(ev.task);
+  core.run();
+  SimResult stats = core.finish();
 
-    // Write-invalidate: the writer keeps the only valid copy of every
-    // tile it produced.
-    for (const TileId out : graph.task(ev.task).outputs) {
-      for (std::uint32_t k = 0; k < p; ++k) {
-        if (k != ev.worker) caches[k].reset(out);
-      }
-      caches[ev.worker].set(out);
-    }
+  result.makespan = stats.makespan;
+  result.total_transfers = stats.total_blocks;
+  result.total_tasks_done = stats.total_tasks_done;
+  result.requeued_tasks = stats.requeued_tasks;
+  result.crashed_workers = stats.crashed_workers;
+  result.workers = std::move(stats.workers);
 
-    // Unlock successors.
-    for (const DagTaskId s : successors[ev.task]) {
-      assert(indegree[s] > 0);
-      if (--indegree[s] == 0) ready.push_back(s);
-    }
-
-    // Serve earlier-idled workers first, then this one.
-    idle.push_back(ev.worker);
-    while (!idle.empty() && !ready.empty()) {
-      const std::uint32_t k = idle.front();
-      idle.pop_front();
-      assign(k, ev.time);
-    }
-  }
-
-  if (result.total_tasks_done != n_tasks) {
+  // With every worker alive an incomplete run is an engine bug; with
+  // crashes it just means the survivors could not finish the graph
+  // (e.g. all workers dead), which the stats report.
+  if (result.total_tasks_done != n_tasks && result.crashed_workers == 0) {
     throw std::logic_error("simulate_dag: not all tasks completed");
   }
   return result;
+}
+
+DagSimResult simulate_dag(const TaskGraph& graph, const Platform& platform,
+                          DagPolicy& policy, std::uint64_t seed) {
+  DagSimConfig config;
+  config.seed = seed;
+  return simulate_dag(graph, platform, policy, config, nullptr);
 }
 
 }  // namespace hetsched

@@ -7,6 +7,13 @@
 // costs one transfer; writing a tile invalidates every other copy.
 // Communication is a pure volume, overlapped as in the paper.
 //
+// Built on sim/event_core.hpp, so the DAG engine supports the same
+// experimental apparatus as the flat engine: scripted WorkerFault
+// crashes (the victim's in-flight task returns to the ready set and its
+// tile cache is lost) and stragglers, per-task speed perturbation,
+// MetricsRegistry gauges and TraceSink events (assignments carry the
+// task plus one BlockRef per tile actually transferred).
+//
 // Policies provided:
 //   RandomDagPolicy       - uniformly random ready task (the baseline)
 //   CriticalPathDagPolicy - max bottom-level (HEFT-style priority)
@@ -23,8 +30,12 @@
 #include "common/rng.hpp"
 #include "dag/task_graph.hpp"
 #include "platform/platform.hpp"
+#include "platform/speed_model.hpp"
+#include "sim/event_core.hpp"
 
 namespace hetsched {
+
+class MetricsRegistry;  // obs/metrics.hpp
 
 /// What a policy sees when choosing among ready tasks.
 struct DagPolicyContext {
@@ -73,17 +84,30 @@ std::unique_ptr<DagPolicy> make_dag_policy(const std::string& name,
                                            std::uint64_t seed);
 const std::vector<std::string>& dag_policy_names();
 
-struct DagWorkerStats {
-  std::uint64_t tasks_done = 0;
-  std::uint64_t tiles_received = 0;
-  double busy_time = 0.0;
-  double finish_time = 0.0;
+struct DagSimConfig {
+  /// Stream seed for the engine's own randomness (speed perturbation).
+  std::uint64_t seed = 1;
+  /// Per-task speed drift; disabled by default.
+  PerturbationModel perturbation{};
+  /// Scripted crashes / slowdowns. A crash returns the victim's
+  /// in-flight task to the ready set (dependencies stay satisfied) and
+  /// drops its tile cache; survivors re-fetch what they miss.
+  std::vector<WorkerFault> faults{};
+  /// Optional metrics sink; same gauge/counter names as the flat
+  /// engine ("blocks" count tile transfers).
+  MetricsRegistry* metrics = nullptr;
 };
+
+/// Unified with the other engines; `blocks_received` counts tile
+/// transfers here.
+using DagWorkerStats = WorkerSimStats;
 
 struct DagSimResult {
   double makespan = 0.0;
   std::uint64_t total_transfers = 0;  // tile movements (volume)
   std::uint64_t total_tasks_done = 0;
+  std::uint64_t requeued_tasks = 0;   // returned to the ready set by crashes
+  std::uint32_t crashed_workers = 0;
   std::vector<DagWorkerStats> workers;
   /// Completion order (task ids) — a valid topological execution order,
   /// usable to replay the schedule numerically.
@@ -98,6 +122,11 @@ struct DagSimResult {
 /// Simulates `graph` on `platform` under `policy`. Every task runs
 /// for work/speed time on its worker; ready tasks are handed out
 /// demand-driven.
+DagSimResult simulate_dag(const TaskGraph& graph, const Platform& platform,
+                          DagPolicy& policy, const DagSimConfig& config,
+                          TraceSink* trace = nullptr);
+
+/// Convenience overload: default config with `seed`.
 DagSimResult simulate_dag(const TaskGraph& graph, const Platform& platform,
                           DagPolicy& policy, std::uint64_t seed = 1);
 

@@ -8,6 +8,12 @@
 // bounds the recorded event stream, and leaves every product — the
 // registry, the sampled series, the raw event recording, and the
 // RepOutcome — in one struct ready for the exporters.
+//
+// Engine-agnostic: run_single routes to the flat or comm-timed engine
+// per ExperimentConfig::timed, and both publish through the shared
+// EventCore, so the same stack instruments either (the timed engine
+// additionally emits "sim.link_busy_time" and per-worker
+// "worker.<k>.starved_time" gauges).
 #pragma once
 
 #include <cstdint>

@@ -1,58 +1,69 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <deque>
-#include <limits>
-#include <queue>
 #include <stdexcept>
-#include <string>
 
-#include "common/rng.hpp"
-#include "obs/metrics.hpp"
+#include "sim/event_core.hpp"
 
 namespace hetsched {
 
-double SimResult::finish_spread() const {
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = 0.0;
-  for (const auto& w : workers) {
-    if (w.tasks_done == 0) continue;
-    lo = std::min(lo, w.finish_time);
-    hi = std::max(hi, w.finish_time);
-  }
-  if (hi <= 0.0 || makespan <= 0.0) return 0.0;
-  return (hi - lo) / makespan;
-}
-
 namespace {
 
-enum class EventKind : std::uint8_t { kTaskDone, kFault };
+/// The free-overlap engine on top of EventCore: refilling a worker
+/// means pulling assignments from the strategy until it has a runnable
+/// task or retires; communication costs volume only.
+class FlatEngine final : public EventCoreClient {
+ public:
+  explicit FlatEngine(Strategy& strategy) : strategy_(strategy) {}
 
-struct Event {
-  double time;
-  std::uint64_t seq;  // FIFO tie-break for identical times => determinism
-  std::uint32_t worker;
-  EventKind kind;
-  std::uint32_t epoch = 0;    // kTaskDone: staleness check after a crash
-  double fault_factor = 0.0;  // kFault: 0 = crash, else slowdown
+  void bind(EventCore* core) { core_ = core; }
 
-  bool operator>(const Event& o) const noexcept {
-    return time != o.time ? time > o.time : seq > o.seq;
+  // Pulls work for worker k until it has a task or retires.
+  void start_next(std::uint32_t k, double now) {
+    EventCore::Worker& w = core_->worker(k);
+    if (w.failed) return;
+    WorkerSimStats& stats = core_->stats().workers[k];
+    while (w.queue.empty()) {
+      if (w.retired) return;
+      auto assignment = strategy_.on_request(k);
+      if (!assignment.has_value()) {
+        core_->retire_worker(k, now);
+        return;
+      }
+      stats.blocks_received += assignment->blocks.size();
+      core_->stats().total_blocks += assignment->blocks.size();
+      for (const TaskId t : assignment->tasks) w.queue.push_back(t);
+      if (core_->trace() != nullptr) {
+        core_->trace()->on_assignment(k, now, *assignment);
+      }
+      // Zero-task assignments (all enabled tasks already processed)
+      // loop straight into another request, as a real demand-driven
+      // worker would.
+    }
+    const TaskId task = w.queue.front();
+    w.queue.pop_front();
+    core_->start_task(k, now, 1.0 / w.speed, task);
   }
-};
 
-struct WorkerState {
-  std::deque<TaskId> queue;
-  double speed = 0.0;
-  double base_speed = 0.0;
-  TaskId current = 0;
-  double current_finish = 0.0;
-  double current_duration = 0.0;
-  std::uint32_t epoch = 0;
-  bool running = false;
-  bool retired = false;
-  bool failed = false;
+  void on_task_done(std::uint32_t worker, double now) override {
+    start_next(worker, now);
+  }
+
+  bool requeue(std::vector<TaskId>& tasks) override {
+    return strategy_.requeue(tasks);
+  }
+
+  void after_requeue(double now) override {
+    for (std::uint32_t k = 0; k < core_->num_workers(); ++k) {
+      EventCore::Worker& candidate = core_->worker(k);
+      if (candidate.failed || candidate.running) continue;
+      candidate.retired = false;  // pool is non-empty again
+      start_next(k, now);
+    }
+  }
+
+ private:
+  Strategy& strategy_;
+  EventCore* core_ = nullptr;
 };
 
 }  // namespace
@@ -64,190 +75,33 @@ SimResult simulate(Strategy& strategy, const Platform& platform,
     throw std::invalid_argument(
         "simulate: strategy worker count does not match platform size");
   }
-  for (const WorkerFault& fault : config.faults) {
-    if (fault.worker >= p) {
-      throw std::invalid_argument("simulate: fault targets unknown worker");
-    }
-    if (fault.factor < 0.0 || fault.factor >= 1.0) {
-      throw std::invalid_argument(
-          "simulate: fault factor must be 0 (crash) or in (0, 1)");
-    }
-    if (fault.time < 0.0) {
-      throw std::invalid_argument("simulate: fault time must be >= 0");
-    }
-  }
 
-  Rng perturb_rng(derive_stream(config.seed, "engine.perturb"));
+  EventCoreOptions options;
+  options.seed = config.seed;
+  options.perturb_stream = "engine.perturb";
+  options.error_prefix = "simulate";
+  options.perturbation = config.perturbation;
+  options.faults = config.faults;
+  options.metrics = config.metrics;
+  options.metrics_comm_bandwidth = config.metrics_comm_bandwidth;
+  options.trace = trace;
 
-  std::vector<WorkerState> workers(p);
-  SimResult result;
-  result.workers.resize(p);
-  for (std::uint32_t k = 0; k < p; ++k) {
-    workers[k].speed = platform.speed(k);
-    workers[k].base_speed = platform.speed(k);
-  }
+  FlatEngine engine(strategy);
+  EventCore core(platform, options, engine);
+  engine.bind(&core);
 
   // Simulated clock shared with the strategy for strategy-level trace
   // events (phase switches, per-block fetches). The guard detaches on
-  // every exit path — the clock lives on this stack frame.
-  double sim_now = 0.0;
-  strategy.attach_observer(trace, &sim_now);
+  // every exit path — the clock lives on the core.
+  strategy.attach_observer(trace, core.clock());
   struct DetachGuard {
     Strategy& s;
     ~DetachGuard() { s.attach_observer(nullptr, nullptr); }
   } detach_guard{strategy};
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-  std::uint64_t seq = 0;
-  for (const WorkerFault& fault : config.faults) {
-    events.push(Event{fault.time, seq++, fault.worker, EventKind::kFault, 0,
-                      fault.factor});
-  }
-
-  // Pulls work for worker k until it has a task or retires. Returns
-  // true when a task was started (a completion event was scheduled).
-  auto start_next = [&](std::uint32_t k, double now) -> bool {
-    WorkerState& w = workers[k];
-    if (w.failed) return false;
-    WorkerSimStats& stats = result.workers[k];
-    while (w.queue.empty()) {
-      if (w.retired) return false;
-      auto assignment = strategy.on_request(k);
-      if (!assignment.has_value()) {
-        w.retired = true;
-        if (trace != nullptr) trace->on_retire(k, now);
-        return false;
-      }
-      stats.blocks_received += assignment->blocks.size();
-      result.total_blocks += assignment->blocks.size();
-      for (const TaskId t : assignment->tasks) w.queue.push_back(t);
-      if (trace != nullptr) trace->on_assignment(k, now, *assignment);
-      // Zero-task assignments (all enabled tasks already processed)
-      // loop straight into another request, as a real demand-driven
-      // worker would.
-    }
-    w.current = w.queue.front();
-    w.queue.pop_front();
-    w.running = true;
-    const double duration = 1.0 / w.speed;
-    w.current_duration = duration;
-    w.current_finish = now + duration;
-    stats.busy_time += duration;
-    events.push(
-        Event{now + duration, seq++, k, EventKind::kTaskDone, w.epoch, 0.0});
-    return true;
-  };
-
-  // Crashes return the victim's unfinished tasks to the master; any
-  // worker that had already retired (empty pool at the time) must be
-  // woken so the requeued tasks still complete.
-  auto crash_worker = [&](std::uint32_t k, double now) {
-    WorkerState& w = workers[k];
-    if (w.failed) return;
-    std::vector<TaskId> unfinished(w.queue.begin(), w.queue.end());
-    w.queue.clear();
-    if (w.running) {
-      unfinished.push_back(w.current);
-      // The aborted task's time was pre-charged at start; refund it.
-      result.workers[k].busy_time -= w.current_duration;
-      w.running = false;
-    }
-    w.failed = true;
-    ++w.epoch;  // invalidates the in-flight completion event
-    ++result.crashed_workers;
-    if (trace != nullptr) trace->on_retire(k, now);
-    if (unfinished.empty()) return;
-    if (!strategy.requeue(unfinished)) {
-      throw std::invalid_argument(
-          "simulate: crash injected but the strategy cannot requeue tasks");
-    }
-    result.requeued_tasks += unfinished.size();
-    for (std::uint32_t other = 0; other < p; ++other) {
-      WorkerState& candidate = workers[other];
-      if (candidate.failed || candidate.running) continue;
-      candidate.retired = false;  // pool is non-empty again
-      start_next(other, now);
-    }
-  };
-
-  for (std::uint32_t k = 0; k < p; ++k) start_next(k, 0.0);
-
-  while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    sim_now = ev.time;
-    WorkerState& w = workers[ev.worker];
-    WorkerSimStats& stats = result.workers[ev.worker];
-
-    switch (ev.kind) {
-      case EventKind::kFault: {
-        if (ev.fault_factor == 0.0) {
-          crash_worker(ev.worker, ev.time);
-        } else if (!w.failed) {
-          // Straggler: the current task keeps its old finish time (the
-          // slowdown applies from the next task on).
-          w.speed *= ev.fault_factor;
-          w.base_speed *= ev.fault_factor;
-        }
-        break;
-      }
-      case EventKind::kTaskDone: {
-        if (w.failed || ev.epoch != w.epoch) break;  // stale after crash
-        assert(w.running);
-        w.running = false;
-        ++stats.tasks_done;
-        ++result.total_tasks_done;
-        stats.finish_time = ev.time;
-        result.makespan = std::max(result.makespan, ev.time);
-        if (trace != nullptr) {
-          trace->on_completion(ev.worker, ev.time, w.current);
-        }
-        if (config.perturbation.enabled()) {
-          w.speed =
-              config.perturbation.perturb(w.speed, w.base_speed, perturb_rng);
-        }
-        start_next(ev.worker, ev.time);
-        break;
-      }
-    }
-  }
-
-  for (std::uint32_t k = 0; k < p; ++k) {
-    result.workers[k].final_speed = workers[k].speed;
-  }
-
-  if (config.metrics != nullptr) {
-    MetricsRegistry& m = *config.metrics;
-    m.counter("sim.tasks_done").add(result.total_tasks_done);
-    m.counter("sim.blocks").add(result.total_blocks);
-    m.counter("sim.requeued_tasks").add(result.requeued_tasks);
-    m.counter("sim.crashed_workers").add(result.crashed_workers);
-    m.gauge("sim.makespan").set(result.makespan);
-    std::string name;
-    name.reserve(32);
-    const auto worker_gauge = [&](const std::string& prefix,
-                                  const char* suffix) -> Gauge& {
-      name.assign(prefix);
-      name.append(suffix);
-      return m.gauge(name);
-    };
-    for (std::uint32_t k = 0; k < p; ++k) {
-      const WorkerSimStats& s = result.workers[k];
-      const std::string prefix = "worker." + std::to_string(k) + ".";
-      worker_gauge(prefix, "busy_time").set(s.busy_time);
-      // A demand-driven worker only waits between its last completion
-      // and the global end of the run (or after a crash).
-      worker_gauge(prefix, "idle_time")
-          .set(std::max(0.0, result.makespan - s.busy_time));
-      worker_gauge(prefix, "comm_time")
-          .set(static_cast<double>(s.blocks_received) /
-               config.metrics_comm_bandwidth);
-      worker_gauge(prefix, "blocks")
-          .set(static_cast<double>(s.blocks_received));
-      worker_gauge(prefix, "tasks").set(static_cast<double>(s.tasks_done));
-    }
-  }
-  return result;
+  for (std::uint32_t k = 0; k < p; ++k) engine.start_next(k, 0.0);
+  core.run();
+  return core.finish();
 }
 
 }  // namespace hetsched

@@ -6,6 +6,13 @@
 // so transfers cost volume but not time. Events are individual task
 // completions, which makes per-task speed perturbation (the dyn.5 /
 // dyn.20 scenarios) exact.
+//
+// The event loop itself — heap, deterministic tie-breaking, faults,
+// perturbation, trace/metrics publication — lives in sim/event_core.hpp
+// and is shared with simulate_timed and the DAG engine; this engine
+// only adds the "pull work from the strategy until it retires you"
+// refill behaviour. WorkerFault, WorkerSimStats and SimResult are
+// defined there and re-exported here.
 #pragma once
 
 #include <cstdint>
@@ -13,21 +20,14 @@
 
 #include "platform/platform.hpp"
 #include "platform/speed_model.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/event_core.hpp"
 #include "sim/strategy.hpp"
 #include "sim/trace.hpp"
 
 namespace hetsched {
 
 class MetricsRegistry;  // obs/metrics.hpp
-
-/// A scripted worker fault. factor == 0 kills the worker at `time`
-/// (its queued and in-flight tasks are requeued through the strategy);
-/// 0 < factor < 1 is a straggler event multiplying the worker's speed.
-struct WorkerFault {
-  double time = 0.0;
-  std::uint32_t worker = 0;
-  double factor = 0.0;  // 0 = crash; else speed multiplier
-};
 
 struct SimConfig {
   /// Stream seed for the engine's own randomness (speed perturbation).
@@ -43,36 +43,9 @@ struct SimConfig {
   MetricsRegistry* metrics = nullptr;
   /// Blocks per time unit used to *estimate* per-worker comm time for
   /// the metrics gauges. Communication stays fully overlapped (free) in
-  /// this engine — the estimate is reporting-only, matching the default
-  /// CommModel uplink of sim/comm_model.hpp.
-  double metrics_comm_bandwidth = 100.0;
-};
-
-struct WorkerSimStats {
-  std::uint64_t tasks_done = 0;
-  std::uint64_t blocks_received = 0;
-  double busy_time = 0.0;    // total time spent computing
-  double finish_time = 0.0;  // completion time of the worker's last task
-  double final_speed = 0.0;  // speed after the last perturbation
-};
-
-struct SimResult {
-  double makespan = 0.0;
-  std::uint64_t total_blocks = 0;
-  std::uint64_t total_tasks_done = 0;
-  std::uint64_t requeued_tasks = 0;   // returned to the pool by crashes
-  std::uint32_t crashed_workers = 0;
-  std::vector<WorkerSimStats> workers;
-
-  /// Communication volume normalized by a lower bound (the paper's
-  /// y-axis on every figure).
-  double normalized_volume(double lower_bound) const {
-    return static_cast<double>(total_blocks) / lower_bound;
-  }
-
-  /// (max finish - min finish) / makespan over workers that did any
-  /// work; 0 for perfect balance.
-  double finish_spread() const;
+  /// this engine — the estimate is reporting-only. Derived from the
+  /// default CommModel uplink so the two defaults cannot drift apart.
+  double metrics_comm_bandwidth = CommModel{}.bandwidth;
 };
 
 /// Runs `strategy` to completion on `platform`. Workers issue their

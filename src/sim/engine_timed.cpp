@@ -1,62 +1,159 @@
 #include "sim/engine_timed.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <deque>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 
-#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_core.hpp"
 
 namespace hetsched {
 
-double TimedSimResult::starvation_fraction() const {
-  double starved = 0.0;
-  double active = 0.0;
-  for (const auto& w : workers) {
-    starved += w.starved_time;
-    active += w.finish_time;
-  }
-  return active > 0.0 ? starved / active : 0.0;
-}
-
 namespace {
 
-enum class EventKind : std::uint8_t { kTaskDone, kMessageArrival };
+/// The comm-timed engine on top of EventCore. Runnable tasks live in
+/// the core worker queue; what this client adds is the serial uplink:
+/// assignments become in-transit messages whose arrival events feed
+/// the queue, and the prefetch lookahead decides when to request more.
+class TimedEngine final : public EventCoreClient {
+ public:
+  TimedEngine(Strategy& strategy, const TimedSimConfig& config)
+      : strategy_(strategy), config_(config) {}
 
-struct Event {
-  double time;
-  std::uint64_t seq;
-  EventKind kind;
-  std::uint32_t worker;
-
-  bool operator>(const Event& o) const noexcept {
-    return time != o.time ? time > o.time : seq > o.seq;
+  void bind(EventCore* core) {
+    core_ = core;
+    extra_.resize(core->num_workers());
   }
-};
 
-struct InFlight {
-  std::vector<TaskId> tasks;
-  std::uint64_t blocks = 0;
-};
+  // Issues requests for worker k until its pending work reaches the
+  // lookahead target, it has a request in flight, or it retires. Each
+  // accepted assignment becomes one message on the serial link.
+  void pump_requests(std::uint32_t k, double now) {
+    EventCore::Worker& w = core_->worker(k);
+    if (w.failed) return;
+    Uplink& x = extra_[k];
+    while (!w.retired && !x.request_outstanding &&
+           x.pending_tasks < config_.lookahead) {
+      auto assignment = strategy_.on_request(k);
+      if (!assignment.has_value()) {
+        core_->retire_worker(k, now);
+        return;
+      }
+      if (core_->trace() != nullptr) {
+        core_->trace()->on_assignment(k, now, *assignment);
+      }
+      InFlight msg;
+      msg.tasks = std::move(assignment->tasks);
+      msg.blocks = assignment->blocks.size();
+      x.pending_tasks += msg.tasks.size();
+      core_->stats().total_blocks += msg.blocks;
+      core_->stats().workers[k].blocks_received += msg.blocks;
 
-struct TimedWorker {
-  std::deque<TaskId> runnable;
-  std::deque<InFlight> in_transit;   // ordered by arrival
-  std::uint64_t pending_tasks = 0;   // runnable + in transit
-  bool computing = false;
-  bool retired = false;
-  bool request_outstanding = false;
-  double speed = 0.0;
-  double base_speed = 0.0;
-  double idle_since = 0.0;  // start of the current starvation interval
-  bool started = false;     // has ever had work (gates starvation stats)
+      const double start = std::max(now, link_free_);
+      const double duration = config_.comm.transfer_time(msg.blocks);
+      link_free_ = start + duration;
+      core_->stats().link_busy_time += duration;
+      x.in_transit.push_back(std::move(msg));
+      x.request_outstanding = true;
+      core_->push_message(k, link_free_);
+      // Only one outstanding request per worker: the next one is issued
+      // when this message lands (models a request/response protocol).
+    }
+  }
+
+  void start_next_task(std::uint32_t k, double now) {
+    EventCore::Worker& w = core_->worker(k);
+    if (w.running || w.queue.empty()) return;
+    const TaskId task = w.queue.front();
+    w.queue.pop_front();
+    core_->start_task(k, now, 1.0 / w.speed, task);
+  }
+
+  void on_message(std::uint32_t k, double now) override {
+    EventCore::Worker& w = core_->worker(k);
+    Uplink& x = extra_[k];
+    assert(!x.in_transit.empty());
+    InFlight msg = std::move(x.in_transit.front());
+    x.in_transit.pop_front();
+    x.request_outstanding = false;
+    ++core_->stats().workers[k].messages_received;
+    for (const TaskId t : msg.tasks) w.queue.push_back(t);
+    if (!w.queue.empty() && !w.running) {
+      if (x.started) {
+        core_->stats().workers[k].starved_time += now - x.idle_since;
+      }
+      x.started = true;
+      start_next_task(k, now);
+    }
+    pump_requests(k, now);
+  }
+
+  void on_task_done(std::uint32_t k, double now) override {
+    EventCore::Worker& w = core_->worker(k);
+    Uplink& x = extra_[k];
+    assert(x.pending_tasks > 0);
+    --x.pending_tasks;
+    if (!w.queue.empty()) {
+      start_next_task(k, now);
+    } else {
+      x.idle_since = now;  // potential starvation interval begins
+    }
+    pump_requests(k, now);
+  }
+
+  // Crash support: the core drains the runnable queue and the in-flight
+  // task; this adds everything still on the wire.
+  void collect_pending(std::uint32_t k, std::vector<TaskId>& out) override {
+    Uplink& x = extra_[k];
+    for (const InFlight& msg : x.in_transit) {
+      out.insert(out.end(), msg.tasks.begin(), msg.tasks.end());
+    }
+    x.in_transit.clear();
+    x.pending_tasks = 0;
+    x.request_outstanding = false;
+  }
+
+  bool requeue(std::vector<TaskId>& tasks) override {
+    return strategy_.requeue(tasks);
+  }
+
+  void after_requeue(double now) override {
+    // Survivors may have retired (empty pool) or be mid-computation;
+    // either way the pool is non-empty again, so let them pump. A
+    // computing worker simply prefetches the requeued work.
+    for (std::uint32_t k = 0; k < core_->num_workers(); ++k) {
+      if (core_->worker(k).failed) continue;
+      core_->worker(k).retired = false;
+      pump_requests(k, now);
+    }
+  }
+
+ private:
+  struct InFlight {
+    std::vector<TaskId> tasks;
+    std::uint64_t blocks = 0;
+  };
+  /// Per-worker uplink bookkeeping (the core holds the runnable queue).
+  struct Uplink {
+    std::deque<InFlight> in_transit;  // ordered by arrival
+    std::uint64_t pending_tasks = 0;  // runnable + in transit + in flight
+    bool request_outstanding = false;
+    double idle_since = 0.0;  // start of the current starvation interval
+    bool started = false;     // has ever had work (gates starvation stats)
+  };
+
+  Strategy& strategy_;
+  const TimedSimConfig& config_;
+  EventCore* core_ = nullptr;
+  std::vector<Uplink> extra_;
+  double link_free_ = 0.0;
 };
 
 }  // namespace
 
 TimedSimResult simulate_timed(Strategy& strategy, const Platform& platform,
-                              const TimedSimConfig& config) {
+                              const TimedSimConfig& config, TraceSink* trace) {
   const auto p = static_cast<std::uint32_t>(platform.size());
   if (strategy.workers() != p) {
     throw std::invalid_argument(
@@ -67,106 +164,35 @@ TimedSimResult simulate_timed(Strategy& strategy, const Platform& platform,
     throw std::invalid_argument("simulate_timed: lookahead must be >= 1");
   }
 
-  Rng perturb_rng(derive_stream(config.seed, "engine_timed.perturb"));
+  EventCoreOptions options;
+  options.seed = config.seed;
+  options.perturb_stream = "engine_timed.perturb";
+  options.error_prefix = "simulate_timed";
+  options.perturbation = config.perturbation;
+  options.faults = config.faults;
+  options.metrics = config.metrics;
+  options.metrics_comm_bandwidth = config.comm.bandwidth;
+  options.trace = trace;
 
-  std::vector<TimedWorker> workers(p);
-  TimedSimResult result;
-  result.workers.resize(p);
-  for (std::uint32_t k = 0; k < p; ++k) {
-    workers[k].speed = platform.speed(k);
-    workers[k].base_speed = platform.speed(k);
-  }
+  TimedEngine engine(strategy, config);
+  EventCore core(platform, options, engine);
+  engine.bind(&core);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-  std::uint64_t seq = 0;
-  double link_free = 0.0;
+  strategy.attach_observer(trace, core.clock());
+  struct DetachGuard {
+    Strategy& s;
+    ~DetachGuard() { s.attach_observer(nullptr, nullptr); }
+  } detach_guard{strategy};
 
-  // Issues requests for worker k until its pending work reaches the
-  // lookahead target, it has a request in flight, or it retires. Each
-  // accepted assignment becomes one message on the serial link.
-  auto pump_requests = [&](std::uint32_t k, double now) {
-    TimedWorker& w = workers[k];
-    while (!w.retired && !w.request_outstanding &&
-           w.pending_tasks < config.lookahead) {
-      auto assignment = strategy.on_request(k);
-      if (!assignment.has_value()) {
-        w.retired = true;
-        return;
-      }
-      InFlight msg;
-      msg.tasks = std::move(assignment->tasks);
-      msg.blocks = assignment->blocks.size();
-      w.pending_tasks += msg.tasks.size();
-      result.total_blocks += msg.blocks;
-      result.workers[k].blocks_received += msg.blocks;
-
-      const double start = std::max(now, link_free);
-      const double duration = config.comm.transfer_time(msg.blocks);
-      link_free = start + duration;
-      result.link_busy_time += duration;
-      w.in_transit.push_back(std::move(msg));
-      w.request_outstanding = true;
-      events.push(Event{link_free, seq++, EventKind::kMessageArrival, k});
-      // Only one outstanding request per worker: the next one is issued
-      // when this message lands (models a request/response protocol).
-    }
-  };
-
-  auto start_next_task = [&](std::uint32_t k, double now) {
-    TimedWorker& w = workers[k];
-    if (w.computing || w.runnable.empty()) return;
-    w.runnable.pop_front();
-    w.computing = true;
-    const double duration = 1.0 / w.speed;
-    result.workers[k].busy_time += duration;
-    events.push(Event{now + duration, seq++, EventKind::kTaskDone, k});
-  };
-
-  for (std::uint32_t k = 0; k < p; ++k) pump_requests(k, 0.0);
-
-  while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    TimedWorker& w = workers[ev.worker];
-    TimedWorkerStats& stats = result.workers[ev.worker];
-
-    switch (ev.kind) {
-      case EventKind::kMessageArrival: {
-        assert(!w.in_transit.empty());
-        InFlight msg = std::move(w.in_transit.front());
-        w.in_transit.pop_front();
-        w.request_outstanding = false;
-        ++stats.messages_received;
-        for (const TaskId t : msg.tasks) w.runnable.push_back(t);
-        if (!w.runnable.empty() && !w.computing) {
-          if (w.started) stats.starved_time += ev.time - w.idle_since;
-          w.started = true;
-          start_next_task(ev.worker, ev.time);
-        }
-        pump_requests(ev.worker, ev.time);
-        break;
-      }
-      case EventKind::kTaskDone: {
-        assert(w.computing);
-        w.computing = false;
-        assert(w.pending_tasks > 0);
-        --w.pending_tasks;
-        ++stats.tasks_done;
-        ++result.total_tasks_done;
-        stats.finish_time = ev.time;
-        result.makespan = std::max(result.makespan, ev.time);
-        if (config.perturbation.enabled()) {
-          w.speed =
-              config.perturbation.perturb(w.speed, w.base_speed, perturb_rng);
-        }
-        if (!w.runnable.empty()) {
-          start_next_task(ev.worker, ev.time);
-        } else {
-          w.idle_since = ev.time;  // potential starvation interval begins
-        }
-        pump_requests(ev.worker, ev.time);
-        break;
-      }
+  for (std::uint32_t k = 0; k < p; ++k) engine.pump_requests(k, 0.0);
+  core.run();
+  TimedSimResult result = core.finish();
+  if (config.metrics != nullptr) {
+    MetricsRegistry& m = *config.metrics;
+    m.gauge("sim.link_busy_time").set(result.link_busy_time);
+    for (std::uint32_t k = 0; k < p; ++k) {
+      m.gauge("worker." + std::to_string(k) + ".starved_time")
+          .set(result.workers[k].starved_time);
     }
   }
   return result;

@@ -10,6 +10,14 @@
 // the paper's claim — confirmed by bench/ext_overlap_threshold — is
 // that a small constant lookahead recovers compute-bound makespans,
 // justifying the main analysis's free-communication assumption.
+//
+// Built on sim/event_core.hpp: message arrivals are just another event
+// kind, so this engine supports the same scripted faults, per-task
+// speed perturbation, metrics gauges and trace sinks as the flat
+// engine, with identical semantics. A crashed worker's runnable,
+// in-transit and in-flight tasks are requeued through the strategy
+// (link time already spent on in-transit messages stays spent — the
+// transfer happened, the receiver died).
 #pragma once
 
 #include <cstdint>
@@ -18,9 +26,13 @@
 #include "platform/platform.hpp"
 #include "platform/speed_model.hpp"
 #include "sim/comm_model.hpp"
+#include "sim/event_core.hpp"
 #include "sim/strategy.hpp"
+#include "sim/trace.hpp"
 
 namespace hetsched {
+
+class MetricsRegistry;  // obs/metrics.hpp
 
 struct TimedSimConfig {
   std::uint64_t seed = 1;
@@ -28,37 +40,22 @@ struct TimedSimConfig {
   /// Target number of pending tasks per worker; >= 1.
   std::uint32_t lookahead = 4;
   PerturbationModel perturbation{};
+  /// Scripted crashes / slowdowns; same semantics as SimConfig::faults.
+  std::vector<WorkerFault> faults{};
+  /// Optional metrics sink; same names as the flat engine plus
+  /// "sim.link_busy_time" and "worker.<k>.starved_time". The comm_time
+  /// gauge uses the real CommModel bandwidth — no separate estimate.
+  MetricsRegistry* metrics = nullptr;
 };
 
-struct TimedWorkerStats {
-  std::uint64_t tasks_done = 0;
-  std::uint64_t blocks_received = 0;
-  std::uint64_t messages_received = 0;
-  double busy_time = 0.0;
-  double finish_time = 0.0;
-  /// Time spent with an empty runnable queue between first activity and
-  /// the worker's last completion (stall caused by communication).
-  double starved_time = 0.0;
-};
-
-struct TimedSimResult {
-  double makespan = 0.0;
-  std::uint64_t total_blocks = 0;
-  std::uint64_t total_tasks_done = 0;
-  /// Total time the master link was busy.
-  double link_busy_time = 0.0;
-  std::vector<TimedWorkerStats> workers;
-
-  double normalized_volume(double lower_bound) const {
-    return static_cast<double>(total_blocks) / lower_bound;
-  }
-
-  /// Aggregate starvation as a fraction of total potential compute time.
-  double starvation_fraction() const;
-};
+/// Unified with the flat engine's stats: the timed-only fields
+/// (messages_received, starved_time) are populated here and 0 there.
+using TimedWorkerStats = WorkerSimStats;
+using TimedSimResult = SimResult;
 
 /// Runs `strategy` to completion under explicit communication timing.
 TimedSimResult simulate_timed(Strategy& strategy, const Platform& platform,
-                              const TimedSimConfig& config = {});
+                              const TimedSimConfig& config = {},
+                              TraceSink* trace = nullptr);
 
 }  // namespace hetsched

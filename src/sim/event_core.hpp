@@ -1,0 +1,229 @@
+// The one discrete-event core under every engine.
+//
+// Before this file existed the repo carried four independently written
+// event loops (flat sim, timed sim, DAG, plus ad-hoc drivers), and only
+// the flat one knew about fault injection, speed perturbation, metrics
+// gauges and trace sinks. EventCore owns the machinery those loops
+// share — the binary-heap event queue with deterministic `(time, seq)`
+// tie-breaking, the unified per-worker state (speed, base speed,
+// in-flight task, crash epoch), scripted `WorkerFault` handling
+// (crash -> requeue through the client, straggler -> speed scaling),
+// `PerturbationModel` application after each completion, and optional
+// `TraceSink` / `MetricsRegistry` publication — while the engines keep
+// only what genuinely differs: how a worker obtains its next task.
+//
+// An engine is an `EventCoreClient`: the core drives the clock and
+// calls back into the client to refill workers after completions,
+// deliver non-compute events (message arrivals), and return a crash
+// victim's unfinished tasks to the master. The flat engine's observable
+// behaviour (event order, RNG draw order, stats) is bit-identical to
+// the pre-EventCore implementation; a pinned-seed golden test enforces
+// that.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+#include "platform/speed_model.hpp"
+#include "sim/strategy.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched {
+
+class MetricsRegistry;  // obs/metrics.hpp
+
+/// A scripted worker fault. factor == 0 kills the worker at `time`
+/// (its queued and in-flight tasks are requeued through the client);
+/// 0 < factor < 1 is a straggler event multiplying the worker's speed.
+struct WorkerFault {
+  double time = 0.0;
+  std::uint32_t worker = 0;
+  double factor = 0.0;  // 0 = crash; else speed multiplier
+};
+
+/// Per-worker statistics, shared by every engine. The free-overlap
+/// (flat) engine has no communication timing, so it reports the
+/// timed-only fields (`messages_received`, `starved_time`) as 0.
+struct WorkerSimStats {
+  std::uint64_t tasks_done = 0;
+  std::uint64_t blocks_received = 0;
+  std::uint64_t messages_received = 0;  // timed engine; 0 elsewhere
+  double busy_time = 0.0;    // total time spent computing
+  double finish_time = 0.0;  // completion time of the worker's last task
+  double starved_time = 0.0;  // timed engine: stall with empty queue
+  double final_speed = 0.0;  // speed after the last perturbation
+};
+
+/// Result of one simulated run, shared by the flat and timed engines
+/// (the DAG engine embeds the same worker stats in DagSimResult).
+struct SimResult {
+  double makespan = 0.0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t total_tasks_done = 0;
+  std::uint64_t requeued_tasks = 0;   // returned to the pool by crashes
+  std::uint32_t crashed_workers = 0;
+  double link_busy_time = 0.0;  // timed engine: total uplink occupancy
+  std::vector<WorkerSimStats> workers;
+
+  /// Communication volume normalized by a lower bound (the paper's
+  /// y-axis on every figure).
+  double normalized_volume(double lower_bound) const {
+    return static_cast<double>(total_blocks) / lower_bound;
+  }
+
+  /// (max finish - min finish) / makespan over workers that did any
+  /// work; 0 for perfect balance.
+  double finish_spread() const;
+
+  /// Aggregate starvation as a fraction of total potential compute
+  /// time; always 0 under the free-overlap engine.
+  double starvation_fraction() const;
+};
+
+/// Engine-specific behaviour the core calls back into. Callbacks fire
+/// with the core clock already advanced to the event time.
+class EventCoreClient {
+ public:
+  virtual ~EventCoreClient() = default;
+
+  /// Worker `worker` completed its task (stats, trace, perturbation
+  /// already applied by the core); give it more work or let it idle.
+  virtual void on_task_done(std::uint32_t worker, double now) = 0;
+
+  /// A message event (pushed via EventCore::push_message) arrived for
+  /// `worker`. Stale deliveries (crash epoch advanced) are dropped by
+  /// the core before this is called. Default: nothing to do.
+  virtual void on_message(std::uint32_t worker, double now);
+
+  /// Crash support: append `worker`'s engine-side pending tasks (those
+  /// NOT in the core's runnable queue or in flight on the worker — the
+  /// core drains both itself) to `out` and forget them. Default: none.
+  virtual void collect_pending(std::uint32_t worker,
+                               std::vector<TaskId>& out);
+
+  /// Returns a crash victim's unfinished tasks to the master. False =
+  /// requeueing unsupported, which makes crash injection an error.
+  virtual bool requeue(std::vector<TaskId>& tasks);
+
+  /// Called after a successful crash requeue: the pool is non-empty
+  /// again, so wake whatever workers the engine considers idle.
+  virtual void after_requeue(double now) = 0;
+};
+
+/// Knobs shared by every engine; engines map their public configs onto
+/// this and add their own (lookahead, comm model, policy, ...).
+struct EventCoreOptions {
+  std::uint64_t seed = 1;
+  /// derive_stream tag for the perturbation RNG; per-engine so a port
+  /// onto the core cannot silently change an engine's draw sequence.
+  const char* perturb_stream = "engine.perturb";
+  /// Prefix for validation error messages ("simulate", ...).
+  const char* error_prefix = "simulate";
+  PerturbationModel perturbation{};
+  std::vector<WorkerFault> faults{};
+  MetricsRegistry* metrics = nullptr;
+  /// Blocks per time unit used to *estimate* per-worker comm time for
+  /// the metrics gauges (reporting-only in the free-overlap engine;
+  /// the timed engine passes its real CommModel bandwidth).
+  double metrics_comm_bandwidth = 100.0;
+  TraceSink* trace = nullptr;
+};
+
+class EventCore {
+ public:
+  /// Unified worker state. `queue` holds runnable tasks (the timed
+  /// engine's in-transit messages stay client-side); `epoch` advances
+  /// on crash and invalidates in-flight completion/message events.
+  struct Worker {
+    std::deque<TaskId> queue;
+    double speed = 0.0;
+    double base_speed = 0.0;
+    TaskId current = 0;
+    double current_finish = 0.0;
+    double current_duration = 0.0;
+    std::uint32_t epoch = 0;
+    bool running = false;
+    bool retired = false;
+    bool failed = false;
+  };
+
+  /// Validates faults and pushes their events; initial work must then
+  /// be primed by the engine (start_task / push_message) before run().
+  EventCore(const Platform& platform, const EventCoreOptions& options,
+            EventCoreClient& client);
+
+  /// Shared config validation: fault target, factor range, time sign.
+  /// Throws std::invalid_argument prefixed with `error_prefix`.
+  static void validate_faults(const std::vector<WorkerFault>& faults,
+                              std::uint32_t workers,
+                              const char* error_prefix);
+
+  std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+  Worker& worker(std::uint32_t k) { return workers_[k]; }
+  SimResult& stats() noexcept { return result_; }
+  TraceSink* trace() const noexcept { return trace_; }
+  double now() const noexcept { return now_; }
+  /// Stable pointer to the simulated clock, for
+  /// Strategy::attach_observer; valid for the core's lifetime.
+  const double* clock() const noexcept { return &now_; }
+
+  /// Starts `task` on worker `k`: records it in-flight, pre-charges
+  /// busy time, and schedules the completion event.
+  void start_task(std::uint32_t k, double now, double duration, TaskId task);
+
+  /// Schedules a message-arrival event for worker `k` at `time`
+  /// (delivered to EventCoreClient::on_message; dropped if the worker
+  /// crashes before `time`).
+  void push_message(std::uint32_t k, double time);
+
+  /// Marks worker `k` retired (the master has nothing for it) and
+  /// emits the trace retirement event.
+  void retire_worker(std::uint32_t k, double now);
+
+  /// Drains the event heap to completion.
+  void run();
+
+  /// Copies final speeds into the stats, publishes metrics (when a
+  /// registry was attached), and returns the result.
+  SimResult finish();
+
+ private:
+  enum class Kind : std::uint8_t { kTaskDone, kFault, kMessage };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for identical times => determinism
+    std::uint32_t worker;
+    Kind kind;
+    std::uint32_t epoch = 0;    // staleness check after a crash
+    double fault_factor = 0.0;  // kFault: 0 = crash, else slowdown
+
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void crash_worker(std::uint32_t k, double now);
+  void publish_metrics();
+
+  EventCoreClient& client_;
+  TraceSink* trace_;
+  MetricsRegistry* metrics_;
+  double metrics_comm_bandwidth_;
+  const char* error_prefix_;
+  PerturbationModel perturbation_;
+  Rng perturb_rng_;
+  std::vector<Worker> workers_;
+  SimResult result_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace hetsched

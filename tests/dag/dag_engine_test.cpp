@@ -139,7 +139,7 @@ TEST(DagEngine, WorkerStatsAddUp) {
   std::uint64_t tasks = 0, transfers = 0;
   for (const auto& w : result.workers) {
     tasks += w.tasks_done;
-    transfers += w.tiles_received;
+    transfers += w.blocks_received;
   }
   EXPECT_EQ(tasks, result.total_tasks_done);
   EXPECT_EQ(transfers, result.total_transfers);

@@ -1,0 +1,100 @@
+// Golden determinism test for the flat engine.
+//
+// The expected values below were captured from the standalone
+// pre-EventCore implementation (commit 0ac23f0) at pinned seeds and are
+// compared bit-for-bit (hexfloat literals, EXPECT_EQ on doubles). They
+// pin the refactoring invariant "all existing flat-engine outputs stay
+// bit-identical": any change to event ordering, tie-breaking, RNG
+// stream derivation ("engine.perturb"), fault sequencing or stats
+// accounting in sim/event_core.* or sim/engine.* shows up here as an
+// exact-value mismatch. Do not loosen these to EXPECT_NEAR — a
+// one-ulp drift means the event schedule changed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "matmul/matmul_factory.hpp"
+#include "outer/outer_factory.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace hetsched {
+namespace {
+
+struct GoldenWorker {
+  std::uint64_t tasks;
+  std::uint64_t blocks;
+  double busy;
+  double finish;
+  double speed;
+};
+
+void expect_matches(const SimResult& result, double makespan,
+                    std::uint64_t total_blocks, std::uint64_t total_tasks,
+                    std::uint64_t requeued, std::uint32_t crashed,
+                    const std::vector<GoldenWorker>& golden) {
+  EXPECT_EQ(result.makespan, makespan);
+  EXPECT_EQ(result.total_blocks, total_blocks);
+  EXPECT_EQ(result.total_tasks_done, total_tasks);
+  EXPECT_EQ(result.requeued_tasks, requeued);
+  EXPECT_EQ(result.crashed_workers, crashed);
+  ASSERT_EQ(result.workers.size(), golden.size());
+  for (std::size_t k = 0; k < golden.size(); ++k) {
+    SCOPED_TRACE(k);
+    EXPECT_EQ(result.workers[k].tasks_done, golden[k].tasks);
+    EXPECT_EQ(result.workers[k].blocks_received, golden[k].blocks);
+    EXPECT_EQ(result.workers[k].busy_time, golden[k].busy);
+    EXPECT_EQ(result.workers[k].finish_time, golden[k].finish);
+    EXPECT_EQ(result.workers[k].final_speed, golden[k].speed);
+    // Flat engine: timed-only fields are identically zero.
+    EXPECT_EQ(result.workers[k].messages_received, 0u);
+    EXPECT_EQ(result.workers[k].starved_time, 0.0);
+  }
+  EXPECT_EQ(result.link_busy_time, 0.0);
+}
+
+TEST(EngineGolden, PerturbedTwoPhaseOuterIsBitIdentical) {
+  OuterStrategyOptions options;
+  options.phase2_fraction = 0.05;
+  auto strategy = make_outer_strategy("DynamicOuter2Phases", OuterConfig{30},
+                                      5, 12345, options);
+  Platform platform({17.0, 23.0, 42.0, 55.0, 80.0});
+  SimConfig config;
+  config.seed = 12345;
+  config.perturbation = PerturbationModel(5.0);
+  const SimResult result = simulate(*strategy, platform, config);
+  expect_matches(
+      result, 0x1.077bafc9ef4ecp+2, 221, 900, 0, 0,
+      {{80, 29, 0x1.077bafc9ef4ecp+2, 0x1.077bafc9ef4ecp+2,
+        0x1.9e53ff2c74c44p+4},
+       {89, 35, 0x1.073715cf5e216p+2, 0x1.073715cf5e216p+2,
+        0x1.4c43c67cf304ap+4},
+       {235, 51, 0x1.066ccece9a456p+2, 0x1.066ccece9a456p+2,
+        0x1.767148cf39fa2p+5},
+       {228, 51, 0x1.0622cb5d28301p+2, 0x1.0622cb5d28301p+2,
+        0x1.8c69811244418p+5},
+       {268, 55, 0x1.05a78d8f85b6bp+2, 0x1.05a78d8f85b6bp+2,
+        0x1.1429e2b4b7dccp+6}});
+}
+
+TEST(EngineGolden, FaultedRandomMatmulIsBitIdentical) {
+  auto strategy = make_matmul_strategy("RandomMatrix", MatmulConfig{8}, 4, 777);
+  Platform platform({10.0, 20.0, 40.0, 80.0});
+  SimConfig config;
+  config.seed = 777;
+  // Worker 1 straggles to a quarter speed at t=0.2 (faults are pushed in
+  // declaration order, so the later crash still draws the same event
+  // sequence numbers as the original engine did).
+  config.faults = {WorkerFault{0.4, 3, 0.0}, WorkerFault{0.2, 1, 0.25}};
+  const SimResult result = simulate(*strategy, platform, config);
+  expect_matches(
+      result, 0x1.199999999999ap+3, 525, 512, 1, 1,
+      {{87, 152, 0x1.166666666665ep+3, 0x1.166666666665ep+3, 0x1.4p+3},
+       {47, 103, 0x1.199999999999ap+3, 0x1.199999999999ap+3, 0x1.4p+2},
+       {347, 192, 0x1.15999999999b9p+3, 0x1.15999999999b9p+3, 0x1.4p+5},
+       {31, 78, 0x1.8ccccccccccdp-2, 0x1.8ccccccccccdp-2, 0x1.4p+6}});
+}
+
+}  // namespace
+}  // namespace hetsched

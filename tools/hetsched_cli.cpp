@@ -49,6 +49,12 @@ int usage() {
       "             --kernel=outer|matmul --strategy=<name> [--n= --p=]\n"
       "             [--scenario=default|hom|unif.1|...|dyn.20] [--reps=]\n"
       "             [--seed=] [--beta=] [--json] [--details]\n"
+      "             engine selection and fault injection:\n"
+      "             [--timed]            comm-timed engine (serial uplink)\n"
+      "             [--bandwidth=B] [--latency=L] [--lookahead=K]\n"
+      "                                  comm knobs, used with --timed\n"
+      "             [--faults=t:w:f,...] scripted faults: at time t worker w\n"
+      "                                  scales speed by f (f=0 -> crash)\n"
       "             observability (re-runs repetition 0 instrumented):\n"
       "             [--trace-out=FILE]   chrome-tracing JSON with per-worker\n"
       "                                  Gantt rows, phase-switch markers and\n"
@@ -85,6 +91,27 @@ std::vector<std::string> split_names(const std::string& csv) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+// Parses --faults=t:w:f,t:w:f — at time t, scale worker w's speed by
+// factor f (0 = crash). Validation against the worker count happens in
+// the engine.
+std::vector<WorkerFault> parse_faults(const std::string& spec) {
+  std::vector<WorkerFault> faults;
+  for (const auto& item : split_names(spec)) {
+    std::stringstream ss(item);
+    std::string t, w, f;
+    if (!std::getline(ss, t, ':') || !std::getline(ss, w, ':') ||
+        !std::getline(ss, f, ':')) {
+      throw std::invalid_argument("faults: expected t:w:f, got '" + item + "'");
+    }
+    WorkerFault fault;
+    fault.time = std::stod(t);
+    fault.worker = static_cast<std::uint32_t>(std::stoul(w));
+    fault.factor = std::stod(f);
+    faults.push_back(fault);
+  }
+  return faults;
 }
 
 // Re-runs repetition 0 of `config` with the metrics stack attached and
@@ -136,6 +163,12 @@ int cmd_run(const CliArgs& args) {
   if (args.has("beta")) {
     config.phase2_fraction = std::exp(-args.get_double("beta", 4.0));
   }
+  config.timed = args.get_bool("timed", false);
+  config.comm.bandwidth = args.get_double("bandwidth", config.comm.bandwidth);
+  config.comm.latency = args.get_double("latency", config.comm.latency);
+  config.lookahead =
+      static_cast<std::uint32_t>(args.get_int("lookahead", config.lookahead));
+  config.faults = parse_faults(args.get("faults", ""));
 
   const ExperimentResult result = run_experiment(config);
   dump_observability(args, config);
@@ -145,7 +178,8 @@ int cmd_run(const CliArgs& args) {
     return 0;
   }
   std::cout << config.strategy << " on " << config.p << " workers, n="
-            << config.n << " (" << config.scenario.name << ")\n";
+            << config.n << " (" << config.scenario.name << ")"
+            << (config.timed ? " [timed]" : "") << "\n";
   if (result.beta > 0.0) {
     std::cout << "beta                : " << result.beta << "\n";
   }
@@ -153,6 +187,11 @@ int cmd_run(const CliArgs& args) {
             << " (sd " << result.normalized.stddev << ")\n";
   std::cout << "analysis prediction : " << result.analysis_ratio.mean << "\n";
   std::cout << "makespan            : " << result.makespan.mean << "\n";
+  if (!config.faults.empty() && !result.reps.empty()) {
+    const auto& rep0 = result.reps.front().sim;
+    std::cout << "faults (rep 0)      : " << rep0.crashed_workers
+              << " crashed, " << rep0.requeued_tasks << " tasks requeued\n";
+  }
   return 0;
 }
 
