@@ -1,0 +1,276 @@
+// Machine-readable performance smoke: one JSON (BENCH_PERF.json) with
+// the numbers future PRs regress against.
+//
+// Sections:
+//   heap        - raw binary-heap push/pop ns/op (host-speed calibration,
+//                 the same unit bench/micro_scheduler_overhead uses)
+//   engine      - flat-engine ns/event on a DynamicOuter run
+//   request_ns  - master-side ns/request for the paper's eight strategies
+//   reps_per_sec- single-thread replication throughput on fig05-sized
+//                 (outer N/l = 1000) and fig10-sized (matmul N/l = 100)
+//                 workloads
+//   large_pool  - peak RSS with a 10^9-id task pool resident
+//
+// Every ns metric is also reported as a ratio over the heap baseline so
+// CI can compare against bench/baselines/perf_smoke.json without being
+// fooled by runner speed. --large additionally runs the full
+// N/l = 1000 matrix-multiplication instances (minutes, not for CI).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <sys/resource.h>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/json.hpp"
+#include "common/task_pool.hpp"
+#include "matmul/matmul_factory.hpp"
+#include "outer/outer_factory.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+/// Raw binary-heap churn, the host-speed unit: ns per push+pop at a
+/// fixed depth (mirrors BM_HeapBaseline in micro_scheduler_overhead).
+double heap_ns_per_op() {
+  using Entry = std::pair<double, std::uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  constexpr int kDepth = 64;
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  for (int i = 0; i < kDepth; ++i) heap.push({t += 0.7, seq++});
+  constexpr std::uint64_t kOps = 10'000'000;
+  volatile std::uint64_t sink = 0;
+  const double start = now_sec();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const Entry top = heap.top();
+    heap.pop();
+    heap.push({top.first + 1.3, seq++});
+    sink = heap.size();
+  }
+  (void)sink;
+  return (now_sec() - start) * 1e9 / static_cast<double>(kOps);
+}
+
+/// Flat-engine ns/event (one TaskDone event per task).
+double flat_engine_ns_per_event() {
+  Platform platform({10, 15, 20, 25, 30, 40, 50, 80});
+  std::uint64_t events = 0;
+  double elapsed = 0.0;
+  std::uint64_t seed = 0;
+  while (elapsed < 0.5) {
+    auto strategy =
+        make_outer_strategy("DynamicOuter", OuterConfig{60}, 8, ++seed);
+    const double start = now_sec();
+    const SimResult result = simulate(*strategy, platform);
+    elapsed += now_sec() - start;
+    events += result.total_tasks_done;
+  }
+  return elapsed * 1e9 / static_cast<double>(events);
+}
+
+/// Master-side ns/request: drain a fresh instance to exhaustion through
+/// the request path, timing only the drain.
+double request_ns(bool outer, const std::string& name) {
+  const std::uint32_t workers = 16;
+  std::uint64_t requests = 0;
+  double elapsed = 0.0;
+  std::uint64_t seed = 0;
+  std::uint64_t sink = 0;
+  while (elapsed < 0.3) {
+    std::unique_ptr<Strategy> strategy;
+    if (outer) {
+      OuterStrategyOptions options;
+      options.phase2_fraction = 0.02;
+      strategy =
+          make_outer_strategy(name, OuterConfig{100}, workers, ++seed, options);
+    } else {
+      MatmulStrategyOptions options;
+      options.phase2_fraction = 0.05;
+      strategy =
+          make_matmul_strategy(name, MatmulConfig{40}, workers, ++seed, options);
+    }
+    std::uint32_t next_worker = 0;
+    Assignment scratch;  // the engines' steady-state path: one reused buffer
+    const double start = now_sec();
+    while (strategy->on_request(next_worker, scratch)) {
+      sink += scratch.tasks.size();
+      ++requests;
+      next_worker = (next_worker + 1) % workers;
+    }
+    elapsed += now_sec() - start;
+  }
+  if (sink == 0) std::cerr << "";  // keep the accumulator observable
+  return elapsed * 1e9 / static_cast<double>(requests);
+}
+
+/// Resident cost of a 10^9-id task pool (matmul at N/l = 1000): RSS
+/// delta after construction plus a short op mix to touch the layout.
+double large_pool_rss_delta_mb() {
+  const double before = peak_rss_mb();
+  TaskPool pool(1'000'000'000ull);
+  Rng rng(1);
+  for (int i = 0; i < 1'000'000; ++i) pool.pop_random(rng);
+  for (int i = 0; i < 1'000'000; ++i) pool.pop_first();
+  volatile std::uint64_t sink = pool.size();
+  (void)sink;
+  return peak_rss_mb() - before;
+}
+
+/// Single-thread replication throughput for one figure-sized workload.
+double workload_reps_per_sec(Kernel kernel, const std::string& strategy,
+                             std::uint32_t n, std::uint32_t p,
+                             std::uint32_t reps) {
+  ExperimentConfig config;
+  config.kernel = kernel;
+  config.strategy = strategy;
+  config.n = n;
+  config.p = p;
+  config.reps = reps;
+  config.parallelism = 1;
+  config.seed = 42;
+  const ExperimentResult result = run_experiment(config);
+  return result.reps_per_sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string out_path = args.get("out", "BENCH_PERF.json");
+
+  const double heap = heap_ns_per_op();
+  std::cerr << "# heap baseline: " << heap << " ns/op\n";
+  const double engine = flat_engine_ns_per_event();
+  std::cerr << "# flat engine: " << engine << " ns/event\n";
+
+  const std::vector<std::string> outer_names = {
+      "RandomOuter", "SortedOuter", "DynamicOuter", "DynamicOuter2Phases"};
+  const std::vector<std::string> matmul_names = {
+      "RandomMatrix", "SortedMatrix", "DynamicMatrix", "DynamicMatrix2Phases"};
+  std::vector<std::pair<std::string, double>> request;
+  for (const auto& name : outer_names) {
+    request.emplace_back(name, request_ns(true, name));
+    std::cerr << "# request " << name << ": " << request.back().second
+              << " ns\n";
+  }
+  for (const auto& name : matmul_names) {
+    request.emplace_back(name, request_ns(false, name));
+    std::cerr << "# request " << name << ": " << request.back().second
+              << " ns\n";
+  }
+
+  // fig05-sized (outer N/l = 1000) and fig10-sized (matmul N/l = 100)
+  // single-thread replication throughput.
+  std::vector<std::pair<std::string, double>> reps;
+  const auto reps_of = [&](const char* label, Kernel kernel,
+                           const std::string& strategy, std::uint32_t n) {
+    const double r = workload_reps_per_sec(kernel, strategy, n, 100, 2);
+    reps.emplace_back(std::string(label) + "." + strategy, r);
+    std::cerr << "# reps/sec " << reps.back().first << ": " << r << "\n";
+  };
+  reps_of("fig05_outer_n1000", Kernel::kOuter, "RandomOuter", 1000);
+  reps_of("fig05_outer_n1000", Kernel::kOuter, "DynamicOuter2Phases", 1000);
+  reps_of("fig10_mm_n100", Kernel::kMatmul, "RandomMatrix", 100);
+  reps_of("fig10_mm_n100", Kernel::kMatmul, "DynamicMatrix2Phases", 100);
+
+  const double pool_rss = large_pool_rss_delta_mb();
+  std::cerr << "# large pool (10^9 ids) rss delta: " << pool_rss << " MB\n";
+
+  // --large: the full N/l = 1000 matrix-multiplication instances (10^9
+  // tasks each) — the run the compact pool exists for. Minutes of wall
+  // time; excluded from CI, results land in EXPERIMENTS.md.
+  std::vector<std::pair<std::string, double>> large_norm;
+  std::vector<std::pair<std::string, double>> large_wall;
+  if (args.get_bool("large", false)) {
+    for (const char* name : {"RandomMatrix", "DynamicMatrix2Phases"}) {
+      ExperimentConfig config;
+      config.kernel = Kernel::kMatmul;
+      config.strategy = name;
+      config.n = 1000;
+      config.p = 100;
+      config.reps = 1;
+      config.parallelism = 1;
+      config.seed = 42;
+      const double start = now_sec();
+      const ExperimentResult result = run_experiment(config);
+      const double wall = now_sec() - start;
+      large_norm.emplace_back(name, result.normalized.mean);
+      large_wall.emplace_back(name, wall);
+      std::cerr << "# large mm_n1000 " << name
+                << ": normalized=" << result.normalized.mean
+                << " wall=" << wall << " s, peak rss " << peak_rss_mb()
+                << " MB\n";
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "hetsched-perf-smoke/1");
+  json.field("heap_ns_per_op", heap);
+  json.field("flat_engine_ns_per_event", engine);
+  json.key("request_ns");
+  json.begin_object();
+  for (const auto& [name, ns] : request) json.field(name, ns);
+  json.end_object();
+  json.key("reps_per_sec");
+  json.begin_object();
+  for (const auto& [name, r] : reps) json.field(name, r);
+  json.end_object();
+  // Host-independent ratios for the CI gate: ns metrics over the heap
+  // baseline; throughput as heap-ops-per-rep (lower = faster).
+  json.key("ratios_vs_heap");
+  json.begin_object();
+  json.field("flat_engine_ns_per_event", engine / heap);
+  for (const auto& [name, ns] : request) json.field("request." + name, ns / heap);
+  for (const auto& [name, r] : reps) {
+    json.field("rep_cost." + name, 1e9 / (r * heap));
+  }
+  json.end_object();
+  json.key("large_pool");
+  json.begin_object();
+  json.field("capacity_ids", static_cast<std::uint64_t>(1'000'000'000ull));
+  json.field("rss_delta_mb", pool_rss);
+  json.end_object();
+  if (!large_norm.empty()) {
+    json.key("large_mm_n1000");
+    json.begin_object();
+    for (std::size_t i = 0; i < large_norm.size(); ++i) {
+      json.key(large_norm[i].first);
+      json.begin_object();
+      json.field("normalized_volume", large_norm[i].second);
+      json.field("wall_sec", large_wall[i].second);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.field("peak_rss_mb", peak_rss_mb());
+  json.end_object();
+  out << "\n";
+  std::cerr << "# wrote " << out_path << "\n";
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 namespace hetsched {
 
@@ -12,7 +13,9 @@ constexpr std::size_t words_for(std::size_t n_bits) {
 }  // namespace
 
 DynamicBitset::DynamicBitset(std::size_t n_bits, bool value)
-    : n_bits_(n_bits), words_(words_for(n_bits), value ? ~0ULL : 0ULL) {
+    : n_bits_(n_bits),
+      words_(words_for(n_bits), value ? ~0ULL : 0ULL),
+      gen_(words_for(n_bits), 0) {
   if (value && n_bits_ % 64 != 0 && !words_.empty()) {
     // Keep bits past the logical end clear so count()/all() stay exact.
     words_.back() &= (1ULL << (n_bits_ % 64)) - 1;
@@ -21,27 +24,75 @@ DynamicBitset::DynamicBitset(std::size_t n_bits, bool value)
 
 std::size_t DynamicBitset::count() const noexcept {
   std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(logical_word(w)));
+  }
   return total;
 }
 
 bool DynamicBitset::none() const noexcept {
-  return std::all_of(words_.begin(), words_.end(),
-                     [](std::uint64_t w) { return w == 0; });
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (logical_word(w) != 0) return false;
+  }
+  return true;
 }
 
 bool DynamicBitset::all() const noexcept { return count() == n_bits_; }
 
 void DynamicBitset::clear() noexcept {
-  std::fill(words_.begin(), words_.end(), 0ULL);
+  if (gen_id_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Stamp wrap-around (once per 2^32 clears): fall back to the eager
+    // fill so stale stamps from 2^32 generations ago cannot alias.
+    std::fill(words_.begin(), words_.end(), 0ULL);
+    std::fill(gen_.begin(), gen_.end(), 0u);
+    gen_id_ = 0;
+    return;
+  }
+  ++gen_id_;
+}
+
+void DynamicBitset::materialize() noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (gen_[w] != gen_id_) {
+      gen_[w] = gen_id_;
+      words_[w] = 0;
+    }
+  }
 }
 
 void DynamicBitset::resize(std::size_t n_bits) {
+  materialize();
   words_.resize(words_for(n_bits), 0ULL);
+  gen_.resize(words_for(n_bits), gen_id_);
   if (n_bits < n_bits_ && n_bits % 64 != 0 && !words_.empty()) {
     words_.back() &= (1ULL << (n_bits % 64)) - 1;
   }
   n_bits_ = n_bits;
+}
+
+std::size_t DynamicBitset::find_next_zero(std::size_t from) const noexcept {
+  if (from >= n_bits_) return n_bits_;
+  std::size_t w = from >> 6;
+  // Mask off bits below `from` in the first word so they read as set.
+  std::uint64_t inverted = ~logical_word(w) & (~0ULL << (from & 63));
+  for (;;) {
+    if (inverted != 0) {
+      const std::size_t pos =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(inverted));
+      // Padding bits past the logical end are stored clear; clamp.
+      return pos < n_bits_ ? pos : n_bits_;
+    }
+    if (++w == words_.size()) return n_bits_;
+    inverted = ~logical_word(w);
+  }
+}
+
+bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+  if (a.n_bits_ != b.n_bits_) return false;
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    if (a.logical_word(w) != b.logical_word(w)) return false;
+  }
+  return true;
 }
 
 }  // namespace hetsched

@@ -1,9 +1,17 @@
-// A compact runtime-sized bitset.
+// A compact runtime-sized bitset with O(1) whole-set clear.
 //
-// Tracks per-worker block ownership (O(N) or O(N^2) bits) and the
-// master's processed-task map (up to N^3 bits for matrix multiply).
-// std::vector<bool> would work but gives no popcount and poor codegen;
-// this keeps the word array explicit.
+// Tracks per-worker block ownership (O(N) or O(N^2) bits), the
+// master's processed-task map (up to N^3 bits for matrix multiply) and
+// the compact task pool's removed-set. std::vector<bool> would work but
+// gives no popcount and poor codegen; this keeps the word array
+// explicit.
+//
+// clear() is a generation bump, not a fill: each 64-bit word carries a
+// 32-bit generation stamp, and a word whose stamp is stale reads as
+// zero (it is materialized on the first write after a clear). That
+// makes rep-context reuse O(active words touched) instead of
+// O(total bits), at a cost of 0.5 bit of stamp per stored bit and one
+// extra compare on the access paths.
 #pragma once
 
 #include <cstddef>
@@ -21,19 +29,21 @@ class DynamicBitset {
   std::size_t size() const noexcept { return n_bits_; }
 
   bool test(std::size_t pos) const noexcept {
-    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+    return (logical_word(pos >> 6) >> (pos & 63)) & 1ULL;
   }
 
-  void set(std::size_t pos) noexcept { words_[pos >> 6] |= 1ULL << (pos & 63); }
+  void set(std::size_t pos) noexcept {
+    live_word(pos >> 6) |= 1ULL << (pos & 63);
+  }
 
   void reset(std::size_t pos) noexcept {
-    words_[pos >> 6] &= ~(1ULL << (pos & 63));
+    live_word(pos >> 6) &= ~(1ULL << (pos & 63));
   }
 
   /// Sets the bit and reports whether it was previously clear.
   bool set_if_clear(std::size_t pos) noexcept {
     const std::uint64_t mask = 1ULL << (pos & 63);
-    std::uint64_t& w = words_[pos >> 6];
+    std::uint64_t& w = live_word(pos >> 6);
     const bool was_clear = (w & mask) == 0;
     w |= mask;
     return was_clear;
@@ -48,17 +58,44 @@ class DynamicBitset {
   /// True when every bit is set.
   bool all() const noexcept;
 
-  /// Clears all bits; size is unchanged.
+  /// Clears all bits in O(1) (generation bump); size is unchanged.
   void clear() noexcept;
 
   /// Grows or shrinks to n_bits; new bits are clear.
   void resize(std::size_t n_bits);
 
-  friend bool operator==(const DynamicBitset&, const DynamicBitset&) = default;
+  /// Position of the first clear bit at or after `from`, or size() if
+  /// every remaining bit is set.
+  std::size_t find_next_zero(std::size_t from) const noexcept;
+
+  /// Logical comparison (generation representations may differ).
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b);
 
  private:
+  /// The word as the reader should see it: stale stamp means "cleared
+  /// since last written".
+  std::uint64_t logical_word(std::size_t w) const noexcept {
+    return gen_[w] == gen_id_ ? words_[w] : 0;
+  }
+
+  /// The word as a writable slot, materializing the post-clear zero if
+  /// the stamp is stale.
+  std::uint64_t& live_word(std::size_t w) noexcept {
+    if (gen_[w] != gen_id_) {
+      gen_[w] = gen_id_;
+      words_[w] = 0;
+    }
+    return words_[w];
+  }
+
+  /// Applies pending clears so words_ alone is authoritative (used by
+  /// resize and generation wrap-around).
+  void materialize() noexcept;
+
   std::size_t n_bits_ = 0;
+  std::uint32_t gen_id_ = 0;
   std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> gen_;
 };
 
 }  // namespace hetsched

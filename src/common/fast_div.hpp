@@ -1,0 +1,44 @@
+// Exact division by a runtime-fixed 32-bit divisor via one 128-bit
+// multiply (Granlund–Montgomery round-up method).
+//
+// Task-id -> coordinate conversion divides by the problem dimension n
+// once (outer) or twice (matmul) per served task; a hardware 64-bit
+// divide is ~20-40 cycles of latency on that path, while the
+// multiply-shift below is ~3. The strategies precompute one FastDiv32
+// per dimension at construction.
+//
+// With m = ceil(2^64 / d), floor(x * m / 2^64) == x / d exactly
+// whenever x * d < 2^64 — the id spaces here satisfy that with huge
+// margin (matmul needs id * n = n^4 < 2^64, i.e. n <= 65535, and the
+// dense id layouts stop far below that).
+#pragma once
+
+#include <cstdint>
+
+namespace hetsched {
+
+class FastDiv32 {
+ public:
+  FastDiv32() = default;
+
+  explicit FastDiv32(std::uint32_t d) noexcept
+      : magic_(d > 1 ? ~0ULL / d + 1 : 0), d_(d) {}
+
+  std::uint32_t divisor() const noexcept { return d_; }
+
+  /// floor(x / d); exact while x * d < 2^64.
+  std::uint64_t div(std::uint64_t x) const noexcept {
+    if (d_ <= 1) return x;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(magic_) * x) >> 64);
+  }
+
+  /// x % d, via the quotient (one multiply instead of a divide).
+  std::uint64_t mod(std::uint64_t x) const noexcept { return x - div(x) * d_; }
+
+ private:
+  std::uint64_t magic_ = 0;  // ceil(2^64 / d) for d >= 2
+  std::uint32_t d_ = 1;
+};
+
+}  // namespace hetsched

@@ -2,57 +2,12 @@
 
 namespace hetsched {
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.next();
   // An all-zero state would be a fixed point; the scrambler makes this
   // astronomically unlikely but a belt-and-braces fix is cheap.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
-}
-
-std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::next_double() noexcept {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
-  // Lemire's method: multiply into a 128-bit product and reject the
-  // short biased range [0, 2^64 mod n).
-  std::uint64_t x = next_u64();
-  __uint128_t m = static_cast<__uint128_t>(x) * n;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < n) {
-    const std::uint64_t threshold = (0 - n) % n;
-    while (lo < threshold) {
-      x = next_u64();
-      m = static_cast<__uint128_t>(x) * n;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * next_double();
 }
 
 std::uint64_t derive_stream(std::uint64_t seed, std::string_view tag) noexcept {

@@ -36,18 +36,47 @@ class Rng {
   /// Seeds the four words of state from a SplitMix64 scramble of `seed`.
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
 
-  /// Uniform 64-bit word.
-  std::uint64_t next_u64() noexcept;
+  /// Uniform 64-bit word. Defined inline (as are the derived draws
+  /// below): one draw per served task makes this the hot path, and a
+  /// cross-TU call would keep the state out of registers.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double next_double() noexcept;
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, n). Uses Lemire's unbiased multiply-shift
   /// rejection method. Requires n > 0.
-  std::uint64_t next_below(std::uint64_t n) noexcept;
+  std::uint64_t next_below(std::uint64_t n) noexcept {
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
 
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p) noexcept { return next_double() < p; }
@@ -60,6 +89,10 @@ class Rng {
   result_type operator()() noexcept { return next_u64(); }
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

@@ -6,23 +6,36 @@
 namespace hetsched {
 
 SwapRemovePool::SwapRemovePool(std::uint64_t n) {
+  if (n > kMaxCapacity) {
+    throw std::length_error(
+        "SwapRemovePool: capacity would overflow the uint32 index "
+        "(use TaskPool, which switches to the compact layout)");
+  }
   ids_.resize(n);
   position_.resize(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    ids_[i] = i;
-    position_[i] = static_cast<std::uint32_t>(i);
-  }
+  size_ = n;
+  fill_identity();
 }
 
-bool SwapRemovePool::remove(std::uint64_t id) noexcept {
-  if (!contains(id)) return false;
-  const std::uint32_t pos = position_[id];
-  const std::uint64_t last = ids_.back();
-  ids_[pos] = last;
-  position_[last] = pos;
-  ids_.pop_back();
-  position_[id] = kAbsent;
-  return true;
+void SwapRemovePool::throw_empty(const char* what) {
+  throw std::logic_error(what);
+}
+
+void SwapRemovePool::fill_identity() noexcept {
+  const std::uint64_t n = position_.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ids_[i] = static_cast<std::uint32_t>(i);
+    position_[i] = static_cast<std::uint32_t>(i);
+  }
+  index_dirty_ = false;
+}
+
+void SwapRemovePool::reindex() const noexcept {
+  for (auto& p : position_) p = kAbsent;
+  for (std::uint64_t pos = 0; pos < size_; ++pos) {
+    position_[ids_[pos]] = static_cast<std::uint32_t>(pos);
+  }
+  index_dirty_ = false;
 }
 
 bool SwapRemovePool::insert(std::uint64_t id) {
@@ -30,30 +43,18 @@ bool SwapRemovePool::insert(std::uint64_t id) {
     throw std::out_of_range("SwapRemovePool::insert: id beyond capacity");
   }
   if (contains(id)) return false;
-  position_[id] = static_cast<std::uint32_t>(ids_.size());
-  ids_.push_back(id);
+  position_[id] = static_cast<std::uint32_t>(size_);
+  ids_[size_] = static_cast<std::uint32_t>(id);
+  ++size_;
   if (id < first_cursor_) first_cursor_ = id;
   return true;
 }
 
-std::uint64_t SwapRemovePool::pop_random(Rng& rng) {
-  if (ids_.empty()) {
-    throw std::logic_error("SwapRemovePool::pop_random: pool is empty");
-  }
-  const auto pos = static_cast<std::uint32_t>(rng.next_below(ids_.size()));
-  const std::uint64_t id = ids_[pos];
-  const std::uint64_t last = ids_.back();
-  ids_[pos] = last;
-  position_[last] = pos;
-  ids_.pop_back();
-  position_[id] = kAbsent;
-  return id;
-}
-
 std::uint64_t SwapRemovePool::pop_first() {
-  if (ids_.empty()) {
+  if (size_ == 0) {
     throw std::logic_error("SwapRemovePool::pop_first: pool is empty");
   }
+  if (index_dirty_) reindex();
   // Non-empty + cursor-is-a-lower-bound (insert rewinds it) guarantee a
   // present id before the end, so the scan cannot run off the array.
   while (position_[first_cursor_] == kAbsent) {
@@ -63,6 +64,18 @@ std::uint64_t SwapRemovePool::pop_first() {
   const std::uint64_t id = first_cursor_;
   remove(id);
   return id;
+}
+
+void SwapRemovePool::reset() noexcept {
+  size_ = position_.size();
+  first_cursor_ = 0;
+  fill_identity();
+}
+
+std::vector<std::uint64_t> SwapRemovePool::ids() const {
+  std::vector<std::uint64_t> out(size_);
+  for (std::uint64_t pos = 0; pos < size_; ++pos) out[pos] = ids_[pos];
+  return out;
 }
 
 }  // namespace hetsched

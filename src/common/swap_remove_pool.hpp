@@ -1,12 +1,25 @@
-// The master's pool of unprocessed task identifiers.
+// The master's pool of unprocessed task identifiers (dense variant).
 //
 // Dynamic strategies need three operations to stay cheap at the
 // paper's scales (up to 10^6 tasks): O(1) membership test, O(1)
 // removal of an arbitrary task (when a data-aware allocation marks a
 // whole row/column), and O(1) uniform random extraction (the random
-// phase). A dense id->position index over a swap-remove vector gives
+// phase). A dense id->position index over a swap-remove array gives
 // all three. Ids enter once at construction and only ever leave, which
 // also lets lexicographic extraction run behind a monotone cursor.
+//
+// The index is two plain uint32 arrays (4 B per side per id). A
+// generation-stamped layout was tried for O(1) reset() and rejected:
+// doubling the entry to 8 B doubles the randomly-accessed footprint,
+// costing ~25-40% per pop at 10^6 ids, while reset() is a streaming
+// identity rewrite that vectorizes to ~1-2 ms at that size — and every
+// replication drains the whole pool anyway, so there is no "mostly
+// untouched" state for lazy stamps to exploit.
+//
+// Positions and ids are stored as uint32 with ~0u reserved as the
+// absent marker, so capacities must stay below 2^32-1; the constructor
+// and insert() enforce that (TaskPool/CompactTaskPool is the supported
+// path past it — see common/task_pool.hpp).
 #pragma once
 
 #include <cstdint>
@@ -18,21 +31,38 @@ namespace hetsched {
 
 class SwapRemovePool {
  public:
+  /// Largest representable capacity: ids/positions are uint32 and ~0u
+  /// marks absence.
+  static constexpr std::uint64_t kMaxCapacity = 0xFFFFFFFEull;
+
   SwapRemovePool() = default;
 
-  /// Fills the pool with ids 0..n-1.
+  /// Fills the pool with ids 0..n-1. Throws std::length_error for
+  /// n > kMaxCapacity (the uint32 index would silently corrupt).
   explicit SwapRemovePool(std::uint64_t n);
 
-  std::uint64_t size() const noexcept { return ids_.size(); }
-  bool empty() const noexcept { return ids_.empty(); }
+  std::uint64_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
   std::uint64_t capacity_ids() const noexcept { return position_.size(); }
 
   bool contains(std::uint64_t id) const noexcept {
+    if (index_dirty_) reindex();
     return id < position_.size() && position_[id] != kAbsent;
   }
 
-  /// Removes id if present; returns whether it was present.
-  bool remove(std::uint64_t id) noexcept;
+  /// Removes id if present; returns whether it was present. Defined
+  /// inline: this and pop_random are the per-task hot path of every
+  /// dynamic strategy.
+  bool remove(std::uint64_t id) noexcept {
+    if (!contains(id)) return false;
+    const std::uint32_t pos = position_[id];
+    const std::uint32_t last = ids_[size_ - 1];
+    ids_[pos] = last;
+    position_[last] = pos;
+    --size_;
+    position_[id] = kAbsent;
+    return true;
+  }
 
   /// Re-inserts a previously removed id (task requeue after a worker
   /// failure). Returns false if the id is already present. The
@@ -42,22 +72,68 @@ class SwapRemovePool {
   /// Removes and returns a uniformly random element. Throws
   /// std::logic_error if the pool is empty (a scheduling bug: callers
   /// must check empty() first).
-  std::uint64_t pop_random(Rng& rng);
+  std::uint64_t pop_random(Rng& rng) {
+    if (size_ == 0) throw_empty("SwapRemovePool::pop_random: pool is empty");
+    if (index_dirty_) reindex();
+    const auto pos = static_cast<std::uint32_t>(rng.next_below(size_));
+    const std::uint32_t id = ids_[pos];
+    const std::uint32_t last = ids_[size_ - 1];
+    ids_[pos] = last;
+    position_[last] = pos;
+    --size_;
+    position_[id] = kAbsent;
+    return id;
+  }
+
+  /// pop_random for random-only consumers (RandomOuter/RandomMatrix):
+  /// consumes the RNG identically and returns the identical id
+  /// sequence, but skips the two random-line writes that keep the
+  /// id->position index current. The first subsequent indexed
+  /// operation (contains / remove / insert / pop_first / pop_random)
+  /// rebuilds the index in one O(capacity) pass — in the simulations
+  /// that only ever happens on a crash requeue.
+  std::uint64_t pop_random_unindexed(Rng& rng) {
+    if (size_ == 0) throw_empty("SwapRemovePool::pop_random: pool is empty");
+    const auto pos = static_cast<std::uint32_t>(rng.next_below(size_));
+    const std::uint32_t id = ids_[pos];
+    ids_[pos] = ids_[size_ - 1];
+    --size_;
+    index_dirty_ = true;
+    return id;
+  }
 
   /// Removes and returns the smallest id still present (lexicographic
   /// service order). Amortized O(1) over the pool's lifetime because
   /// ids never re-enter. Throws std::logic_error if the pool is empty.
   std::uint64_t pop_first();
 
+  /// Refills with ids 0..capacity-1 (streaming identity rewrite; heap
+  /// blocks retained, so no allocation).
+  void reset() noexcept;
+
   /// Present ids in unspecified order (for inspection/testing).
-  const std::vector<std::uint64_t>& ids() const noexcept { return ids_; }
+  std::vector<std::uint64_t> ids() const;
 
  private:
   static constexpr std::uint32_t kAbsent = ~0u;
 
-  std::vector<std::uint64_t> ids_;        // dense array of present ids
-  std::vector<std::uint32_t> position_;   // id -> index in ids_, kAbsent if gone
-  std::uint64_t first_cursor_ = 0;        // lower bound for pop_first scan
+  [[noreturn]] static void throw_empty(const char* what);
+
+  void fill_identity() noexcept;
+
+  /// Recomputes position_ from the (always current) ids_ prefix after
+  /// unindexed pops. Produces exactly the state an indexed pop
+  /// sequence would have left. const (with mutable index state) so
+  /// contains() can self-heal.
+  void reindex() const noexcept;
+
+  std::vector<std::uint32_t> ids_;  // dense array of present ids [0, size_)
+  /// id -> index in ids_, kAbsent if gone; lazily rebuilt after
+  /// pop_random_unindexed (mutable: contains() self-heals).
+  mutable std::vector<std::uint32_t> position_;
+  std::uint64_t size_ = 0;          // live prefix of ids_
+  std::uint64_t first_cursor_ = 0;  // lower bound for pop_first scan
+  mutable bool index_dirty_ = false;
 };
 
 }  // namespace hetsched

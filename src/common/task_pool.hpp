@@ -1,0 +1,171 @@
+// Task pools for the master's unprocessed-task set, at two scales.
+//
+// SwapRemovePool (dense id->position index, ~16 bytes/task) is exact
+// and fast but 10^9 tasks — matrix multiplication at N/l = 1000 — would
+// need >10 GB. CompactTaskPool stores the same set in ~1.5 bits/task: a
+// removed-bitset plus, once the pool has drained far enough that
+// rejection sampling would start to spin, a one-time compaction of the
+// survivors into a dense tail array. TaskPool is the facade strategies
+// hold: it picks the representation from the capacity at construction,
+// so small (paper-sized) instances keep the dense pool's exact RNG
+// consumption — the bit-identity contract of the flat-engine goldens —
+// while large instances silently switch to the compact layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dynamic_bitset.hpp"
+#include "common/rng.hpp"
+#include "common/swap_remove_pool.hpp"
+
+namespace hetsched {
+
+/// Bitset-backed pool for huge id ranges: 1 bit/id for membership plus
+/// 0.5 bit/id of generation stamps (inside DynamicBitset), plus a dense
+/// tail of at most capacity/kCompactDivisor ids after compaction.
+///
+/// pop_random draws uniformly by rejection over [0, capacity) while the
+/// pool is dense enough (expected < 2 draws above 50% occupancy), then
+/// compacts the survivors into a dense tail once occupancy falls below
+/// 1/kCompactDivisor and draws from the tail from there on. Tail
+/// entries invalidated by remove()/pop_first() are pruned lazily.
+class CompactTaskPool {
+ public:
+  /// Compact once fewer than capacity/kCompactDivisor ids remain; at
+  /// that occupancy rejection sampling costs ~kCompactDivisor draws per
+  /// pop while the tail costs capacity/kCompactDivisor words once.
+  static constexpr std::uint64_t kCompactDivisor = 128;
+
+  CompactTaskPool() = default;
+
+  /// Fills the pool with ids 0..n-1.
+  explicit CompactTaskPool(std::uint64_t n);
+
+  std::uint64_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::uint64_t capacity_ids() const noexcept { return capacity_; }
+
+  bool contains(std::uint64_t id) const noexcept {
+    return id < capacity_ && !removed_.test(id);
+  }
+
+  /// Removes id if present; returns whether it was present.
+  bool remove(std::uint64_t id) noexcept;
+
+  /// Re-inserts a previously removed id (task requeue after a worker
+  /// failure). Returns false if the id is already present.
+  bool insert(std::uint64_t id);
+
+  /// Removes and returns a uniformly random element. Throws
+  /// std::logic_error if the pool is empty. (A requeued id that still
+  /// has a stale pre-removal tail entry is drawn with double weight
+  /// until one copy is popped — requeues are rare fault events, and the
+  /// pool never yields an absent id.)
+  std::uint64_t pop_random(Rng& rng);
+
+  /// Removes and returns the smallest id still present. Amortized O(1)
+  /// bitset scan behind a monotone cursor (insert rewinds it). Throws
+  /// std::logic_error if the pool is empty.
+  std::uint64_t pop_first();
+
+  /// True once pop_random has switched from rejection sampling to the
+  /// dense tail (exposed for tests).
+  bool compacted() const noexcept { return compacted_; }
+
+  /// Refills with ids 0..capacity-1 in O(1) (generation bump in the
+  /// bitset; the tail keeps its heap block).
+  void reset();
+
+  /// Present ids in ascending order. O(capacity) scan — inspection and
+  /// testing only.
+  std::vector<std::uint64_t> ids() const;
+
+ private:
+  void compact();
+
+  std::uint64_t capacity_ = 0;
+  std::uint64_t size_ = 0;
+  DynamicBitset removed_;              // bit set <=> id absent
+  std::uint64_t first_cursor_ = 0;     // lower bound for pop_first scan
+  std::vector<std::uint64_t> tail_;    // survivors, once compacted
+  bool compacted_ = false;
+};
+
+/// The pool type strategies hold: dense SwapRemovePool below
+/// kCompactThreshold ids (bit-identical to the pre-facade behavior,
+/// including RNG consumption), CompactTaskPool at or above it.
+class TaskPool {
+ public:
+  /// 2^25 ids: the dense pool costs ~512 MB just past the threshold
+  /// and the compact pool ~6 MB; no paper-sized instance is near it.
+  static constexpr std::uint64_t kCompactThreshold = 1ull << 25;
+
+  TaskPool() = default;
+
+  /// Fills the pool with ids 0..n-1.
+  explicit TaskPool(std::uint64_t n)
+      : compact_(n >= kCompactThreshold) {
+    if (compact_) {
+      large_ = CompactTaskPool(n);
+    } else {
+      dense_ = SwapRemovePool(n);
+    }
+  }
+
+  std::uint64_t size() const noexcept {
+    return compact_ ? large_.size() : dense_.size();
+  }
+  bool empty() const noexcept {
+    return compact_ ? large_.empty() : dense_.empty();
+  }
+  std::uint64_t capacity_ids() const noexcept {
+    return compact_ ? large_.capacity_ids() : dense_.capacity_ids();
+  }
+  bool contains(std::uint64_t id) const noexcept {
+    return compact_ ? large_.contains(id) : dense_.contains(id);
+  }
+  bool remove(std::uint64_t id) noexcept {
+    return compact_ ? large_.remove(id) : dense_.remove(id);
+  }
+  bool insert(std::uint64_t id) {
+    return compact_ ? large_.insert(id) : dense_.insert(id);
+  }
+  std::uint64_t pop_random(Rng& rng) {
+    return compact_ ? large_.pop_random(rng) : dense_.pop_random(rng);
+  }
+  /// Random pop for consumers that never mix in indexed operations on
+  /// the steady path (see SwapRemovePool::pop_random_unindexed). Same
+  /// RNG consumption and id sequence as pop_random in both layouts;
+  /// the compact layout has no per-pop index to skip.
+  std::uint64_t pop_random_unindexed(Rng& rng) {
+    return compact_ ? large_.pop_random(rng) : dense_.pop_random_unindexed(rng);
+  }
+  std::uint64_t pop_first() {
+    return compact_ ? large_.pop_first() : dense_.pop_first();
+  }
+
+  /// O(active) refill with ids 0..capacity-1; all heap blocks retained.
+  void reset() {
+    if (compact_) {
+      large_.reset();
+    } else {
+      dense_.reset();
+    }
+  }
+
+  bool uses_compact_layout() const noexcept { return compact_; }
+
+  /// Present ids (dense: unspecified order; compact: ascending). The
+  /// compact variant scans the whole bitset — inspection/testing only.
+  std::vector<std::uint64_t> ids() const {
+    return compact_ ? large_.ids() : dense_.ids();
+  }
+
+ private:
+  bool compact_ = false;
+  SwapRemovePool dense_;
+  CompactTaskPool large_;
+};
+
+}  // namespace hetsched

@@ -74,7 +74,7 @@ double analysis_ratio_for(Kernel kernel, std::uint32_t n,
 }
 
 RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
-                      const RepInstrumentation* instr) {
+                      const RepInstrumentation* instr, RepContext* ctx) {
   Rng speed_rng(derive_stream(rep_seed, "experiment.speeds"));
   const Platform platform =
       make_platform(*config.scenario.speeds, config.p, speed_rng);
@@ -89,7 +89,17 @@ RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
         config.phase2_fraction.has_value() ? *config.phase2_fraction
                                            : std::exp(-beta);
   }
-  auto strategy = build_strategy(config, rep_seed, phase2_fraction);
+  // Rep-context reuse: rewind the cached strategy in place when it
+  // supports reset(); otherwise build fresh and cache for next time.
+  std::unique_ptr<Strategy> owned;
+  Strategy* strategy = nullptr;
+  if (ctx != nullptr && ctx->strategy != nullptr &&
+      ctx->strategy->reset(rep_seed)) {
+    strategy = ctx->strategy.get();
+  } else {
+    owned = build_strategy(config, rep_seed, phase2_fraction);
+    strategy = owned.get();
+  }
 
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
@@ -118,6 +128,7 @@ RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
     outcome.sim = simulate(*strategy, platform, sim_config, trace);
   }
   if (instr != nullptr && instr->on_done) instr->on_done(outcome.sim);
+  if (ctx != nullptr && owned != nullptr) ctx->strategy = std::move(owned);
   outcome.speeds = platform.speeds();
   outcome.beta = beta;
 
@@ -165,10 +176,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::vector<ShardStats> shards(shard_count);
   auto run_shard = [&](std::uint64_t s) {
     ShardStats& shard = shards[s];
+    // One rep context per shard: the shard is single-writer, so the
+    // strategy cached in it is rewound (not rebuilt) for every rep the
+    // shard runs after its first.
+    RepContext ctx;
     for (std::uint64_t r = s; r < config.reps; r += kRepShards) {
       const std::uint64_t rep_seed =
           derive_stream(config.seed, "rep." + std::to_string(r));
-      RepOutcome outcome = run_single(config, rep_seed);
+      RepOutcome outcome = run_single(config, rep_seed, nullptr, &ctx);
       shard.normalized.push(outcome.normalized);
       shard.analysis.push(outcome.analysis_ratio);
       shard.makespan.push(outcome.sim.makespan);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -100,10 +101,26 @@ struct RepInstrumentation {
   std::function<void(const SimResult&)> on_done;
 };
 
+/// Reusable per-thread state for a sequence of repetitions of the SAME
+/// ExperimentConfig. When passed to run_single, the strategy built for
+/// the first rep is kept and rewound in place (Strategy::reset) for the
+/// next one instead of being reconstructed — pool index arrays and
+/// ownership bitsets re-init via generation counters in O(active), so a
+/// rep costs no large allocations after the first. Strategies that do
+/// not support reset() fall back to reconstruction transparently.
+/// Reps stay bit-identical either way: reset(seed) is pinned to fresh
+/// construction with the same seed. Never share one RepContext across
+/// different configs or threads.
+struct RepContext {
+  std::unique_ptr<Strategy> strategy;
+};
+
 /// Runs one repetition with an explicit per-rep seed, optionally
-/// instrumented.
+/// instrumented. `ctx` (optional) enables strategy reuse across calls
+/// with the same config — see RepContext.
 RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
-                      const RepInstrumentation* instr = nullptr);
+                      const RepInstrumentation* instr = nullptr,
+                      RepContext* ctx = nullptr);
 
 /// Runs config.reps repetitions with derived seeds and aggregates.
 ///

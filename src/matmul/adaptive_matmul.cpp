@@ -65,18 +65,17 @@ void AdaptiveMatmulStrategy::record_step(std::size_t blocks,
   }
 }
 
-std::optional<Assignment> AdaptiveMatmulStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
-  if (switched_) return random_request(worker);
-  return dynamic_request(worker);
+bool AdaptiveMatmulStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
+  if (switched_) return random_request(worker, out);
+  return dynamic_request(worker, out);
 }
 
-std::optional<Assignment> AdaptiveMatmulStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool AdaptiveMatmulStrategy::dynamic_request(std::uint32_t worker, Assignment& out) {
   WorkerState& w = state_[worker];
   if (w.unknown_i.empty() || w.unknown_j.empty() || w.unknown_k.empty()) {
-    return random_request(worker);
+    return random_request(worker, out);
   }
   const auto pick = [this](std::vector<std::uint32_t>& unknown) {
     const auto pos = static_cast<std::size_t>(rng_.next_below(unknown.size()));
@@ -90,11 +89,10 @@ std::optional<Assignment> AdaptiveMatmulStrategy::dynamic_request(
   const std::uint32_t k = pick(w.unknown_k);
   const std::uint32_t n = config_.n;
 
-  Assignment assignment;
   auto ship = [&](Operand op, DynamicBitset& owned, std::uint32_t r,
                   std::uint32_t c) {
     if (owned.set_if_clear(block_index(n, r, c))) {
-      assignment.blocks.push_back(BlockRef{op, r, c});
+      out.blocks.push_back(BlockRef{op, r, c});
     }
   };
   for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatA, w.blocks.owned_a, i, k2);
@@ -109,7 +107,7 @@ std::optional<Assignment> AdaptiveMatmulStrategy::dynamic_request(
 
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
     const TaskId id = matmul_task_id(n, ti, tj, tk);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
   for (const std::uint32_t j2 : w.known_j) {
     for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
@@ -128,20 +126,18 @@ std::optional<Assignment> AdaptiveMatmulStrategy::dynamic_request(
   w.known_i.push_back(i);
   w.known_j.push_back(j);
   w.known_k.push_back(k);
-  record_step(assignment.blocks.size(), assignment.tasks.size());
-  return assignment;
+  record_step(out.blocks.size(), out.tasks.size());
+  return true;
 }
 
-std::optional<Assignment> AdaptiveMatmulStrategy::random_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool AdaptiveMatmulStrategy::random_request(std::uint32_t worker, Assignment& out) {
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j, k] = matmul_task_coords(config_.n, id);
-  Assignment assignment;
-  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, assignment);
-  assignment.tasks.push_back(id);
-  return assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, out);
+  out.tasks.push_back(id);
+  return true;
 }
 
 }  // namespace hetsched

@@ -38,26 +38,50 @@ std::string DynamicMatrixStrategy::name() const {
   return phase2_tasks_ == 0 ? "DynamicMatrix" : "DynamicMatrix2Phases";
 }
 
-std::optional<Assignment> DynamicMatrixStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool DynamicMatrixStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   if (in_phase2()) {
     if (phase2_tasks_ != 0 && !phase_switch_notified_) {
       phase_switch_notified_ = true;
       notify_phase_switch(pool_.size());
     }
-    return random_request(worker);
+    return random_request(worker, out);
   }
-  return dynamic_request(worker);
+  return dynamic_request(worker, out);
 }
 
-std::optional<Assignment> DynamicMatrixStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool DynamicMatrixStrategy::reset(std::uint64_t seed) {
+  pool_.reset();
+  for (auto& w : state_) {
+    w.known_i.clear();
+    w.known_j.clear();
+    w.known_k.clear();
+    w.unknown_i.resize(config_.n);
+    w.unknown_j.resize(config_.n);
+    w.unknown_k.resize(config_.n);
+    for (std::uint32_t v = 0; v < config_.n; ++v) {
+      w.unknown_i[v] = v;
+      w.unknown_j[v] = v;
+      w.unknown_k[v] = v;
+    }
+    w.blocks.owned_a.clear();
+    w.blocks.owned_b.clear();
+    w.blocks.owned_c.clear();
+  }
+  rng_ = Rng(derive_stream(seed, "matmul.dynamic"));
+  phase2_served_ = 0;
+  phase_switch_notified_ = false;
+  return true;
+}
+
+bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
+                                            Assignment& out) {
   WorkerState& w = state_[worker];
   if (w.unknown_i.empty() || w.unknown_j.empty() || w.unknown_k.empty()) {
     // Knowledge covers a full dimension: the structured extension is
     // exhausted, so serve the remaining pool randomly.
-    return random_request(worker);
+    return random_request(worker, out);
   }
 
   const auto pick = [this](std::vector<std::uint32_t>& unknown) {
@@ -72,14 +96,13 @@ std::optional<Assignment> DynamicMatrixStrategy::dynamic_request(
   const std::uint32_t k = pick(w.unknown_k);
   const std::uint32_t n = config_.n;
 
-  Assignment assignment;
   // Ship the 3*(2y+1) blocks extending I x K, K x J and I x J with the
   // new indices. Every one is new to the worker in a pure phase-1 run;
   // set_if_clear keeps accounting exact even after a random fallback.
   auto ship = [&](Operand op, DynamicBitset& owned, std::uint32_t r,
                   std::uint32_t c) {
     if (owned.set_if_clear(block_index(n, r, c))) {
-      assignment.blocks.push_back(BlockRef{op, r, c});
+      out.blocks.push_back(BlockRef{op, r, c});
     }
   };
   for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatA, w.blocks.owned_a, i, k2);
@@ -100,7 +123,7 @@ std::optional<Assignment> DynamicMatrixStrategy::dynamic_request(
   // candidates, disjoint by construction.
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
     const TaskId id = matmul_task_id(n, ti, tj, tk);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
   for (const std::uint32_t j2 : w.known_j) {
     for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
@@ -119,23 +142,22 @@ std::optional<Assignment> DynamicMatrixStrategy::dynamic_request(
   w.known_i.push_back(i);
   w.known_j.push_back(j);
   w.known_k.push_back(k);
-  notify_fetches(worker, assignment);
-  return assignment;
+  notify_fetches(worker, out);
+  return true;
 }
 
-std::optional<Assignment> DynamicMatrixStrategy::random_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool DynamicMatrixStrategy::random_request(std::uint32_t worker,
+                                           Assignment& out) {
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j, k] = matmul_task_coords(config_.n, id);
 
-  Assignment assignment;
-  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, assignment);
-  assignment.tasks.push_back(id);
+  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, out);
+  out.tasks.push_back(id);
   ++phase2_served_;
-  notify_fetches(worker, assignment);
-  return assignment;
+  notify_fetches(worker, out);
+  return true;
 }
 
 DynamicMatrixStrategy make_dynamic_matrix_2phases(MatmulConfig config,

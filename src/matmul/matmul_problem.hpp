@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <tuple>
 
+#include "common/fast_div.hpp"
 #include "sim/strategy.hpp"
 
 namespace hetsched {
@@ -38,6 +39,17 @@ matmul_task_coords(std::uint32_t n, TaskId id) noexcept {
   const auto ij = id / n;
   return {static_cast<std::uint32_t>(ij / n), static_cast<std::uint32_t>(ij % n),
           k};
+}
+
+/// Hot-path variant for strategies that convert one id per served task:
+/// both divides by n go through a precomputed multiply-shift.
+inline std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>
+matmul_task_coords(const FastDiv32& n, TaskId id) noexcept {
+  const std::uint64_t ij = n.div(id);
+  const auto k = static_cast<std::uint32_t>(id - ij * n.divisor());
+  const std::uint64_t i = n.div(ij);
+  return {static_cast<std::uint32_t>(i),
+          static_cast<std::uint32_t>(ij - i * n.divisor()), k};
 }
 
 /// Flat index of an n x n block coordinate (for ownership bitsets).

@@ -66,30 +66,28 @@ PerWorkerSwitchMatmulStrategy::PerWorkerSwitchMatmulStrategy(
   }
 }
 
-std::optional<Assignment> PerWorkerSwitchMatmulStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool PerWorkerSwitchMatmulStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   const WorkerState& w = state_[worker];
   if (w.known_i.size() >= switch_extent_[worker] || w.unknown_i.empty() ||
       w.unknown_j.empty() || w.unknown_k.empty()) {
-    return random_request(worker);
+    return random_request(worker, out);
   }
-  return dynamic_request(worker);
+  return dynamic_request(worker, out);
 }
 
-std::optional<Assignment> PerWorkerSwitchMatmulStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool PerWorkerSwitchMatmulStrategy::dynamic_request(std::uint32_t worker, Assignment& out) {
   WorkerState& w = state_[worker];
   const std::uint32_t i = pick_unknown(rng_, w.unknown_i);
   const std::uint32_t j = pick_unknown(rng_, w.unknown_j);
   const std::uint32_t k = pick_unknown(rng_, w.unknown_k);
   const std::uint32_t n = config_.n;
 
-  Assignment assignment;
   auto ship = [&](Operand op, DynamicBitset& owned, std::uint32_t r,
                   std::uint32_t c) {
     if (owned.set_if_clear(block_index(n, r, c))) {
-      assignment.blocks.push_back(BlockRef{op, r, c});
+      out.blocks.push_back(BlockRef{op, r, c});
     }
   };
   for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatA, w.blocks.owned_a, i, k2);
@@ -104,7 +102,7 @@ std::optional<Assignment> PerWorkerSwitchMatmulStrategy::dynamic_request(
 
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
     const TaskId id = matmul_task_id(n, ti, tj, tk);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
   for (const std::uint32_t j2 : w.known_j) {
     for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
@@ -123,19 +121,17 @@ std::optional<Assignment> PerWorkerSwitchMatmulStrategy::dynamic_request(
   w.known_i.push_back(i);
   w.known_j.push_back(j);
   w.known_k.push_back(k);
-  return assignment;
+  return true;
 }
 
-std::optional<Assignment> PerWorkerSwitchMatmulStrategy::random_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool PerWorkerSwitchMatmulStrategy::random_request(std::uint32_t worker, Assignment& out) {
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j, k] = matmul_task_coords(config_.n, id);
-  Assignment assignment;
-  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, assignment);
-  assignment.tasks.push_back(id);
-  return assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, out);
+  out.tasks.push_back(id);
+  return true;
 }
 
 BoundedLruMatmulStrategy::Lru::Lru(std::size_t slots, std::uint32_t cap)
@@ -230,52 +226,50 @@ std::uint32_t BoundedLruMatmulStrategy::slot_of(Operand op, std::uint32_t r,
 
 void BoundedLruMatmulStrategy::fetch(WorkerState& w, Operand op,
                                      std::uint32_t r, std::uint32_t c,
-                                     Assignment& assignment) {
+                                     Assignment& out) {
   const std::uint32_t slot = slot_of(op, r, c);
   if (w.cache.present[slot]) {
     w.cache.touch(slot);
     return;
   }
   if (w.cache.insert(slot)) ++refetches_;
-  assignment.blocks.push_back(BlockRef{op, r, c});
+  out.blocks.push_back(BlockRef{op, r, c});
 }
 
-std::optional<Assignment> BoundedLruMatmulStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool BoundedLruMatmulStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const auto y = static_cast<std::uint32_t>(w.known_i.size());
   const std::uint32_t next_cost = 3 * (2 * y + 1);
   const bool room = w.cache.size + next_cost <= w.cache.capacity;
   if (room && !w.unknown_i.empty() && !w.unknown_j.empty() &&
       !w.unknown_k.empty()) {
-    return dynamic_request(worker);
+    return dynamic_request(worker, out);
   }
-  return bounded_request(worker);
+  return bounded_request(worker, out);
 }
 
-std::optional<Assignment> BoundedLruMatmulStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool BoundedLruMatmulStrategy::dynamic_request(std::uint32_t worker, Assignment& out) {
   WorkerState& w = state_[worker];
   const std::uint32_t i = pick_unknown(rng_, w.unknown_i);
   const std::uint32_t j = pick_unknown(rng_, w.unknown_j);
   const std::uint32_t k = pick_unknown(rng_, w.unknown_k);
   const std::uint32_t n = config_.n;
 
-  Assignment assignment;
-  for (const std::uint32_t k2 : w.known_k) fetch(w, Operand::kMatA, i, k2, assignment);
-  for (const std::uint32_t i2 : w.known_i) fetch(w, Operand::kMatA, i2, k, assignment);
-  fetch(w, Operand::kMatA, i, k, assignment);
-  for (const std::uint32_t j2 : w.known_j) fetch(w, Operand::kMatB, k, j2, assignment);
-  for (const std::uint32_t k2 : w.known_k) fetch(w, Operand::kMatB, k2, j, assignment);
-  fetch(w, Operand::kMatB, k, j, assignment);
-  for (const std::uint32_t j2 : w.known_j) fetch(w, Operand::kMatC, i, j2, assignment);
-  for (const std::uint32_t i2 : w.known_i) fetch(w, Operand::kMatC, i2, j, assignment);
-  fetch(w, Operand::kMatC, i, j, assignment);
+  for (const std::uint32_t k2 : w.known_k) fetch(w, Operand::kMatA, i, k2, out);
+  for (const std::uint32_t i2 : w.known_i) fetch(w, Operand::kMatA, i2, k, out);
+  fetch(w, Operand::kMatA, i, k, out);
+  for (const std::uint32_t j2 : w.known_j) fetch(w, Operand::kMatB, k, j2, out);
+  for (const std::uint32_t k2 : w.known_k) fetch(w, Operand::kMatB, k2, j, out);
+  fetch(w, Operand::kMatB, k, j, out);
+  for (const std::uint32_t j2 : w.known_j) fetch(w, Operand::kMatC, i, j2, out);
+  for (const std::uint32_t i2 : w.known_i) fetch(w, Operand::kMatC, i2, j, out);
+  fetch(w, Operand::kMatC, i, j, out);
 
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
     const TaskId id = matmul_task_id(n, ti, tj, tk);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
   for (const std::uint32_t j2 : w.known_j) {
     for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
@@ -294,21 +288,19 @@ std::optional<Assignment> BoundedLruMatmulStrategy::dynamic_request(
   w.known_i.push_back(i);
   w.known_j.push_back(j);
   w.known_k.push_back(k);
-  return assignment;
+  return true;
 }
 
-std::optional<Assignment> BoundedLruMatmulStrategy::bounded_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool BoundedLruMatmulStrategy::bounded_request(std::uint32_t worker, Assignment& out) {
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j, k] = matmul_task_coords(config_.n, id);
-  Assignment assignment;
-  fetch(w, Operand::kMatA, i, k, assignment);
-  fetch(w, Operand::kMatB, k, j, assignment);
-  fetch(w, Operand::kMatC, i, j, assignment);
-  assignment.tasks.push_back(id);
-  return assignment;
+  fetch(w, Operand::kMatA, i, k, out);
+  fetch(w, Operand::kMatB, k, j, out);
+  fetch(w, Operand::kMatC, i, j, out);
+  out.tasks.push_back(id);
+  return true;
 }
 
 }  // namespace hetsched

@@ -29,7 +29,8 @@ class PerWorkerSwitchMatmulStrategy final : public Strategy {
     return static_cast<std::uint32_t>(state_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -49,8 +50,8 @@ class PerWorkerSwitchMatmulStrategy final : public Strategy {
     MatmulWorkerBlocks blocks;
   };
 
-  std::optional<Assignment> dynamic_request(std::uint32_t worker);
-  std::optional<Assignment> random_request(std::uint32_t worker);
+  bool dynamic_request(std::uint32_t worker, Assignment& out);
+  bool random_request(std::uint32_t worker, Assignment& out);
 
   MatmulConfig config_;
   SwapRemovePool pool_;
@@ -76,7 +77,8 @@ class BoundedLruMatmulStrategy final : public Strategy {
     return static_cast<std::uint32_t>(state_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -111,8 +113,8 @@ class BoundedLruMatmulStrategy final : public Strategy {
   void fetch(WorkerState& w, Operand op, std::uint32_t r, std::uint32_t c,
              Assignment& assignment);
 
-  std::optional<Assignment> dynamic_request(std::uint32_t worker);
-  std::optional<Assignment> bounded_request(std::uint32_t worker);
+  bool dynamic_request(std::uint32_t worker, Assignment& out);
+  bool bounded_request(std::uint32_t worker, Assignment& out);
 
   MatmulConfig config_;
   SwapRemovePool pool_;

@@ -19,21 +19,24 @@ void charge_matmul_task_blocks(std::uint32_t n, std::uint32_t i,
 
 PointwiseMatmulStrategy::PointwiseMatmulStrategy(MatmulConfig config,
                                                  std::uint32_t workers)
-    : config_(config), n_workers_(workers), pool_(config.total_tasks()) {
+    : config_(config),
+      n_div_(config.n),
+      n_workers_(workers),
+      pool_(config.total_tasks()) {
   validate(config_);
   owned_.assign(workers, MatmulWorkerBlocks(config_.n));
 }
 
-std::optional<Assignment> PointwiseMatmulStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool PointwiseMatmulStrategy::on_request(std::uint32_t worker,
+                                         Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   const TaskId id = next_task();
-  const auto [i, j, k] = matmul_task_coords(config_.n, id);
+  const auto [i, j, k] = matmul_task_coords(n_div_, id);
 
-  Assignment assignment;
-  charge_matmul_task_blocks(config_.n, i, j, k, owned_[worker], assignment);
-  assignment.tasks.push_back(id);
-  return assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, owned_[worker], out);
+  out.tasks.push_back(id);
+  return true;
 }
 
 }  // namespace hetsched

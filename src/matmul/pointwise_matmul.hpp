@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/dynamic_bitset.hpp"
-#include "common/swap_remove_pool.hpp"
+#include "common/task_pool.hpp"
 #include "matmul/matmul_problem.hpp"
 #include "sim/strategy.hpp"
 
@@ -42,7 +42,8 @@ class PointwiseMatmulStrategy : public Strategy {
   std::uint64_t unassigned_tasks() const final { return pool_.size(); }
   std::uint32_t workers() const final { return n_workers_; }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) final;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) final;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -50,16 +51,32 @@ class PointwiseMatmulStrategy : public Strategy {
     return all_inserted;
   }
 
+  bool reset(std::uint64_t seed) final {
+    pool_.reset();
+    for (auto& w : owned_) {
+      w.owned_a.clear();
+      w.owned_b.clear();
+      w.owned_c.clear();
+    }
+    reseed(seed);
+    return true;
+  }
+
  protected:
   virtual TaskId next_task() = 0;
 
+  /// Re-derives any RNG state for a new replication (reset() hook;
+  /// deterministic strategies have none).
+  virtual void reseed(std::uint64_t seed) { (void)seed; }
+
   const MatmulConfig& config() const noexcept { return config_; }
-  SwapRemovePool& pool() noexcept { return pool_; }
+  TaskPool& pool() noexcept { return pool_; }
 
  private:
   MatmulConfig config_;
+  FastDiv32 n_div_;  // id -> (i, j, k) without hardware divides
   std::uint32_t n_workers_;
-  SwapRemovePool pool_;
+  TaskPool pool_;
   std::vector<MatmulWorkerBlocks> owned_;
 };
 

@@ -8,6 +8,12 @@ RandomMatrixStrategy::RandomMatrixStrategy(MatmulConfig config,
     : PointwiseMatmulStrategy(config, workers),
       rng_(derive_stream(seed, "matmul.random")) {}
 
-TaskId RandomMatrixStrategy::next_task() { return pool().pop_random(rng_); }
+TaskId RandomMatrixStrategy::next_task() {
+  return pool().pop_random_unindexed(rng_);
+}
+
+void RandomMatrixStrategy::reseed(std::uint64_t seed) {
+  rng_ = Rng(derive_stream(seed, "matmul.random"));
+}
 
 }  // namespace hetsched

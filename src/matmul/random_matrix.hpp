@@ -17,6 +17,7 @@ class RandomMatrixStrategy final : public PointwiseMatmulStrategy {
 
  private:
   TaskId next_task() override;
+  void reseed(std::uint64_t seed) override;
 
   Rng rng_;
 };

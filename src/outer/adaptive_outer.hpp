@@ -43,7 +43,8 @@ class AdaptiveOuterStrategy final : public Strategy {
     return static_cast<std::uint32_t>(state_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -68,8 +69,8 @@ class AdaptiveOuterStrategy final : public Strategy {
     DynamicBitset owned_b;
   };
 
-  std::optional<Assignment> dynamic_request(std::uint32_t worker);
-  std::optional<Assignment> random_request(std::uint32_t worker);
+  bool dynamic_request(std::uint32_t worker, Assignment& out);
+  bool random_request(std::uint32_t worker, Assignment& out);
   void record_step(std::size_t tasks_gained);
 
   OuterConfig config_;

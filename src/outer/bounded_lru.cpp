@@ -83,7 +83,7 @@ BoundedLruOuterStrategy::BoundedLruOuterStrategy(OuterConfig config,
 
 void BoundedLruOuterStrategy::fetch(std::uint32_t worker, Operand op,
                                     std::uint32_t index,
-                                    Assignment& assignment) {
+                                    Assignment& out) {
   const std::uint32_t slot =
       op == Operand::kVecA ? a_slot(index) : b_slot(index);
   LruCache& cache = caches_[worker];
@@ -92,23 +92,22 @@ void BoundedLruOuterStrategy::fetch(std::uint32_t worker, Operand op,
     return;
   }
   if (cache.insert(slot)) ++refetches_;
-  assignment.blocks.push_back(BlockRef{op, index, 0});
+  out.blocks.push_back(BlockRef{op, index, 0});
 }
 
-std::optional<Assignment> BoundedLruOuterStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool BoundedLruOuterStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const LruCache& cache = caches_[worker];
   const bool room = cache.size() + 2 <= cache.capacity();
   if (room && !w.unknown_i.empty() && !w.unknown_j.empty()) {
-    return dynamic_request(worker);
+    return dynamic_request(worker, out);
   }
-  return bounded_request(worker);
+  return bounded_request(worker, out);
 }
 
-std::optional<Assignment> BoundedLruOuterStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool BoundedLruOuterStrategy::dynamic_request(std::uint32_t worker, Assignment& out) {
   WorkerState& w = state_[worker];
   const auto pick = [this](std::vector<std::uint32_t>& unknown) {
     const auto pos = static_cast<std::size_t>(rng_.next_below(unknown.size()));
@@ -120,13 +119,12 @@ std::optional<Assignment> BoundedLruOuterStrategy::dynamic_request(
   const std::uint32_t i = pick(w.unknown_i);
   const std::uint32_t j = pick(w.unknown_j);
 
-  Assignment assignment;
-  fetch(worker, Operand::kVecA, i, assignment);
-  fetch(worker, Operand::kVecB, j, assignment);
+  fetch(worker, Operand::kVecA, i, out);
+  fetch(worker, Operand::kVecB, j, out);
 
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj) {
     const TaskId id = outer_task_id(config_.n, ti, tj);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
   for (const std::uint32_t j2 : w.known_j) try_take(i, j2);
   for (const std::uint32_t i2 : w.known_i) try_take(i2, j);
@@ -134,20 +132,18 @@ std::optional<Assignment> BoundedLruOuterStrategy::dynamic_request(
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
-  return assignment;
+  return true;
 }
 
-std::optional<Assignment> BoundedLruOuterStrategy::bounded_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool BoundedLruOuterStrategy::bounded_request(std::uint32_t worker, Assignment& out) {
+  if (pool_.empty()) return false;
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j] = outer_task_coords(config_.n, id);
 
-  Assignment assignment;
-  fetch(worker, Operand::kVecA, i, assignment);
-  fetch(worker, Operand::kVecB, j, assignment);
-  assignment.tasks.push_back(id);
-  return assignment;
+  fetch(worker, Operand::kVecA, i, out);
+  fetch(worker, Operand::kVecB, j, out);
+  out.tasks.push_back(id);
+  return true;
 }
 
 }  // namespace hetsched

@@ -39,7 +39,8 @@ class BoundedLruOuterStrategy final : public Strategy {
     return static_cast<std::uint32_t>(caches_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -97,8 +98,8 @@ class BoundedLruOuterStrategy final : public Strategy {
   std::uint32_t a_slot(std::uint32_t i) const { return i; }
   std::uint32_t b_slot(std::uint32_t j) const { return config_.n + j; }
 
-  std::optional<Assignment> dynamic_request(std::uint32_t worker);
-  std::optional<Assignment> bounded_request(std::uint32_t worker);
+  bool dynamic_request(std::uint32_t worker, Assignment& out);
+  bool bounded_request(std::uint32_t worker, Assignment& out);
 
   /// Fetches a slot into the worker's cache, charging the assignment.
   void fetch(std::uint32_t worker, Operand op, std::uint32_t index,

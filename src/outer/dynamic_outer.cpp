@@ -38,26 +38,46 @@ std::string DynamicOuterStrategy::name() const {
   return phase2_tasks_ == 0 ? "DynamicOuter" : "DynamicOuter2Phases";
 }
 
-std::optional<Assignment> DynamicOuterStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool DynamicOuterStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   if (in_phase2()) {
     if (phase2_tasks_ != 0 && !phase_switch_notified_) {
       phase_switch_notified_ = true;
       notify_phase_switch(pool_.size());
     }
-    return random_request(worker);
+    return random_request(worker, out);
   }
-  return dynamic_request(worker);
+  return dynamic_request(worker, out);
 }
 
-std::optional<Assignment> DynamicOuterStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool DynamicOuterStrategy::reset(std::uint64_t seed) {
+  pool_.reset();
+  for (auto& w : state_) {
+    w.known_i.clear();
+    w.known_j.clear();
+    w.unknown_i.resize(config_.n);
+    w.unknown_j.resize(config_.n);
+    for (std::uint32_t v = 0; v < config_.n; ++v) {
+      w.unknown_i[v] = v;
+      w.unknown_j[v] = v;
+    }
+    w.owned_a.clear();
+    w.owned_b.clear();
+  }
+  rng_ = Rng(derive_stream(seed, "outer.dynamic"));
+  phase2_served_ = 0;
+  phase_switch_notified_ = false;
+  return true;
+}
+
+bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
+                                           Assignment& out) {
   WorkerState& w = state_[worker];
   if (w.unknown_i.empty() || w.unknown_j.empty()) {
     // The worker knows a whole dimension, so every task it could enable
     // is already marked; it can only help via the random fallback.
-    return random_request(worker);
+    return random_request(worker, out);
   }
 
   // Draw a fresh (i, j) pair uniformly from the unknown index sets.
@@ -71,9 +91,8 @@ std::optional<Assignment> DynamicOuterStrategy::dynamic_request(
   const std::uint32_t i = pick(w.unknown_i);
   const std::uint32_t j = pick(w.unknown_j);
 
-  Assignment assignment;
-  assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
-  assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+  out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+  out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   w.owned_a.set(i);
   w.owned_b.set(j);
 
@@ -82,7 +101,7 @@ std::optional<Assignment> DynamicOuterStrategy::dynamic_request(
   // and the corner (i, j).
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj) {
     const TaskId id = outer_task_id(config_.n, ti, tj);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
   for (const std::uint32_t j2 : w.known_j) try_take(i, j2);
   for (const std::uint32_t i2 : w.known_i) try_take(i2, j);
@@ -90,28 +109,27 @@ std::optional<Assignment> DynamicOuterStrategy::dynamic_request(
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
-  notify_fetches(worker, assignment);
-  return assignment;
+  notify_fetches(worker, out);
+  return true;
 }
 
-std::optional<Assignment> DynamicOuterStrategy::random_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool DynamicOuterStrategy::random_request(std::uint32_t worker,
+                                          Assignment& out) {
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j] = outer_task_coords(config_.n, id);
 
-  Assignment assignment;
   if (w.owned_a.set_if_clear(i)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
   }
   if (w.owned_b.set_if_clear(j)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   }
-  assignment.tasks.push_back(id);
+  out.tasks.push_back(id);
   ++phase2_served_;
-  notify_fetches(worker, assignment);
-  return assignment;
+  notify_fetches(worker, out);
+  return true;
 }
 
 DynamicOuterStrategy make_dynamic_outer_2phases(OuterConfig config,

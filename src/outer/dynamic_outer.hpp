@@ -18,7 +18,7 @@
 
 #include "common/dynamic_bitset.hpp"
 #include "common/rng.hpp"
-#include "common/swap_remove_pool.hpp"
+#include "common/task_pool.hpp"
 #include "outer/outer_problem.hpp"
 #include "sim/strategy.hpp"
 
@@ -35,13 +35,16 @@ class DynamicOuterStrategy : public Strategy {
   std::uint64_t unassigned_tasks() const override { return pool_.size(); }
   std::uint32_t workers() const override { return n_workers_; }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
     for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
     return all_inserted;
   }
+
+  bool reset(std::uint64_t seed) override;
 
   /// Tasks handed out by the random fallback so far (phase-2 share).
   std::uint64_t phase2_tasks_served() const noexcept { return phase2_served_; }
@@ -73,13 +76,13 @@ class DynamicOuterStrategy : public Strategy {
 
   bool in_phase2() const noexcept { return pool_.size() <= phase2_tasks_; }
 
-  std::optional<Assignment> dynamic_request(std::uint32_t worker);
-  std::optional<Assignment> random_request(std::uint32_t worker);
+  bool dynamic_request(std::uint32_t worker, Assignment& out);
+  bool random_request(std::uint32_t worker, Assignment& out);
 
   OuterConfig config_;
   std::uint32_t n_workers_;
   std::uint64_t phase2_tasks_;
-  SwapRemovePool pool_;
+  TaskPool pool_;
   std::vector<WorkerState> state_;
   Rng rng_;
   std::uint64_t phase2_served_ = 0;

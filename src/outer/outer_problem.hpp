@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/fast_div.hpp"
 #include "sim/strategy.hpp"
 
 namespace hetsched {
@@ -32,6 +33,15 @@ constexpr TaskId outer_task_id(std::uint32_t n, std::uint32_t i,
 constexpr std::pair<std::uint32_t, std::uint32_t> outer_task_coords(
     std::uint32_t n, TaskId id) noexcept {
   return {static_cast<std::uint32_t>(id / n), static_cast<std::uint32_t>(id % n)};
+}
+
+/// Hot-path variant for strategies that convert one id per served task:
+/// divides by a precomputed multiply-shift instead of hardware divide.
+inline std::pair<std::uint32_t, std::uint32_t> outer_task_coords(
+    const FastDiv32& n, TaskId id) noexcept {
+  const std::uint64_t i = n.div(id);
+  return {static_cast<std::uint32_t>(i),
+          static_cast<std::uint32_t>(id - i * n.divisor())};
 }
 
 /// Validates an OuterConfig (n >= 1, n^2 fits comfortably).

@@ -55,19 +55,18 @@ PerWorkerSwitchOuterStrategy::PerWorkerSwitchOuterStrategy(
   }
 }
 
-std::optional<Assignment> PerWorkerSwitchOuterStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool PerWorkerSwitchOuterStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   const WorkerState& w = state_[worker];
   if (w.known_i.size() >= switch_rows_[worker] || w.unknown_i.empty() ||
       w.unknown_j.empty()) {
-    return random_request(worker);
+    return random_request(worker, out);
   }
-  return dynamic_request(worker);
+  return dynamic_request(worker, out);
 }
 
-std::optional<Assignment> PerWorkerSwitchOuterStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool PerWorkerSwitchOuterStrategy::dynamic_request(std::uint32_t worker, Assignment& out) {
   WorkerState& w = state_[worker];
   const auto pick = [this](std::vector<std::uint32_t>& unknown) {
     const auto pos = static_cast<std::size_t>(rng_.next_below(unknown.size()));
@@ -79,15 +78,14 @@ std::optional<Assignment> PerWorkerSwitchOuterStrategy::dynamic_request(
   const std::uint32_t i = pick(w.unknown_i);
   const std::uint32_t j = pick(w.unknown_j);
 
-  Assignment assignment;
-  assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
-  assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+  out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+  out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   w.owned_a.set(i);
   w.owned_b.set(j);
 
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj) {
     const TaskId id = outer_task_id(config_.n, ti, tj);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
   for (const std::uint32_t j2 : w.known_j) try_take(i, j2);
   for (const std::uint32_t i2 : w.known_i) try_take(i2, j);
@@ -95,25 +93,23 @@ std::optional<Assignment> PerWorkerSwitchOuterStrategy::dynamic_request(
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
-  return assignment;
+  return true;
 }
 
-std::optional<Assignment> PerWorkerSwitchOuterStrategy::random_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool PerWorkerSwitchOuterStrategy::random_request(std::uint32_t worker, Assignment& out) {
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j] = outer_task_coords(config_.n, id);
 
-  Assignment assignment;
   if (w.owned_a.set_if_clear(i)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
   }
   if (w.owned_b.set_if_clear(j)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   }
-  assignment.tasks.push_back(id);
-  return assignment;
+  out.tasks.push_back(id);
+  return true;
 }
 
 }  // namespace hetsched

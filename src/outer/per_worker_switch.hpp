@@ -35,7 +35,8 @@ class PerWorkerSwitchOuterStrategy final : public Strategy {
     return static_cast<std::uint32_t>(state_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -58,8 +59,8 @@ class PerWorkerSwitchOuterStrategy final : public Strategy {
     DynamicBitset owned_b;
   };
 
-  std::optional<Assignment> dynamic_request(std::uint32_t worker);
-  std::optional<Assignment> random_request(std::uint32_t worker);
+  bool dynamic_request(std::uint32_t worker, Assignment& out);
+  bool random_request(std::uint32_t worker, Assignment& out);
 
   OuterConfig config_;
   SwapRemovePool pool_;

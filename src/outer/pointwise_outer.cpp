@@ -4,7 +4,10 @@ namespace hetsched {
 
 PointwiseOuterStrategy::PointwiseOuterStrategy(OuterConfig config,
                                                std::uint32_t workers)
-    : config_(config), n_workers_(workers), pool_(config.total_tasks()) {
+    : config_(config),
+      n_div_(config.n),
+      n_workers_(workers),
+      pool_(config.total_tasks()) {
   validate(config_);
   owned_.resize(workers);
   for (auto& w : owned_) {
@@ -13,22 +16,22 @@ PointwiseOuterStrategy::PointwiseOuterStrategy(OuterConfig config,
   }
 }
 
-std::optional<Assignment> PointwiseOuterStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool PointwiseOuterStrategy::on_request(std::uint32_t worker,
+                                        Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   const TaskId id = next_task();
-  const auto [i, j] = outer_task_coords(config_.n, id);
+  const auto [i, j] = outer_task_coords(n_div_, id);
 
-  Assignment assignment;
   WorkerBlocks& blocks = owned_[worker];
   if (blocks.owned_a.set_if_clear(i)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
   }
   if (blocks.owned_b.set_if_clear(j)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   }
-  assignment.tasks.push_back(id);
-  return assignment;
+  out.tasks.push_back(id);
+  return true;
 }
 
 }  // namespace hetsched

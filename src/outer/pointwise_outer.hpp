@@ -8,7 +8,7 @@
 
 #include "common/dynamic_bitset.hpp"
 #include "common/rng.hpp"
-#include "common/swap_remove_pool.hpp"
+#include "common/task_pool.hpp"
 #include "outer/outer_problem.hpp"
 #include "sim/strategy.hpp"
 
@@ -24,7 +24,8 @@ class PointwiseOuterStrategy : public Strategy {
   std::uint64_t unassigned_tasks() const final { return pool_.size(); }
   std::uint32_t workers() const final { return n_workers_; }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) final;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) final;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -32,12 +33,26 @@ class PointwiseOuterStrategy : public Strategy {
     return all_inserted;
   }
 
+  bool reset(std::uint64_t seed) final {
+    pool_.reset();
+    for (auto& w : owned_) {
+      w.owned_a.clear();
+      w.owned_b.clear();
+    }
+    reseed(seed);
+    return true;
+  }
+
  protected:
   /// Picks the next task to serve; pool is guaranteed non-empty.
   virtual TaskId next_task() = 0;
 
+  /// Re-derives any RNG state for a new replication (reset() hook;
+  /// deterministic strategies have none).
+  virtual void reseed(std::uint64_t seed) { (void)seed; }
+
   const OuterConfig& config() const noexcept { return config_; }
-  SwapRemovePool& pool() noexcept { return pool_; }
+  TaskPool& pool() noexcept { return pool_; }
 
  private:
   struct WorkerBlocks {
@@ -46,8 +61,9 @@ class PointwiseOuterStrategy : public Strategy {
   };
 
   OuterConfig config_;
+  FastDiv32 n_div_;  // id -> (i, j) without a hardware divide
   std::uint32_t n_workers_;
-  SwapRemovePool pool_;
+  TaskPool pool_;
   std::vector<WorkerBlocks> owned_;
 };
 

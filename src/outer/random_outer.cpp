@@ -8,6 +8,12 @@ RandomOuterStrategy::RandomOuterStrategy(OuterConfig config,
     : PointwiseOuterStrategy(config, workers),
       rng_(derive_stream(seed, "outer.random")) {}
 
-TaskId RandomOuterStrategy::next_task() { return pool().pop_random(rng_); }
+TaskId RandomOuterStrategy::next_task() {
+  return pool().pop_random_unindexed(rng_);
+}
+
+void RandomOuterStrategy::reseed(std::uint64_t seed) {
+  rng_ = Rng(derive_stream(seed, "outer.random"));
+}
 
 }  // namespace hetsched

@@ -17,6 +17,7 @@ class RandomOuterStrategy final : public PointwiseOuterStrategy {
 
  private:
   TaskId next_task() override;
+  void reseed(std::uint64_t seed) override;
 
   Rng rng_;
 };

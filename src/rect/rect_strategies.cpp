@@ -35,18 +35,17 @@ std::pair<double, double> DynamicRectStrategy::coverage(
           static_cast<double>(w.known_j.size()) / config_.cols};
 }
 
-std::optional<Assignment> DynamicRectStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
-  if (in_phase2()) return random_request(worker);
-  return dynamic_request(worker);
+bool DynamicRectStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
+  if (in_phase2()) return random_request(worker, out);
+  return dynamic_request(worker, out);
 }
 
-std::optional<Assignment> DynamicRectStrategy::dynamic_request(
-    std::uint32_t worker) {
+bool DynamicRectStrategy::dynamic_request(std::uint32_t worker, Assignment& out) {
   WorkerState& w = state_[worker];
   if (w.unknown_i.empty() && w.unknown_j.empty()) {
-    return random_request(worker);
+    return random_request(worker, out);
   }
 
   // Proportional acquisition: take the dimension whose coverage
@@ -65,44 +64,41 @@ std::optional<Assignment> DynamicRectStrategy::dynamic_request(
     return v;
   };
 
-  Assignment assignment;
   auto try_take = [&](std::uint32_t ti, std::uint32_t tj) {
     const TaskId id = rect_task_id(config_, ti, tj);
-    if (pool_.remove(id)) assignment.tasks.push_back(id);
+    if (pool_.remove(id)) out.tasks.push_back(id);
   };
 
   if (take_row) {
     const std::uint32_t i = pick(w.unknown_i);
-    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
     w.owned_a.set(i);
     for (const std::uint32_t j2 : w.known_j) try_take(i, j2);
     w.known_i.push_back(i);
   } else {
     const std::uint32_t j = pick(w.unknown_j);
-    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
     w.owned_b.set(j);
     for (const std::uint32_t i2 : w.known_i) try_take(i2, j);
     w.known_j.push_back(j);
   }
-  return assignment;
+  return true;
 }
 
-std::optional<Assignment> DynamicRectStrategy::random_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool DynamicRectStrategy::random_request(std::uint32_t worker, Assignment& out) {
+  if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j] = rect_task_coords(config_, id);
 
-  Assignment assignment;
   if (w.owned_a.set_if_clear(i)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
   }
   if (w.owned_b.set_if_clear(j)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   }
-  assignment.tasks.push_back(id);
-  return assignment;
+  out.tasks.push_back(id);
+  return true;
 }
 
 PointwiseRectStrategy::PointwiseRectStrategy(RectConfig config,
@@ -123,23 +119,22 @@ PointwiseRectStrategy::PointwiseRectStrategy(RectConfig config,
   }
 }
 
-std::optional<Assignment> PointwiseRectStrategy::on_request(
-    std::uint32_t worker) {
-  if (pool_.empty()) return std::nullopt;
+bool PointwiseRectStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
+  if (pool_.empty()) return false;
   const TaskId id =
       order_ == Order::kRandom ? pool_.pop_random(rng_) : pool_.pop_first();
   const auto [i, j] = rect_task_coords(config_, id);
 
-  Assignment assignment;
   WorkerBlocks& blocks = owned_[worker];
   if (blocks.owned_a.set_if_clear(i)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
   }
   if (blocks.owned_b.set_if_clear(j)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   }
-  assignment.tasks.push_back(id);
-  return assignment;
+  out.tasks.push_back(id);
+  return true;
 }
 
 std::unique_ptr<Strategy> make_rect_strategy(const std::string& name,

@@ -38,7 +38,8 @@ class DynamicRectStrategy final : public Strategy {
     return static_cast<std::uint32_t>(state_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
@@ -62,8 +63,8 @@ class DynamicRectStrategy final : public Strategy {
 
   bool in_phase2() const noexcept { return pool_.size() <= phase2_tasks_; }
 
-  std::optional<Assignment> dynamic_request(std::uint32_t worker);
-  std::optional<Assignment> random_request(std::uint32_t worker);
+  bool dynamic_request(std::uint32_t worker, Assignment& out);
+  bool random_request(std::uint32_t worker, Assignment& out);
 
   RectConfig config_;
   std::uint64_t phase2_tasks_;
@@ -90,7 +91,8 @@ class PointwiseRectStrategy final : public Strategy {
     return static_cast<std::uint32_t>(owned_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;

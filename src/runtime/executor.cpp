@@ -72,16 +72,15 @@ RuntimeResult run_outer_runtime(Strategy& strategy, const BlockVector& a,
     LocalStore local_a, local_b;
     std::uint64_t tasks_done = 0;
     std::uint64_t blocks_got = 0;
+    Assignment assignment;  // per-thread scratch, reused across requests
     for (;;) {
-      std::optional<Assignment> assignment;
       {
         const std::lock_guard<std::mutex> lock(master_mutex);
-        assignment = strategy.on_request(w);
+        if (!strategy.on_request(w, assignment)) break;
       }
-      if (!assignment.has_value()) break;
 
       // "Receive" the blocks: copy from master storage to local cache.
-      for (const BlockRef& ref : assignment->blocks) {
+      for (const BlockRef& ref : assignment.blocks) {
         ++blocks_got;
         switch (ref.operand) {
           case Operand::kVecA: {
@@ -100,7 +99,7 @@ RuntimeResult run_outer_runtime(Strategy& strategy, const BlockVector& a,
         }
       }
 
-      for (const TaskId id : assignment->tasks) {
+      for (const TaskId id : assignment.tasks) {
         const auto [i, j] = outer_task_coords(n, id);
         const auto& ai = local_block_or_throw(local_a, key_of(i, 0), "a_i");
         const auto& bj = local_block_or_throw(local_b, key_of(j, 0), "b_j");
@@ -167,15 +166,14 @@ RuntimeResult run_matmul_runtime(Strategy& strategy, const BlockMatrix& a,
     std::uint64_t tasks_done = 0;
     std::uint64_t blocks_got = 0;
     const std::size_t elems = static_cast<std::size_t>(l) * l;
+    Assignment assignment;  // per-thread scratch, reused across requests
     for (;;) {
-      std::optional<Assignment> assignment;
       {
         const std::lock_guard<std::mutex> lock(master_mutex);
-        assignment = strategy.on_request(w);
+        if (!strategy.on_request(w, assignment)) break;
       }
-      if (!assignment.has_value()) break;
 
-      for (const BlockRef& ref : assignment->blocks) {
+      for (const BlockRef& ref : assignment.blocks) {
         ++blocks_got;
         switch (ref.operand) {
           case Operand::kMatA: {
@@ -201,7 +199,7 @@ RuntimeResult run_matmul_runtime(Strategy& strategy, const BlockMatrix& a,
         }
       }
 
-      for (const TaskId id : assignment->tasks) {
+      for (const TaskId id : assignment.tasks) {
         const auto [i, j, k] = matmul_task_coords(n, id);
         const auto& aik = local_block_or_throw(local_a, key_of(i, k), "A_{i,k}");
         const auto& bkj = local_block_or_throw(local_b, key_of(k, j), "B_{k,j}");

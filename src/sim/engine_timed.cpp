@@ -35,17 +35,18 @@ class TimedEngine final : public EventCoreClient {
     Uplink& x = extra_[k];
     while (!w.retired && !x.request_outstanding &&
            x.pending_tasks < config_.lookahead) {
-      auto assignment = strategy_.on_request(k);
-      if (!assignment.has_value()) {
+      if (!strategy_.on_request(k, scratch_)) {
         core_->retire_worker(k, now);
         return;
       }
       if (core_->trace() != nullptr) {
-        core_->trace()->on_assignment(k, now, *assignment);
+        core_->trace()->on_assignment(k, now, scratch_);
       }
       InFlight msg;
-      msg.tasks = std::move(assignment->tasks);
-      msg.blocks = assignment->blocks.size();
+      // The message owns its task list (it outlives this request), so
+      // copy out of the scratch rather than stealing its capacity.
+      msg.tasks.assign(scratch_.tasks.begin(), scratch_.tasks.end());
+      msg.blocks = scratch_.blocks.size();
       x.pending_tasks += msg.tasks.size();
       core_->stats().total_blocks += msg.blocks;
       core_->stats().workers[k].blocks_received += msg.blocks;
@@ -148,6 +149,7 @@ class TimedEngine final : public EventCoreClient {
   EventCore* core_ = nullptr;
   std::vector<Uplink> extra_;
   double link_free_ = 0.0;
+  Assignment scratch_;  // reused across requests; capacity retained
 };
 
 }  // namespace

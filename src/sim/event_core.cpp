@@ -37,6 +37,18 @@ void EventCoreClient::on_message(std::uint32_t worker, double now) {
   (void)now;
 }
 
+void EventCoreClient::on_batch_done(std::uint32_t worker, double now,
+                                    std::uint32_t tag) {
+  (void)worker;
+  (void)now;
+  (void)tag;
+}
+
+void EventCoreClient::on_speed_change(std::uint32_t worker, double now) {
+  (void)worker;
+  (void)now;
+}
+
 void EventCoreClient::collect_pending(std::uint32_t worker,
                                       std::vector<TaskId>& out) {
   (void)worker;
@@ -83,12 +95,22 @@ EventCore::EventCore(const Platform& platform, const EventCoreOptions& options,
     workers_[k].speed = platform.speed(k);
     workers_[k].base_speed = platform.speed(k);
   }
-  // Fault events enter the heap before any engine-primed work so the
-  // flat engine's pre-EventCore sequence numbering is preserved.
-  for (const WorkerFault& fault : options.faults) {
-    events_.push(Event{fault.time, seq_++, fault.worker, Kind::kFault, 0,
-                       fault.factor});
-  }
+  // Faults used to be heap events pushed at construction, so their
+  // sequence numbers (0..F-1) were smaller than any engine event's and
+  // a fault won every time tie. A stable sort by time plus the
+  // `<= top().time` merge in run() reproduces exactly that order;
+  // starting seq_ past the fault count keeps engine-event sequence
+  // numbers identical to the single-heap layout.
+  faults_ = options.faults;
+  std::stable_sort(faults_.begin(), faults_.end(),
+                   [](const WorkerFault& a, const WorkerFault& b) {
+                     return a.time < b.time;
+                   });
+  seq_ = faults_.size();
+  // One in-flight completion (or batch) event per worker in the flat
+  // engine's steady state; the timed engine's message events grow the
+  // vector once and it stays.
+  events_.reserve(workers_.size() + 2);
 }
 
 void EventCore::start_task(std::uint32_t k, double now, double duration,
@@ -100,12 +122,16 @@ void EventCore::start_task(std::uint32_t k, double now, double duration,
   w.current_duration = duration;
   w.current_finish = now + duration;
   result_.workers[k].busy_time += duration;
-  events_.push(
-      Event{now + duration, seq_++, k, Kind::kTaskDone, w.epoch, 0.0});
+  events_.push(Event{now + duration, seq_++, k, kTaskDone | (w.epoch << 8)});
+}
+
+void EventCore::push_batch_event(std::uint32_t k, double time,
+                                 std::uint32_t tag) {
+  events_.push(Event{time, seq_++, k, kBatchDone | (tag << 8)});
 }
 
 void EventCore::push_message(std::uint32_t k, double time) {
-  events_.push(Event{time, seq_++, k, Kind::kMessage, workers_[k].epoch, 0.0});
+  events_.push(Event{time, seq_++, k, kMessage | (workers_[k].epoch << 8)});
 }
 
 void EventCore::retire_worker(std::uint32_t k, double now) {
@@ -142,50 +168,20 @@ void EventCore::crash_worker(std::uint32_t k, double now) {
   client_.after_requeue(now);
 }
 
-void EventCore::run() {
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    now_ = ev.time;
-    Worker& w = workers_[ev.worker];
-
-    switch (ev.kind) {
-      case Kind::kFault: {
-        if (ev.fault_factor == 0.0) {
-          crash_worker(ev.worker, ev.time);
-        } else if (!w.failed) {
-          // Straggler: the current task keeps its old finish time (the
-          // slowdown applies from the next task on).
-          w.speed *= ev.fault_factor;
-          w.base_speed *= ev.fault_factor;
-        }
-        break;
-      }
-      case Kind::kTaskDone: {
-        if (w.failed || ev.epoch != w.epoch) break;  // stale after crash
-        assert(w.running);
-        w.running = false;
-        WorkerSimStats& stats = result_.workers[ev.worker];
-        ++stats.tasks_done;
-        ++result_.total_tasks_done;
-        stats.finish_time = ev.time;
-        result_.makespan = std::max(result_.makespan, ev.time);
-        if (trace_ != nullptr) {
-          trace_->on_completion(ev.worker, ev.time, w.current);
-        }
-        if (perturbation_.enabled()) {
-          w.speed = perturbation_.perturb(w.speed, w.base_speed, perturb_rng_);
-        }
-        client_.on_task_done(ev.worker, ev.time);
-        break;
-      }
-      case Kind::kMessage: {
-        if (w.failed || ev.epoch != w.epoch) break;  // stale after crash
-        client_.on_message(ev.worker, ev.time);
-        break;
-      }
-    }
+void EventCore::apply_fault(const WorkerFault& fault) {
+  now_ = fault.time;
+  if (fault.factor == 0.0) {
+    crash_worker(fault.worker, fault.time);
+    return;
   }
+  Worker& w = workers_[fault.worker];
+  if (w.failed) return;
+  // Straggler: the current task keeps its old finish time (the
+  // slowdown applies from the next task on). Batch-scheduling clients
+  // re-time their in-flight batch in on_speed_change.
+  w.speed *= fault.factor;
+  w.base_speed *= fault.factor;
+  client_.on_speed_change(fault.worker, fault.time);
 }
 
 void EventCore::publish_metrics() {

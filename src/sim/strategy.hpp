@@ -38,12 +38,20 @@ struct BlockRef {
   friend bool operator==(const BlockRef&, const BlockRef&) = default;
 };
 
-/// The master's answer to one work request.
+/// The master's answer to one work request. Engines own one instance
+/// as a scratch buffer reused across requests: clear() drops the
+/// contents but keeps both vectors' heap blocks, which is what makes
+/// the steady-state request loop allocation-free.
 struct Assignment {
   std::vector<BlockRef> blocks;  // transfers charged to this request
   std::vector<TaskId> tasks;     // tasks the worker must now compute
 
   bool empty() const noexcept { return blocks.empty() && tasks.empty(); }
+
+  void clear() noexcept {
+    blocks.clear();
+    tasks.clear();
+  }
 };
 
 class TraceSink;  // sim/trace.hpp; broken include cycle (TraceSink uses Assignment)
@@ -60,13 +68,39 @@ class Strategy {
   /// Number of tasks not yet allocated ("marked") to any worker.
   virtual std::uint64_t unassigned_tasks() const = 0;
 
-  /// Handles a work request from worker `worker`. Returns std::nullopt
-  /// when the worker can never receive work again (it retires); an
-  /// Assignment may carry blocks but zero tasks (a data-aware step that
-  /// found all enabled tasks already processed), in which case the
-  /// caller requests again immediately — the paper's workers are
-  /// demand-driven and idle only when the master has nothing left.
-  virtual std::optional<Assignment> on_request(std::uint32_t worker) = 0;
+  /// Handles a work request from worker `worker`, writing the answer
+  /// into the caller-owned scratch `out` (the implementation clears it
+  /// first; vector capacity is retained across calls, so a warmed-up
+  /// request loop performs no heap allocation). Returns false when the
+  /// worker can never receive work again (it retires; `out` is left
+  /// cleared); the answer may carry blocks but zero tasks (a data-aware
+  /// step that found all enabled tasks already processed), in which
+  /// case the caller requests again immediately — the paper's workers
+  /// are demand-driven and idle only when the master has nothing left.
+  ///
+  /// Implementations must add `using Strategy::on_request;` so the
+  /// allocating convenience overload below stays visible.
+  virtual bool on_request(std::uint32_t worker, Assignment& out) = 0;
+
+  /// Allocating convenience wrapper over the scratch form (tests,
+  /// tools, one-shot callers).
+  std::optional<Assignment> on_request(std::uint32_t worker) {
+    Assignment out;
+    if (!on_request(worker, out)) return std::nullopt;
+    return out;
+  }
+
+  /// Rewinds the strategy to its freshly-constructed state for a new
+  /// replication with the given RNG seed, reusing already-allocated
+  /// storage (pools and bitsets re-init via generation counters in
+  /// O(active), not O(total_tasks)). Returns false when the strategy
+  /// does not support in-place reuse — the caller must construct a
+  /// fresh instance instead. A true return must leave the strategy
+  /// bit-identical to `make_*_strategy(...)` with the same seed.
+  virtual bool reset(std::uint64_t seed) {
+    (void)seed;
+    return false;
+  }
 
   /// Number of workers the strategy was configured for.
   virtual std::uint32_t workers() const = 0;

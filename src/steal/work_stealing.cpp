@@ -27,22 +27,21 @@ WorkStealingOuterStrategy::WorkStealingOuterStrategy(OuterConfig config,
   }
 }
 
-std::optional<Assignment> WorkStealingOuterStrategy::on_request(
-    std::uint32_t worker) {
+bool WorkStealingOuterStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
   const auto id = core_.next_task(worker);
-  if (!id.has_value()) return std::nullopt;
+  if (!id.has_value()) return false;
   const auto [i, j] = outer_task_coords(config_.n, *id);
 
-  Assignment assignment;
   WorkerBlocks& blocks = blocks_[worker];
   if (blocks.owned_a.set_if_clear(i)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
   }
   if (blocks.owned_b.set_if_clear(j)) {
-    assignment.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
+    out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   }
-  assignment.tasks.push_back(*id);
-  return assignment;
+  out.tasks.push_back(*id);
+  return true;
 }
 
 WorkStealingMatmulStrategy::WorkStealingMatmulStrategy(MatmulConfig config,
@@ -64,16 +63,15 @@ WorkStealingMatmulStrategy::WorkStealingMatmulStrategy(MatmulConfig config,
   }
 }
 
-std::optional<Assignment> WorkStealingMatmulStrategy::on_request(
-    std::uint32_t worker) {
+bool WorkStealingMatmulStrategy::on_request(std::uint32_t worker, Assignment& out) {
+  out.clear();
   const auto id = core_.next_task(worker);
-  if (!id.has_value()) return std::nullopt;
+  if (!id.has_value()) return false;
   const auto [i, j, k] = matmul_task_coords(config_.n, *id);
 
-  Assignment assignment;
-  charge_matmul_task_blocks(config_.n, i, j, k, blocks_[worker], assignment);
-  assignment.tasks.push_back(*id);
-  return assignment;
+  charge_matmul_task_blocks(config_.n, i, j, k, blocks_[worker], out);
+  out.tasks.push_back(*id);
+  return true;
 }
 
 }  // namespace hetsched

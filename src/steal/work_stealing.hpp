@@ -37,7 +37,8 @@ class WorkStealingOuterStrategy final : public Strategy {
   std::uint64_t unassigned_tasks() const override { return core_.remaining(); }
   std::uint32_t workers() const override { return core_.workers(); }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   /// Number of successful steal operations so far.
   std::uint64_t steals() const noexcept { return core_.steals(); }
@@ -70,7 +71,8 @@ class WorkStealingMatmulStrategy final : public Strategy {
   std::uint64_t unassigned_tasks() const override { return core_.remaining(); }
   std::uint32_t workers() const override { return core_.workers(); }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override;
 
   std::uint64_t steals() const noexcept { return core_.steals(); }
   std::size_t deque_size(std::uint32_t worker) const {

@@ -123,5 +123,89 @@ TEST(SwapRemovePool, IdsViewMatchesSize) {
   for (const std::uint64_t id : pool.ids()) EXPECT_TRUE(pool.contains(id));
 }
 
+TEST(SwapRemovePool, CapacityAboveUint32BoundaryThrows) {
+  // Positions/ids are uint32 with ~0u as the absent marker, so any
+  // capacity past kMaxCapacity would silently corrupt the index. The
+  // constructor must refuse it loudly (TaskPool is the supported path).
+  EXPECT_THROW(SwapRemovePool(SwapRemovePool::kMaxCapacity + 1),
+               std::length_error);
+  EXPECT_THROW(SwapRemovePool(std::uint64_t{1} << 32), std::length_error);
+  EXPECT_THROW(SwapRemovePool((std::uint64_t{1} << 40) + 17),
+               std::length_error);
+  EXPECT_EQ(SwapRemovePool::kMaxCapacity, 0xFFFFFFFEull);
+}
+
+TEST(SwapRemovePool, ResetRefillsToIdentity) {
+  SwapRemovePool pool(6);
+  Rng rng(9);
+  pool.pop_random(rng);
+  pool.pop_first();
+  pool.remove(4);
+  pool.reset();
+  EXPECT_EQ(pool.size(), 6u);
+  for (std::uint64_t id = 0; id < 6; ++id) EXPECT_TRUE(pool.contains(id));
+  for (std::uint64_t id = 0; id < 6; ++id) EXPECT_EQ(pool.pop_first(), id);
+}
+
+TEST(SwapRemovePool, ResetPoolMatchesFreshPoolBitForBit) {
+  // The reuse contract: after reset(), the pool must consume an RNG
+  // stream and produce ids exactly like a newly constructed pool.
+  SwapRemovePool reused(64);
+  Rng warm(5);
+  for (int i = 0; i < 40; ++i) reused.pop_random(warm);
+  reused.insert(7);
+  reused.reset();
+
+  SwapRemovePool fresh(64);
+  Rng rng_a(321), rng_b(321);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(reused.pop_random(rng_a), fresh.pop_random(rng_b)) << i;
+  }
+}
+
+TEST(SwapRemovePool, UnindexedPopsMatchIndexedPopsExactly) {
+  // pop_random_unindexed must consume the RNG identically and return
+  // the identical id sequence; the deferred index must self-heal on
+  // the first indexed operation so contains/insert/pop_first behave
+  // as if every pop had been indexed (the crash-requeue path).
+  SwapRemovePool indexed(97), lazy(97);
+  Rng rng_a(11), rng_b(11);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(indexed.pop_random(rng_a), lazy.pop_random_unindexed(rng_b))
+        << i;
+  }
+  // Index self-heal: membership agrees for every id.
+  for (std::uint64_t id = 0; id < 97; ++id) {
+    ASSERT_EQ(indexed.contains(id), lazy.contains(id)) << id;
+  }
+  // Requeue + further mixed use stays in lockstep.
+  for (std::uint64_t id = 0; id < 97; ++id) {
+    if (!indexed.contains(id)) {
+      ASSERT_TRUE(indexed.insert(id));
+      ASSERT_TRUE(lazy.insert(id));
+      break;
+    }
+  }
+  ASSERT_EQ(indexed.size(), lazy.size());
+  while (!indexed.empty()) {
+    ASSERT_EQ(indexed.pop_first(), lazy.pop_first());
+    if (indexed.empty()) break;
+    ASSERT_EQ(indexed.pop_random(rng_a), lazy.pop_random_unindexed(rng_b));
+  }
+  EXPECT_TRUE(lazy.empty());
+}
+
+TEST(SwapRemovePool, ManyResetCyclesStayConsistent) {
+  SwapRemovePool pool(16);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    Rng rng(static_cast<std::uint64_t>(cycle));
+    std::set<std::uint64_t> seen;
+    while (!pool.empty()) seen.insert(pool.pop_random(rng));
+    EXPECT_EQ(seen.size(), 16u);
+    pool.reset();
+  }
+  EXPECT_EQ(pool.size(), 16u);
+}
+
 }  // namespace
 }  // namespace hetsched

@@ -1,0 +1,242 @@
+#include "common/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hetsched {
+namespace {
+
+// ---------------------------------------------------------------- Compact
+
+TEST(CompactTaskPool, StartsFullAndDrainsInOrder) {
+  CompactTaskPool pool(17);
+  EXPECT_EQ(pool.size(), 17u);
+  EXPECT_EQ(pool.capacity_ids(), 17u);
+  for (std::uint64_t i = 0; i < 17; ++i) {
+    EXPECT_TRUE(pool.contains(i));
+    EXPECT_EQ(pool.pop_first(), i);
+  }
+  EXPECT_TRUE(pool.empty());
+  EXPECT_THROW(pool.pop_first(), std::logic_error);
+}
+
+TEST(CompactTaskPool, RemoveAndContains) {
+  CompactTaskPool pool(10);
+  EXPECT_TRUE(pool.remove(4));
+  EXPECT_FALSE(pool.remove(4));  // already gone
+  EXPECT_FALSE(pool.contains(4));
+  EXPECT_FALSE(pool.contains(10));  // beyond capacity
+  EXPECT_EQ(pool.size(), 9u);
+  EXPECT_EQ(pool.pop_first(), 0u);
+  pool.remove(1);
+  pool.remove(2);
+  EXPECT_EQ(pool.pop_first(), 3u);  // skips the removed run
+  EXPECT_EQ(pool.pop_first(), 5u);  // and the hole at 4
+}
+
+TEST(CompactTaskPool, InsertRewindsPopFirst) {
+  CompactTaskPool pool(10);
+  for (int i = 0; i < 5; ++i) pool.pop_first();  // cursor now at 5
+  EXPECT_TRUE(pool.insert(2));
+  EXPECT_FALSE(pool.insert(2));  // already present
+  EXPECT_THROW(pool.insert(10), std::out_of_range);
+  EXPECT_EQ(pool.pop_first(), 2u);  // rewound past the cursor
+  EXPECT_EQ(pool.pop_first(), 5u);
+}
+
+TEST(CompactTaskPool, PopRandomDrainsEveryIdExactlyOnce) {
+  CompactTaskPool pool(257);
+  Rng rng(123);
+  std::set<std::uint64_t> seen;
+  while (!pool.empty()) {
+    const std::uint64_t id = pool.pop_random(rng);
+    EXPECT_LT(id, 257u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_THROW(pool.pop_random(rng), std::logic_error);
+}
+
+TEST(CompactTaskPool, CompactionTriggersAtThresholdAndStaysCorrect) {
+  // capacity = 4 * divisor, so compaction arms once size <= 4.
+  const std::uint64_t cap = 4 * CompactTaskPool::kCompactDivisor;
+  CompactTaskPool pool(cap);
+  for (std::uint64_t id = 0; id + 5 < cap; ++id) pool.remove(id);
+  ASSERT_EQ(pool.size(), 5u);
+  EXPECT_FALSE(pool.compacted());
+  Rng rng(7);
+  std::uint64_t id = pool.pop_random(rng);  // size 5: still rejection
+  EXPECT_GE(id, cap - 5);
+  EXPECT_FALSE(pool.compacted());
+  id = pool.pop_random(rng);  // size 4 <= cap/divisor: compacts first
+  EXPECT_TRUE(pool.compacted());
+  EXPECT_GE(id, cap - 5);
+  std::set<std::uint64_t> rest;
+  while (!pool.empty()) rest.insert(pool.pop_random(rng));
+  EXPECT_EQ(rest.size(), 3u);
+  for (const std::uint64_t r : rest) EXPECT_GE(r, cap - 5);
+}
+
+TEST(CompactTaskPool, TinyCapacityNeverCompactsButDrains) {
+  // capacity < divisor: the compaction condition never holds for a
+  // non-empty pool; rejection sampling must still drain it.
+  CompactTaskPool pool(10);
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  while (!pool.empty()) seen.insert(pool.pop_random(rng));
+  EXPECT_FALSE(pool.compacted());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(CompactTaskPool, MixedOpsAfterCompaction) {
+  const std::uint64_t cap = 2 * CompactTaskPool::kCompactDivisor;
+  CompactTaskPool pool(cap);
+  for (std::uint64_t id = 2; id < cap; ++id) pool.remove(id);
+  Rng rng(5);
+  pool.pop_random(rng);  // size 2 <= cap/128: compacts
+  ASSERT_TRUE(pool.compacted());
+  // Requeue after compaction: insert lands in the tail and in the
+  // bitset; remove() invalidates a tail entry that must be pruned.
+  EXPECT_TRUE(pool.insert(50));
+  EXPECT_TRUE(pool.contains(50));
+  EXPECT_TRUE(pool.remove(50));
+  std::set<std::uint64_t> rest;
+  while (!pool.empty()) rest.insert(pool.pop_random(rng));
+  EXPECT_EQ(rest.size(), 1u);
+  EXPECT_TRUE(rest.count(0) || rest.count(1));
+}
+
+TEST(CompactTaskPool, PopFirstAfterCompaction) {
+  const std::uint64_t cap = 2 * CompactTaskPool::kCompactDivisor;
+  CompactTaskPool pool(cap);
+  for (std::uint64_t id = 0; id + 2 < cap; ++id) pool.remove(id);
+  Rng rng(5);
+  pool.pop_random(rng);  // compacts; one of the last two ids remains
+  ASSERT_TRUE(pool.compacted());
+  const std::uint64_t last = pool.pop_first();
+  EXPECT_GE(last, cap - 2);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(CompactTaskPool, ResetRestoresFullPool) {
+  CompactTaskPool pool(300);
+  Rng rng(11);
+  while (!pool.empty()) pool.pop_random(rng);
+  EXPECT_TRUE(pool.compacted());
+  pool.reset();
+  EXPECT_EQ(pool.size(), 300u);
+  EXPECT_FALSE(pool.compacted());
+  EXPECT_EQ(pool.pop_first(), 0u);
+  std::set<std::uint64_t> seen{0};
+  while (!pool.empty()) seen.insert(pool.pop_random(rng));
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(CompactTaskPool, PopRandomIsRoughlyUniform) {
+  // First draw from a fresh 8-id pool, repeated: each id should get
+  // ~1/8 of the draws. Loose 3x bounds — this is a sanity check that
+  // rejection sampling is not biased, not a statistical test.
+  constexpr int kTrials = 4000;
+  std::vector<int> hits(8, 0);
+  Rng rng(2024);
+  CompactTaskPool pool(8);
+  for (int t = 0; t < kTrials; ++t) {
+    ++hits[pool.pop_random(rng)];
+    pool.reset();
+  }
+  for (int id = 0; id < 8; ++id) {
+    EXPECT_GT(hits[id], kTrials / 24) << "id " << id;
+    EXPECT_LT(hits[id], kTrials / 3) << "id " << id;
+  }
+}
+
+TEST(CompactTaskPool, IdsListsSurvivorsAscending) {
+  CompactTaskPool pool(12);
+  pool.remove(0);
+  pool.remove(7);
+  pool.remove(11);
+  const std::vector<std::uint64_t> expect{1, 2, 3, 4, 5, 6, 8, 9, 10};
+  EXPECT_EQ(pool.ids(), expect);
+}
+
+// Pinned golden: the exact pop sequence for a fixed seed and op script,
+// crossing the compaction boundary. Guards the compact pool's RNG
+// consumption and compaction order the way the engine goldens guard the
+// dense path. Regenerate only for an intentional format break:
+//   tools breaking this MUST bump docs/performance.md's determinism note.
+TEST(CompactTaskPool, GoldenPopSequence) {
+  const std::uint64_t cap = 2 * CompactTaskPool::kCompactDivisor;  // 256
+  CompactTaskPool pool(cap);
+  Rng rng(derive_stream(123, "task_pool.golden"));
+  // Script: thin the pool to 6 survivors deterministically, then pop
+  // everything randomly (compaction fires once size reaches 4).
+  for (std::uint64_t id = 0; id < cap; ++id) {
+    if (id % 43 != 0) pool.remove(id);
+  }
+  ASSERT_EQ(pool.size(), 6u);
+  std::vector<std::uint64_t> seq;
+  while (!pool.empty()) seq.push_back(pool.pop_random(rng));
+  const std::vector<std::uint64_t> expect{215, 86, 172, 0, 129, 43};
+  EXPECT_EQ(seq, expect);
+  EXPECT_TRUE(pool.compacted());
+}
+
+// ---------------------------------------------------------------- Facade
+
+TEST(TaskPool, SmallCapacityUsesDenseLayout) {
+  TaskPool pool(1000);
+  EXPECT_FALSE(pool.uses_compact_layout());
+  EXPECT_EQ(pool.size(), 1000u);
+}
+
+TEST(TaskPool, ThresholdCapacityUsesCompactLayout) {
+  TaskPool pool(TaskPool::kCompactThreshold);
+  EXPECT_TRUE(pool.uses_compact_layout());
+  EXPECT_EQ(pool.size(), TaskPool::kCompactThreshold);
+  EXPECT_EQ(pool.pop_first(), 0u);
+  Rng rng(1);
+  const std::uint64_t id = pool.pop_random(rng);
+  EXPECT_GT(id, 0u);
+  EXPECT_LT(id, TaskPool::kCompactThreshold);
+  EXPECT_FALSE(pool.contains(id));
+  EXPECT_TRUE(pool.insert(id));
+  EXPECT_TRUE(pool.contains(id));
+}
+
+TEST(TaskPool, DenseLayoutMatchesRawSwapRemovePoolRng) {
+  // The facade must consume the RNG exactly like the bare dense pool —
+  // this is the bit-identity contract of the engine goldens.
+  TaskPool facade(64);
+  SwapRemovePool raw(64);
+  Rng rng_a(777), rng_b(777);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(facade.pop_random(rng_a), raw.pop_random(rng_b));
+  }
+}
+
+TEST(TaskPool, ResetWorksInBothLayouts) {
+  Rng rng(3);
+  TaskPool small(100);
+  while (!small.empty()) small.pop_random(rng);
+  small.reset();
+  EXPECT_EQ(small.size(), 100u);
+  EXPECT_EQ(small.pop_first(), 0u);
+
+  TaskPool big(TaskPool::kCompactThreshold);
+  big.pop_first();
+  big.pop_random(rng);
+  big.reset();
+  EXPECT_EQ(big.size(), TaskPool::kCompactThreshold);
+  EXPECT_EQ(big.pop_first(), 0u);
+}
+
+}  // namespace
+}  // namespace hetsched

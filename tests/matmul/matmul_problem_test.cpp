@@ -53,11 +53,14 @@ TEST(MatmulProblem, BlockIndexIsRowMajor) {
 TEST(MatmulProblem, ValidateAcceptsPaperSizes) {
   EXPECT_NO_THROW(validate(MatmulConfig{40}));
   EXPECT_NO_THROW(validate(MatmulConfig{100}));
+  // The paper's largest instance (figure 5's N/l = 1000 counterpart):
+  // 10^9 tasks, held by TaskPool's compact layout.
+  EXPECT_NO_THROW(validate(MatmulConfig{1000}));
 }
 
 TEST(MatmulProblem, ValidateRejectsDegenerate) {
   EXPECT_THROW(validate(MatmulConfig{0}), std::invalid_argument);
-  EXPECT_THROW(validate(MatmulConfig{1000}), std::invalid_argument);
+  EXPECT_THROW(validate(MatmulConfig{1025}), std::invalid_argument);
 }
 
 }  // namespace

@@ -23,16 +23,17 @@ class CountdownStrategy final : public Strategy {
   std::uint64_t unassigned_tasks() const override { return remaining_; }
   std::uint32_t workers() const override { return workers_; }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override {
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override {
+    out.clear();
     ++requests_[worker];
-    if (remaining_ == 0) return std::nullopt;
+    if (remaining_ == 0) return false;
     --remaining_;
-    Assignment a;
-    a.tasks.push_back(remaining_);
+    out.tasks.push_back(remaining_);
     for (std::uint32_t b = 0; b < blocks_per_task_; ++b) {
-      a.blocks.push_back(BlockRef{Operand::kVecA, b, 0});
+      out.blocks.push_back(BlockRef{Operand::kVecA, b, 0});
     }
-    return a;
+    return true;
   }
 
   std::map<std::uint32_t, int> requests_;
@@ -60,12 +61,14 @@ class ScriptedStrategy final : public Strategy {
     return static_cast<std::uint32_t>(scripts_.size());
   }
 
-  std::optional<Assignment> on_request(std::uint32_t worker) override {
+  using Strategy::on_request;
+  bool on_request(std::uint32_t worker, Assignment& out) override {
+    out.clear();
     auto& script = scripts_[worker];
-    if (script.empty()) return std::nullopt;
-    Assignment a = std::move(script.front());
+    if (script.empty()) return false;
+    out = std::move(script.front());
     script.pop_front();
-    return a;
+    return true;
   }
 
  private:

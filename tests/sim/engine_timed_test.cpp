@@ -23,15 +23,16 @@ class UnitStrategy final : public Strategy {
   std::uint64_t unassigned_tasks() const override { return remaining_; }
   std::uint32_t workers() const override { return workers_; }
 
-  std::optional<Assignment> on_request(std::uint32_t) override {
-    if (remaining_ == 0) return std::nullopt;
+  using Strategy::on_request;
+  bool on_request(std::uint32_t, Assignment& out) override {
+    out.clear();
+    if (remaining_ == 0) return false;
     --remaining_;
-    Assignment a;
-    a.tasks.push_back(remaining_);
+    out.tasks.push_back(remaining_);
     for (std::uint32_t b = 0; b < blocks_; ++b) {
-      a.blocks.push_back(BlockRef{Operand::kVecA, b, 0});
+      out.blocks.push_back(BlockRef{Operand::kVecA, b, 0});
     }
-    return a;
+    return true;
   }
 
  private:
