@@ -1,5 +1,7 @@
 #include "common/swap_remove_pool.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -64,6 +66,32 @@ std::uint64_t SwapRemovePool::pop_first() {
   const std::uint64_t id = first_cursor_;
   remove(id);
   return id;
+}
+
+void SwapRemovePool::refill_present(const DynamicBitset& removed) noexcept {
+  assert(removed.size() == position_.size());
+  const std::uint64_t cap = position_.size();
+  std::fill(position_.begin(), position_.end(), kAbsent);
+  std::uint64_t out = 0;
+  const std::uint64_t words = removed.word_count();
+  for (std::uint64_t w = 0; w < words; ++w) {
+    std::uint64_t present = ~removed.word(w);
+    const std::uint64_t word_base = w << 6;
+    if (word_base + 64 > cap) {  // clip phantom bits past the capacity
+      present &= (1ull << (cap - word_base)) - 1;
+    }
+    while (present != 0) {
+      const auto id = static_cast<std::uint32_t>(
+          word_base + static_cast<std::uint64_t>(std::countr_zero(present)));
+      ids_[out] = id;
+      position_[id] = static_cast<std::uint32_t>(out);
+      ++out;
+      present &= present - 1;
+    }
+  }
+  size_ = out;
+  first_cursor_ = 0;
+  index_dirty_ = false;
 }
 
 void SwapRemovePool::reset() noexcept {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/dynamic_bitset.hpp"
 #include "common/rng.hpp"
 
 namespace hetsched {
@@ -110,6 +111,13 @@ class SwapRemovePool {
   /// Refills with ids 0..capacity-1 (streaming identity rewrite; heap
   /// blocks retained, so no allocation).
   void reset() noexcept;
+
+  /// Rebuilds the pool to hold exactly the *clear* bits of `removed`
+  /// (which must be capacity_ids() bits wide), ascending, with a fresh
+  /// index. One O(capacity) streaming pass over preallocated storage —
+  /// no allocation. Backs TaskPool's lazy-dense mode, where removals
+  /// touch only the bitset and this reconciles before the next pop.
+  void refill_present(const DynamicBitset& removed) noexcept;
 
   /// Present ids in unspecified order (for inspection/testing).
   std::vector<std::uint64_t> ids() const;

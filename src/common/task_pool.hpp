@@ -12,7 +12,9 @@
 // while large instances silently switch to the compact layout.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "common/dynamic_bitset.hpp"
@@ -53,6 +55,12 @@ class CompactTaskPool {
   /// Removes id if present; returns whether it was present.
   bool remove(std::uint64_t id) noexcept;
 
+  /// Batch removal of up to 64 ids the caller has already verified
+  /// present (bit b of `bits` removes id base + b): one OR into the
+  /// removed-bitset instead of a test-and-set per id. Precondition:
+  /// every set bit names a present id (violations corrupt size()).
+  void remove_present_bits(std::uint64_t base, std::uint64_t bits) noexcept;
+
   /// Re-inserts a previously removed id (task requeue after a worker
   /// failure). Returns false if the id is already present.
   bool insert(std::uint64_t id);
@@ -72,6 +80,11 @@ class CompactTaskPool {
   /// True once pop_random has switched from rejection sampling to the
   /// dense tail (exposed for tests).
   bool compacted() const noexcept { return compacted_; }
+
+  /// Word-level membership view: bit set <=> id absent. Always exact in
+  /// both sampling modes (the dense tail is pruned lazily, the bitset
+  /// eagerly). Valid until the next non-const call.
+  const DynamicBitset& removed_view() const noexcept { return removed_; }
 
   /// Refills with ids 0..capacity-1 in O(1) (generation bump in the
   /// bitset; the tail keeps its heap block).
@@ -103,69 +116,200 @@ class TaskPool {
 
   TaskPool() = default;
 
-  /// Fills the pool with ids 0..n-1.
-  explicit TaskPool(std::uint64_t n)
-      : compact_(n >= kCompactThreshold) {
+  /// Fills the pool with ids 0..n-1. `presence_view` additionally
+  /// maintains a word-level removed-bitset over the dense layout (the
+  /// compact layout is that bitset, so the flag costs nothing there);
+  /// the data-aware strategies scan it via removed_view(). Off by
+  /// default: the pointwise strategies never scan and skip the extra
+  /// bit write per mutation.
+  ///
+  /// `lazy_dense` (implies the presence view) defers the dense index:
+  /// remove()/insert() touch only the removed-bitset and a live
+  /// counter — one L1 bit write instead of 2-3 random index lines —
+  /// and the swap-remove arrays are reconciled in one streaming
+  /// O(capacity) pass at the next pop. Built for the data-aware
+  /// strategies, whose steady state is long remove-only stretches
+  /// (phase 1) followed by pop-only stretches (phase 2/fallback): each
+  /// stretch pays at most one rebuild. RNG consumption is identical
+  /// (1 draw per pop), but pops after a rebuild draw from an
+  /// ascending-id layout rather than the swap-scrambled one, so the
+  /// popped *values* differ from the eager mode's. No effect on the
+  /// compact layout, which is already bitset-first.
+  explicit TaskPool(std::uint64_t n, bool presence_view = false,
+                    bool lazy_dense = false)
+      : compact_(n >= kCompactThreshold),
+        dense_view_((presence_view || lazy_dense) && !compact_),
+        lazy_(lazy_dense && !compact_) {
     if (compact_) {
       large_ = CompactTaskPool(n);
     } else {
       dense_ = SwapRemovePool(n);
+      if (dense_view_) dense_removed_ = DynamicBitset(n);
+      lazy_live_ = n;
     }
   }
 
   std::uint64_t size() const noexcept {
-    return compact_ ? large_.size() : dense_.size();
+    return compact_ ? large_.size() : (lazy_ ? lazy_live_ : dense_.size());
   }
-  bool empty() const noexcept {
-    return compact_ ? large_.empty() : dense_.empty();
-  }
+  bool empty() const noexcept { return size() == 0; }
   std::uint64_t capacity_ids() const noexcept {
     return compact_ ? large_.capacity_ids() : dense_.capacity_ids();
   }
   bool contains(std::uint64_t id) const noexcept {
-    return compact_ ? large_.contains(id) : dense_.contains(id);
+    if (compact_) return large_.contains(id);
+    if (lazy_) return id < dense_removed_.size() && !dense_removed_.test(id);
+    return dense_.contains(id);
   }
   bool remove(std::uint64_t id) noexcept {
-    return compact_ ? large_.remove(id) : dense_.remove(id);
+    if (compact_) return large_.remove(id);
+    if (lazy_) {
+      if (id >= dense_removed_.size() || dense_removed_.test(id)) return false;
+      dense_removed_.set(id);
+      --lazy_live_;
+      dense_stale_ = true;
+      return true;
+    }
+    if (!dense_.remove(id)) return false;
+    if (dense_view_) dense_removed_.set(id);
+    return true;
+  }
+  /// Batch removal of up to 64 ids the caller has already verified
+  /// present via removed_view() (bit b of `bits` removes id base + b).
+  /// The frontier scans gather presence word-parallel, so this pairs
+  /// one word-level write with each gathered window: lazy-dense and
+  /// compact layouts pay a single OR plus a popcount; the eager dense
+  /// index falls back to per-id removal to stay current. Precondition:
+  /// every set bit names a present id (violations corrupt size()).
+  void remove_present_bits(std::uint64_t base, std::uint64_t bits) noexcept {
+    if (bits == 0) return;
+    if (compact_) {
+      large_.remove_present_bits(base, bits);
+      return;
+    }
+    if (lazy_) {
+      dense_removed_.or_shifted(base, bits);
+      lazy_live_ -= static_cast<std::uint64_t>(std::popcount(bits));
+      dense_stale_ = true;
+      return;
+    }
+    while (bits != 0) {
+      const std::uint64_t id =
+          base + static_cast<std::uint64_t>(std::countr_zero(bits));
+      dense_.remove(id);
+      if (dense_view_) dense_removed_.set(id);
+      bits &= bits - 1;
+    }
   }
   bool insert(std::uint64_t id) {
-    return compact_ ? large_.insert(id) : dense_.insert(id);
+    if (compact_) return large_.insert(id);
+    if (lazy_) {
+      if (id >= dense_removed_.size()) {
+        throw std::out_of_range("TaskPool::insert: id beyond capacity");
+      }
+      if (!dense_removed_.test(id)) return false;
+      dense_removed_.reset(id);
+      ++lazy_live_;
+      dense_stale_ = true;
+      return true;
+    }
+    if (!dense_.insert(id)) return false;
+    if (dense_view_) dense_removed_.reset(id);
+    return true;
   }
   std::uint64_t pop_random(Rng& rng) {
-    return compact_ ? large_.pop_random(rng) : dense_.pop_random(rng);
+    if (compact_) return large_.pop_random(rng);
+    if (lazy_ && dense_stale_) rebuild_dense();
+    const std::uint64_t id = dense_.pop_random(rng);
+    if (dense_view_) dense_removed_.set(id);
+    if (lazy_) --lazy_live_;
+    return id;
   }
   /// Random pop for consumers that never mix in indexed operations on
   /// the steady path (see SwapRemovePool::pop_random_unindexed). Same
   /// RNG consumption and id sequence as pop_random in both layouts;
   /// the compact layout has no per-pop index to skip.
   std::uint64_t pop_random_unindexed(Rng& rng) {
-    return compact_ ? large_.pop_random(rng) : dense_.pop_random_unindexed(rng);
+    if (compact_) return large_.pop_random(rng);
+    if (lazy_ && dense_stale_) rebuild_dense();
+    const std::uint64_t id = dense_.pop_random_unindexed(rng);
+    if (dense_view_) dense_removed_.set(id);
+    if (lazy_) --lazy_live_;
+    return id;
   }
   std::uint64_t pop_first() {
-    return compact_ ? large_.pop_first() : dense_.pop_first();
+    if (compact_) return large_.pop_first();
+    if (lazy_ && dense_stale_) rebuild_dense();
+    const std::uint64_t id = dense_.pop_first();
+    if (dense_view_) dense_removed_.set(id);
+    if (lazy_) --lazy_live_;
+    return id;
   }
 
-  /// O(active) refill with ids 0..capacity-1; all heap blocks retained.
+  /// Refill with ids 0..capacity-1; all heap blocks retained. O(1) for
+  /// the lazy-dense mode (generation bump + deferred rebuild),
+  /// O(capacity) otherwise.
   void reset() {
     if (compact_) {
       large_.reset();
+    } else if (lazy_) {
+      dense_removed_.clear();  // O(1) generation bump
+      lazy_live_ = dense_removed_.size();
+      dense_stale_ = true;
     } else {
       dense_.reset();
+      if (dense_view_) dense_removed_.clear();  // O(1) generation bump
     }
   }
 
   bool uses_compact_layout() const noexcept { return compact_; }
 
-  /// Present ids (dense: unspecified order; compact: ascending). The
-  /// compact variant scans the whole bitset — inspection/testing only.
+  /// True when removed_view() is available (compact layout, or a dense
+  /// pool constructed with presence_view = true).
+  bool has_presence_view() const noexcept { return compact_ || dense_view_; }
+
+  /// Word-level membership view: bit set <=> id absent. Requires
+  /// has_presence_view(). The reference stays valid (and exact) across
+  /// mutations of the pool; reset() re-clears it in O(1).
+  const DynamicBitset& removed_view() const {
+    return compact_ ? large_.removed_view() : dense_removed_;
+  }
+
+  /// Present ids (dense: unspecified order; compact and stale lazy
+  /// dense: ascending). May scan the whole bitset — inspection and
+  /// testing only.
   std::vector<std::uint64_t> ids() const {
-    return compact_ ? large_.ids() : dense_.ids();
+    if (compact_) return large_.ids();
+    if (lazy_ && dense_stale_) {
+      std::vector<std::uint64_t> out;
+      out.reserve(lazy_live_);
+      const std::size_t cap = dense_removed_.size();
+      for (std::size_t id = dense_removed_.find_next_zero(0); id < cap;
+           id = dense_removed_.find_next_zero(id + 1)) {
+        out.push_back(id);
+      }
+      return out;
+    }
+    return dense_.ids();
   }
 
  private:
+  /// Reconciles the swap-remove arrays with the removed-bitset after a
+  /// lazy remove/insert/reset stretch (ascending rebuild, no
+  /// allocation).
+  void rebuild_dense() {
+    dense_.refill_present(dense_removed_);
+    dense_stale_ = false;
+  }
+
   bool compact_ = false;
+  bool dense_view_ = false;
+  bool lazy_ = false;        // lazy-dense mode (see constructor)
+  bool dense_stale_ = false; // lazy mode: dense_ lags dense_removed_
   SwapRemovePool dense_;
   CompactTaskPool large_;
+  DynamicBitset dense_removed_;  // mirrors dense_ when dense_view_
+  std::uint64_t lazy_live_ = 0;  // live count while dense_ is stale
 };
 
 }  // namespace hetsched

@@ -1,5 +1,6 @@
 #include "matmul/dynamic_matrix.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -12,7 +13,8 @@ DynamicMatrixStrategy::DynamicMatrixStrategy(MatmulConfig config,
     : config_(config),
       n_workers_(workers),
       phase2_tasks_(phase2_tasks),
-      pool_(config.total_tasks()),
+      pool_(config.total_tasks(), /*presence_view=*/true, /*lazy_dense=*/true),
+      removed_t_(config.total_tasks()),
       rng_(derive_stream(seed, "matmul.dynamic")) {
   validate(config_);
   if (workers == 0) {
@@ -22,6 +24,9 @@ DynamicMatrixStrategy::DynamicMatrixStrategy(MatmulConfig config,
   for (std::uint32_t w = 0; w < workers; ++w) {
     WorkerState s;
     s.blocks = MatmulWorkerBlocks(config_.n);
+    s.mask_i = DynamicBitset(config_.n);
+    s.mask_j = DynamicBitset(config_.n);
+    s.mask_k = DynamicBitset(config_.n);
     s.unknown_i.resize(config_.n);
     s.unknown_j.resize(config_.n);
     s.unknown_k.resize(config_.n);
@@ -42,17 +47,20 @@ bool DynamicMatrixStrategy::on_request(std::uint32_t worker, Assignment& out) {
   out.clear();
   if (pool_.empty()) return false;
   if (in_phase2()) {
-    if (phase2_tasks_ != 0 && !phase_switch_notified_) {
+    if (!phase_switch_notified_) {
       phase_switch_notified_ = true;
       notify_phase_switch(pool_.size());
     }
-    return random_request(worker, out);
+    if (!random_request(worker, out)) return false;
+    ++phase2_served_;
+    return true;
   }
   return dynamic_request(worker, out);
 }
 
 bool DynamicMatrixStrategy::reset(std::uint64_t seed) {
   pool_.reset();
+  removed_t_.clear();
   for (auto& w : state_) {
     w.known_i.clear();
     w.known_j.clear();
@@ -65,13 +73,19 @@ bool DynamicMatrixStrategy::reset(std::uint64_t seed) {
       w.unknown_j[v] = v;
       w.unknown_k[v] = v;
     }
+    w.mask_i.clear();
+    w.mask_j.clear();
+    w.mask_k.clear();
     w.blocks.owned_a.clear();
     w.blocks.owned_b.clear();
     w.blocks.owned_c.clear();
+    w.blocks_tracked = false;
   }
   rng_ = Rng(derive_stream(seed, "matmul.dynamic"));
   phase2_served_ = 0;
+  fallback_served_ = 0;
   phase_switch_notified_ = false;
+  fallback_notified_ = false;
   return true;
 }
 
@@ -80,8 +94,17 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
   WorkerState& w = state_[worker];
   if (w.unknown_i.empty() || w.unknown_j.empty() || w.unknown_k.empty()) {
     // Knowledge covers a full dimension: the structured extension is
-    // exhausted, so serve the remaining pool randomly.
-    return random_request(worker, out);
+    // exhausted, so serve the remaining pool randomly. Phase 1 is over
+    // for this rep in all but name — announce the regime change once,
+    // and account the serves as fallback work, not phase-2 work
+    // (phase 2 may never arrive at all).
+    if (!fallback_notified_) {
+      fallback_notified_ = true;
+      notify_fallback(pool_.size());
+    }
+    if (!random_request(worker, out)) return false;
+    ++fallback_served_;
+    return true;
   }
 
   const auto pick = [this](std::vector<std::uint32_t>& unknown) {
@@ -97,47 +120,97 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
   const std::uint32_t n = config_.n;
 
   // Ship the 3*(2y+1) blocks extending I x K, K x J and I x J with the
-  // new indices. Every one is new to the worker in a pure phase-1 run;
-  // set_if_clear keeps accounting exact even after a random fallback.
-  auto ship = [&](Operand op, DynamicBitset& owned, std::uint32_t r,
-                  std::uint32_t c) {
-    if (owned.set_if_clear(block_index(n, r, c))) {
-      out.blocks.push_back(BlockRef{op, r, c});
-    }
-  };
-  for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatA, w.blocks.owned_a, i, k2);
-  for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatA, w.blocks.owned_a, i2, k);
-  ship(Operand::kMatA, w.blocks.owned_a, i, k);
+  // new indices, in A-extension / B-extension / C-extension order.
+  if (!w.blocks_tracked) {
+    // Untainted worker: ownership is exactly the three cross products,
+    // and every shipped block has a fresh coordinate, so all are new —
+    // push without the per-block owned writes (the sets are rebuilt
+    // from the masks if this worker ever goes random).
+    for (const std::uint32_t k2 : w.known_k) out.blocks.push_back(BlockRef{Operand::kMatA, i, k2});
+    for (const std::uint32_t i2 : w.known_i) out.blocks.push_back(BlockRef{Operand::kMatA, i2, k});
+    out.blocks.push_back(BlockRef{Operand::kMatA, i, k});
 
-  for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatB, w.blocks.owned_b, k, j2);
-  for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatB, w.blocks.owned_b, k2, j);
-  ship(Operand::kMatB, w.blocks.owned_b, k, j);
+    for (const std::uint32_t j2 : w.known_j) out.blocks.push_back(BlockRef{Operand::kMatB, k, j2});
+    for (const std::uint32_t k2 : w.known_k) out.blocks.push_back(BlockRef{Operand::kMatB, k2, j});
+    out.blocks.push_back(BlockRef{Operand::kMatB, k, j});
 
-  for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatC, w.blocks.owned_c, i, j2);
-  for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatC, w.blocks.owned_c, i2, j);
-  ship(Operand::kMatC, w.blocks.owned_c, i, j);
+    for (const std::uint32_t j2 : w.known_j) out.blocks.push_back(BlockRef{Operand::kMatC, i, j2});
+    for (const std::uint32_t i2 : w.known_i) out.blocks.push_back(BlockRef{Operand::kMatC, i2, j});
+    out.blocks.push_back(BlockRef{Operand::kMatC, i, j});
+  } else {
+    // After a random serve the cross-product invariant is gone:
+    // set_if_clear keeps the accounting exact.
+    auto ship = [&](Operand op, DynamicBitset& owned, std::uint32_t r,
+                    std::uint32_t c) {
+      if (owned.set_if_clear(block_index(n, r, c))) {
+        out.blocks.push_back(BlockRef{op, r, c});
+      }
+    };
+    for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatA, w.blocks.owned_a, i, k2);
+    for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatA, w.blocks.owned_a, i2, k);
+    ship(Operand::kMatA, w.blocks.owned_a, i, k);
+
+    for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatB, w.blocks.owned_b, k, j2);
+    for (const std::uint32_t k2 : w.known_k) ship(Operand::kMatB, w.blocks.owned_b, k2, j);
+    ship(Operand::kMatB, w.blocks.owned_b, k, j);
+
+    for (const std::uint32_t j2 : w.known_j) ship(Operand::kMatC, w.blocks.owned_c, i, j2);
+    for (const std::uint32_t i2 : w.known_i) ship(Operand::kMatC, w.blocks.owned_c, i2, j);
+    ship(Operand::kMatC, w.blocks.owned_c, i, j);
+  }
 
   // Allocate all unprocessed tasks of (I+i) x (J+j) x (K+k) that touch
-  // a new index: i fixed over (J+j) x (K+k), then j fixed over I x (K+k),
-  // then k fixed over I x J — (y+1)^2 + y(y+1) + y^2 = 3y^2 + 3y + 1
-  // candidates, disjoint by construction.
-  auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
-    const TaskId id = matmul_task_id(n, ti, tj, tk);
-    if (pool_.remove(id)) out.tasks.push_back(id);
+  // a new index — (y+1)^2 + y(y+1) + y^2 = 3y^2 + 3y + 1 candidates,
+  // disjoint by construction. Every (ti, tj, ·) group is the contiguous
+  // id run [(ti*n + tj)*n, +n), so the i-slab and j-slab candidates
+  // fall out of one word-parallel AND-NOT of the K + k mask against
+  // the pool's removed-set per run; the k-face I x J x {k} groups are
+  // contiguous j-runs of the (i, k, j)-major mirror, one AND-NOT of
+  // the J mask per (i2, k). A candidate is taken iff still pooled, so
+  // the assignment set matches the former nested-loop rescan; the
+  // enumeration order documented in the header is what the goldens
+  // pin.
+  const DynamicBitset& removed = pool_.removed_view();
+  auto take_run = [&](std::uint32_t ti, std::uint32_t tj) {
+    const std::uint64_t base = matmul_task_id(n, ti, tj, 0);
+    const std::uint64_t mirror_base = static_cast<std::uint64_t>(ti) * n * n + tj;
+    for_each_masked_present_word(
+        w.mask_k, removed, base, [&](std::size_t wd, std::uint64_t hits) {
+          pool_.remove_present_bits(base + (wd << 6), hits);  // batch side
+          do {
+            const std::size_t k2 =
+                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+            removed_t_.set(mirror_base + k2 * n);  // scattered side
+            out.tasks.push_back(base + k2);
+            hits &= hits - 1;
+          } while (hits != 0);
+        });
   };
-  for (const std::uint32_t j2 : w.known_j) {
-    for (const std::uint32_t k2 : w.known_k) try_take(i, j2, k2);
-    try_take(i, j2, k);
-  }
-  for (const std::uint32_t k2 : w.known_k) try_take(i, j, k2);
-  try_take(i, j, k);
-  for (const std::uint32_t i2 : w.known_i) {
-    for (const std::uint32_t k2 : w.known_k) try_take(i2, j, k2);
-    try_take(i2, j, k);
-  }
-  for (const std::uint32_t i2 : w.known_i) {
-    for (const std::uint32_t j2 : w.known_j) try_take(i2, j2, k);
-  }
+  w.mask_k.set(k);    // runs scan K + k
+  take_run(i, j);     // corner run (i, j, ·)
+  w.mask_j.for_each_set_in_range(0, n, [&](std::size_t j2) {  // i-slab
+    take_run(i, static_cast<std::uint32_t>(j2));
+  });
+  w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {  // j-slab
+    take_run(static_cast<std::uint32_t>(i2), j);
+  });
+  w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {  // k-face
+    const std::uint64_t face_base = (static_cast<std::uint64_t>(i2) * n + k) * n;
+    const std::uint64_t id_base = static_cast<std::uint64_t>(i2) * n * n + k;
+    for_each_masked_present_word(
+        w.mask_j, removed_t_, face_base, [&](std::size_t wd, std::uint64_t hits) {
+          removed_t_.or_shifted(face_base + (wd << 6), hits);  // batch side
+          do {
+            const std::size_t j2 =
+                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+            pool_.remove_present_bits(id_base + j2 * n, 1);  // scattered side
+            out.tasks.push_back(id_base + j2 * n);
+            hits &= hits - 1;
+          } while (hits != 0);
+        });
+  });
+  w.mask_i.set(i);
+  w.mask_j.set(j);
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
@@ -150,12 +223,30 @@ bool DynamicMatrixStrategy::random_request(std::uint32_t worker,
                                            Assignment& out) {
   if (pool_.empty()) return false;
   WorkerState& w = state_[worker];
+  if (!w.blocks_tracked) {
+    // First random serve: materialize the owned-block sets the
+    // untainted ship path skipped. They are exactly I x K, K x J and
+    // I x J so far, one word-parallel mask OR per known row.
+    const std::uint32_t n = config_.n;
+    for (const std::uint32_t i2 : w.known_i) {
+      or_mask_into_range(w.blocks.owned_a, w.mask_k,
+                         static_cast<std::size_t>(i2) * n);
+      or_mask_into_range(w.blocks.owned_c, w.mask_j,
+                         static_cast<std::size_t>(i2) * n);
+    }
+    for (const std::uint32_t k2 : w.known_k) {
+      or_mask_into_range(w.blocks.owned_b, w.mask_j,
+                         static_cast<std::size_t>(k2) * n);
+    }
+    w.blocks_tracked = true;
+  }
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j, k] = matmul_task_coords(config_.n, id);
+  removed_t_.set(
+      (static_cast<std::uint64_t>(i) * config_.n + k) * config_.n + j);
 
   charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, out);
   out.tasks.push_back(id);
-  ++phase2_served_;
   notify_fetches(worker, out);
   return true;
 }

@@ -7,15 +7,45 @@
 // and allocates every unprocessed task in (I+i) x (J+j) x (K+k) with at
 // least one new coordinate.
 //
+// The enabled tasks of (I+i) x (J+j) x (K+k) are enumerated through a
+// word-parallel frontier instead of per-element pool rescans: the
+// known index sets are kept as n-bit masks alongside the
+// acquisition-order vectors, each contiguous (·,·,k-run) of task ids
+// is intersected with the K + k mask against the pool's removed-set
+// view in one AND-NOT per 64 candidates, and the k-face candidates
+// (I x J x {k}) scan a strategy-owned (i, k, j)-major mirror of the
+// removed set — contiguous j-runs per (i2, k) — against the J mask the
+// same way. Each gathered window is also *retired* word-level: one
+// batch write (TaskPool::remove_present_bits or or_shifted) clears all
+// its hits on the scanned orientation, leaving one scattered bit write
+// on the other orientation per task — the per-task minimum for a
+// two-orientation presence structure. The pool runs in lazy-dense mode
+// (common/task_pool.hpp): phase-1 removals are bitset writes only, and
+// the swap-remove index is rebuilt once, at the phase-2 switch.
+// Enumeration order: the corner run (i, j, ·), then the i-slab
+// runs (i, j2, ·) for j2 in J ascending, then the j-slab runs
+// (i2, j, ·) for i2 in I ascending, then the k-face probes (i2, j2, k)
+// for i2 in I, j2 in J ascending; every candidate is taken iff still
+// pooled, so the assignment *set* equals the former nested-loop scan
+// (tests/integration/frontier_reference_test.cpp pins this).
+//
 // Two-phase variant: once fewer than `phase2_tasks` tasks remain
-// unallocated, serve random unprocessed tasks with their missing
-// blocks (RandomMatrix fallback). The paper switches when
-// e^{-beta} * N^3 tasks remain.
+// unallocated (strictly fewer — a request arriving with exactly
+// `phase2_tasks` left is still served data-aware), serve random
+// unprocessed tasks with their missing blocks (RandomMatrix fallback).
+// The paper switches when e^{-beta} * N^3 tasks remain.
+//
+// A worker that exhausts its unknown index sets while tasks remain
+// (only possible after a crash requeue) is served by the same random
+// path, but that service is *phase-1 fallback*, not phase 2: it is
+// counted in fallback_tasks_served() and announced once per rep via
+// the on_fallback trace hook, never in phase2_tasks_served().
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/dynamic_bitset.hpp"
 #include "common/rng.hpp"
 #include "common/task_pool.hpp"
 #include "matmul/pointwise_matmul.hpp"
@@ -39,13 +69,30 @@ class DynamicMatrixStrategy : public Strategy {
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
-    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    for (const TaskId id : tasks) {
+      if (!pool_.insert(id)) {
+        all_inserted = false;
+        continue;
+      }
+      const auto [i, j, k] = matmul_task_coords(config_.n, id);
+      removed_t_.reset(
+          (static_cast<std::uint64_t>(i) * config_.n + k) * config_.n + j);
+    }
     return all_inserted;
   }
 
   bool reset(std::uint64_t seed) override;
 
+  /// Tasks served randomly after the two-phase switch. Zero for runs
+  /// that never enter phase 2 (in particular the pure strategy).
   std::uint64_t phase2_tasks_served() const noexcept { return phase2_served_; }
+
+  /// Tasks served randomly because a worker's unknown index sets ran
+  /// dry during phase 1 (crash-requeued leftovers); counted separately
+  /// from the phase-2 share.
+  std::uint64_t fallback_tasks_served() const noexcept {
+    return fallback_served_;
+  }
 
   /// Size y of worker k's structured index sets (|I| = |J| = |K|).
   std::uint32_t known_extent(std::uint32_t worker) const {
@@ -70,10 +117,22 @@ class DynamicMatrixStrategy : public Strategy {
     std::vector<std::uint32_t> unknown_i;
     std::vector<std::uint32_t> unknown_j;
     std::vector<std::uint32_t> unknown_k;
+    DynamicBitset mask_i;  // I as an n-bit mask (frontier scan order)
+    DynamicBitset mask_j;  // J likewise
+    DynamicBitset mask_k;  // K likewise
     MatmulWorkerBlocks blocks;
+    /// False while the worker has only ever been served data-aware. In
+    /// that regime its owned-block sets are exactly I x K, K x J and
+    /// I x J, so the ship loop skips the per-block owned writes (every
+    /// block is provably new) and the sets are rebuilt word-parallel
+    /// from the masks if the worker is ever served randomly — from
+    /// then on this is true and shipping pays the exact
+    /// set_if_clear accounting.
+    bool blocks_tracked = false;
   };
 
-  bool in_phase2() const noexcept { return pool_.size() <= phase2_tasks_; }
+  /// "Once fewer than phase2_tasks tasks remain": strict comparison.
+  bool in_phase2() const noexcept { return pool_.size() < phase2_tasks_; }
 
   bool dynamic_request(std::uint32_t worker, Assignment& out);
   bool random_request(std::uint32_t worker, Assignment& out);
@@ -82,10 +141,18 @@ class DynamicMatrixStrategy : public Strategy {
   std::uint32_t n_workers_;
   std::uint64_t phase2_tasks_;
   TaskPool pool_;
+  /// (i, k, j)-major mirror of the pool's removed set (bit
+  /// (i*n + k)*n + j set <=> task (i, j, k) gone), kept exact across
+  /// every take / pop / requeue / reset: it lays the k-face candidates
+  /// I x J x {k} out as contiguous j-runs, so they scan word-parallel
+  /// like the (·,·,k)-runs instead of as stride-n bit probes.
+  DynamicBitset removed_t_;
   std::vector<WorkerState> state_;
   Rng rng_;
   std::uint64_t phase2_served_ = 0;
+  std::uint64_t fallback_served_ = 0;
   bool phase_switch_notified_ = false;
+  bool fallback_notified_ = false;
 };
 
 /// Switch point expressed as the fraction of tasks handled by phase 2.

@@ -36,6 +36,7 @@ MetricsTrace::MetricsTrace(MetricsRegistry* registry,
     retirements_ = &registry_->counter("trace.retirements");
     data_fetches_ = &registry_->counter("trace.data_fetches");
     phase_switches_ = &registry_->counter("trace.phase_switches");
+    fallbacks_ = &registry_->counter("trace.fallbacks");
     assignment_tasks_.target =
         &registry_->histogram("assignment.tasks", batch_buckets());
     assignment_blocks_.target =
@@ -60,8 +61,9 @@ void MetricsTrace::flush() {
   retirements_->add(d_retirements_);
   data_fetches_->add(d_data_fetches_);
   phase_switches_->add(d_phase_switches_);
+  fallbacks_->add(d_fallbacks_);
   d_assignments_ = d_tasks_assigned_ = d_blocks_fetched_ = d_blocks_reused_ =
-      d_retirements_ = d_data_fetches_ = d_phase_switches_ = 0;
+      d_retirements_ = d_data_fetches_ = d_phase_switches_ = d_fallbacks_ = 0;
   assignment_tasks_.flush();
   assignment_blocks_.flush();
 }
@@ -119,6 +121,22 @@ void MetricsTrace::on_phase_switch(double now, std::uint64_t tasks_remaining) {
         .set(static_cast<double>(tasks_remaining));
   }
   if (downstream_ != nullptr) downstream_->on_phase_switch(now, tasks_remaining);
+}
+
+void MetricsTrace::on_fallback(double now, std::uint64_t tasks_remaining) {
+  if (sampler_ != nullptr) sampler_->advance_to(now);
+  if (!fell_back_) {
+    fell_back_ = true;
+    fallback_time_ = now;
+    fallback_remaining_ = tasks_remaining;
+  }
+  ++d_fallbacks_;
+  if (registry_ != nullptr) {
+    registry_->gauge("phase.fallback_time").set(now);
+    registry_->gauge("phase.fallback_tasks_remaining")
+        .set(static_cast<double>(tasks_remaining));
+  }
+  if (downstream_ != nullptr) downstream_->on_fallback(now, tasks_remaining);
 }
 
 void MetricsTrace::on_data_fetch(std::uint32_t worker, double now,

@@ -40,6 +40,7 @@ class MetricsTrace final : public TraceSink {
   void on_completion(std::uint32_t worker, double now, TaskId task) override;
   void on_retire(std::uint32_t worker, double now) override;
   void on_phase_switch(double now, std::uint64_t tasks_remaining) override;
+  void on_fallback(double now, std::uint64_t tasks_remaining) override;
   void on_data_fetch(std::uint32_t worker, double now,
                      const BlockRef& block) override;
 
@@ -53,6 +54,14 @@ class MetricsTrace final : public TraceSink {
   double phase_switch_time() const noexcept { return phase_switch_time_; }
   std::uint64_t phase_switch_tasks_remaining() const noexcept {
     return phase_switch_remaining_;
+  }
+  /// Phase-1 random fallback (unknown index sets ran dry mid-phase-1;
+  /// distinct from the planned two-phase switch above).
+  bool fell_back() const noexcept { return fell_back_; }
+  /// Simulated time of the (first) fallback; -1 when none occurred.
+  double fallback_time() const noexcept { return fallback_time_; }
+  std::uint64_t fallback_tasks_remaining() const noexcept {
+    return fallback_remaining_;
   }
   std::uint64_t tasks_completed() const noexcept { return tasks_completed_; }
 
@@ -85,6 +94,7 @@ class MetricsTrace final : public TraceSink {
   Counter* retirements_ = nullptr;
   Counter* data_fetches_ = nullptr;
   Counter* phase_switches_ = nullptr;
+  Counter* fallbacks_ = nullptr;
   std::uint64_t d_assignments_ = 0;
   std::uint64_t d_tasks_assigned_ = 0;
   std::uint64_t d_blocks_fetched_ = 0;
@@ -93,12 +103,16 @@ class MetricsTrace final : public TraceSink {
   std::uint64_t d_retirements_ = 0;
   std::uint64_t d_data_fetches_ = 0;
   std::uint64_t d_phase_switches_ = 0;
+  std::uint64_t d_fallbacks_ = 0;
   HistShard assignment_tasks_;
   HistShard assignment_blocks_;
 
   bool phase_switched_ = false;
   double phase_switch_time_ = -1.0;
   std::uint64_t phase_switch_remaining_ = 0;
+  bool fell_back_ = false;
+  double fallback_time_ = -1.0;
+  std::uint64_t fallback_remaining_ = 0;
   std::uint64_t tasks_completed_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "outer/dynamic_outer.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,7 +14,8 @@ DynamicOuterStrategy::DynamicOuterStrategy(OuterConfig config,
     : config_(config),
       n_workers_(workers),
       phase2_tasks_(phase2_tasks),
-      pool_(config.total_tasks()),
+      pool_(config.total_tasks(), /*presence_view=*/true, /*lazy_dense=*/true),
+      removed_t_(config.total_tasks()),
       rng_(derive_stream(seed, "outer.dynamic")) {
   validate(config_);
   if (workers == 0) {
@@ -21,6 +23,8 @@ DynamicOuterStrategy::DynamicOuterStrategy(OuterConfig config,
   }
   state_.resize(workers);
   for (auto& w : state_) {
+    w.mask_i = DynamicBitset(config_.n);
+    w.mask_j = DynamicBitset(config_.n);
     w.owned_a = DynamicBitset(config_.n);
     w.owned_b = DynamicBitset(config_.n);
     w.unknown_i.resize(config_.n);
@@ -42,17 +46,20 @@ bool DynamicOuterStrategy::on_request(std::uint32_t worker, Assignment& out) {
   out.clear();
   if (pool_.empty()) return false;
   if (in_phase2()) {
-    if (phase2_tasks_ != 0 && !phase_switch_notified_) {
+    if (!phase_switch_notified_) {
       phase_switch_notified_ = true;
       notify_phase_switch(pool_.size());
     }
-    return random_request(worker, out);
+    if (!random_request(worker, out)) return false;
+    ++phase2_served_;
+    return true;
   }
   return dynamic_request(worker, out);
 }
 
 bool DynamicOuterStrategy::reset(std::uint64_t seed) {
   pool_.reset();
+  removed_t_.clear();
   for (auto& w : state_) {
     w.known_i.clear();
     w.known_j.clear();
@@ -62,12 +69,16 @@ bool DynamicOuterStrategy::reset(std::uint64_t seed) {
       w.unknown_i[v] = v;
       w.unknown_j[v] = v;
     }
+    w.mask_i.clear();
+    w.mask_j.clear();
     w.owned_a.clear();
     w.owned_b.clear();
   }
   rng_ = Rng(derive_stream(seed, "outer.dynamic"));
   phase2_served_ = 0;
+  fallback_served_ = 0;
   phase_switch_notified_ = false;
+  fallback_notified_ = false;
   return true;
 }
 
@@ -77,7 +88,16 @@ bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
   if (w.unknown_i.empty() || w.unknown_j.empty()) {
     // The worker knows a whole dimension, so every task it could enable
     // is already marked; it can only help via the random fallback.
-    return random_request(worker, out);
+    // Phase 1 is over for this rep in all but name — announce the
+    // regime change once, and account the serves as fallback work, not
+    // phase-2 work (phase 2 may never arrive at all).
+    if (!fallback_notified_) {
+      fallback_notified_ = true;
+      notify_fallback(pool_.size());
+    }
+    if (!random_request(worker, out)) return false;
+    ++fallback_served_;
+    return true;
   }
 
   // Draw a fresh (i, j) pair uniformly from the unknown index sets.
@@ -97,15 +117,43 @@ bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
   w.owned_b.set(j);
 
   // Allocate every unprocessed task the new data enables: row i against
-  // the previously known J, column j against the previously known I,
-  // and the corner (i, j).
-  auto try_take = [&](std::uint32_t ti, std::uint32_t tj) {
-    const TaskId id = outer_task_id(config_.n, ti, tj);
-    if (pool_.remove(id)) out.tasks.push_back(id);
-  };
-  for (const std::uint32_t j2 : w.known_j) try_take(i, j2);
-  for (const std::uint32_t i2 : w.known_i) try_take(i2, j);
-  try_take(i, j);
+  // J + j, and column j against I. Row i's task ids are the contiguous
+  // run [i*n, i*n + n), so one word-parallel AND-NOT of the J + j mask
+  // against the pool's removed-set yields all its survivors (ascending
+  // j2); the stride-n column candidates are the contiguous run
+  // [j*n, j*n + n) of the column-major mirror, scanned the same way
+  // against the I mask. Enumeration order is (i, j2) ascending then
+  // (i2, j) ascending — any candidate is taken iff still pooled, so the
+  // assignment *set* matches the former per-element rescan exactly.
+  const DynamicBitset& removed = pool_.removed_view();
+  const std::uint64_t row_base = outer_task_id(config_.n, i, 0);
+  const std::uint64_t col_base = static_cast<std::uint64_t>(j) * config_.n;
+  w.mask_j.set(j);
+  for_each_masked_present_word(
+      w.mask_j, removed, row_base, [&](std::size_t wd, std::uint64_t hits) {
+        pool_.remove_present_bits(row_base + (wd << 6), hits);  // batch side
+        do {
+          const std::size_t j2 =
+              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+          removed_t_.set(j2 * config_.n + i);  // scattered side
+          out.tasks.push_back(row_base + j2);
+          hits &= hits - 1;
+        } while (hits != 0);
+      });
+  for_each_masked_present_word(
+      w.mask_i, removed_t_, col_base, [&](std::size_t wd, std::uint64_t hits) {
+        removed_t_.or_shifted(col_base + (wd << 6), hits);  // batch side
+        do {
+          const std::size_t i2 =
+              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+          const TaskId id =
+              outer_task_id(config_.n, static_cast<std::uint32_t>(i2), j);
+          pool_.remove_present_bits(id, 1);  // scattered side
+          out.tasks.push_back(id);
+          hits &= hits - 1;
+        } while (hits != 0);
+      });
+  w.mask_i.set(i);
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
@@ -119,6 +167,7 @@ bool DynamicOuterStrategy::random_request(std::uint32_t worker,
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j] = outer_task_coords(config_.n, id);
+  removed_t_.set(static_cast<std::uint64_t>(j) * config_.n + i);
 
   if (w.owned_a.set_if_clear(i)) {
     out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
@@ -127,7 +176,6 @@ bool DynamicOuterStrategy::random_request(std::uint32_t worker,
     out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
   }
   out.tasks.push_back(id);
-  ++phase2_served_;
   notify_fetches(worker, out);
   return true;
 }

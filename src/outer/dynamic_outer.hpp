@@ -6,11 +6,33 @@
 // task the enlarged knowledge {I+i} x {J+j} enables — the "L" of row i
 // against J+j and column j against I.
 //
+// The enabled tasks are enumerated through a word-parallel frontier:
+// the worker's known index sets are kept as n-bit masks alongside the
+// acquisition-order vectors, and the row i candidates come from one
+// AND-NOT of the mask words against the pool's removed-set view
+// (common/task_pool.hpp) instead of per-element pool probes. The
+// stride-n column candidates scan a strategy-owned column-major mirror
+// of the removed set (bit j*n + i) the same way, so they cost one
+// AND-NOT per 64 candidates too. Each gathered window is retired
+// word-level (TaskPool::remove_present_bits / or_shifted on the
+// scanned orientation), leaving one scattered bit write per task on
+// the other orientation. The pool itself runs in lazy-dense mode:
+// phase-1 removals are bitset writes only, and the swap-remove index
+// is rebuilt once, at the phase-2 switch.
+//
 // Two-phase variant: once fewer than `phase2_tasks` tasks remain
-// unallocated, fall back to RandomOuter-style service (a random
-// unprocessed task plus its missing blocks). The paper switches when
-// e^{-beta} * N^2 tasks remain, with beta chosen by the analysis
+// unallocated (strictly fewer — a request arriving with exactly
+// `phase2_tasks` left is still served data-aware), fall back to
+// RandomOuter-style service (a random unprocessed task plus its
+// missing blocks). The paper switches when e^{-beta} * N^2 tasks
+// remain, with beta chosen by the analysis
 // (src/analysis/outer_analysis.hpp).
+//
+// A worker that exhausts its unknown index sets while tasks remain
+// (only possible after a crash requeue) is served by the same random
+// path, but that service is *phase-1 fallback*, not phase 2: it is
+// counted in fallback_tasks_served() and announced once per rep via
+// the on_fallback trace hook, never in phase2_tasks_served().
 #pragma once
 
 #include <cstdint>
@@ -40,14 +62,29 @@ class DynamicOuterStrategy : public Strategy {
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
-    for (const TaskId id : tasks) all_inserted &= pool_.insert(id);
+    for (const TaskId id : tasks) {
+      if (!pool_.insert(id)) {
+        all_inserted = false;
+        continue;
+      }
+      const auto [i, j] = outer_task_coords(config_.n, id);
+      removed_t_.reset(static_cast<std::uint64_t>(j) * config_.n + i);
+    }
     return all_inserted;
   }
 
   bool reset(std::uint64_t seed) override;
 
-  /// Tasks handed out by the random fallback so far (phase-2 share).
+  /// Tasks served randomly after the two-phase switch. Zero for runs
+  /// that never enter phase 2 (in particular the pure strategy).
   std::uint64_t phase2_tasks_served() const noexcept { return phase2_served_; }
+
+  /// Tasks served randomly because a worker's unknown index sets ran
+  /// dry during phase 1 (crash-requeued leftovers); counted separately
+  /// from the phase-2 share.
+  std::uint64_t fallback_tasks_served() const noexcept {
+    return fallback_served_;
+  }
 
   /// Number of (row, column) pairs worker k has learned in phase 1.
   std::uint32_t known_rows(std::uint32_t worker) const {
@@ -70,11 +107,14 @@ class DynamicOuterStrategy : public Strategy {
     std::vector<std::uint32_t> known_j;    // J
     std::vector<std::uint32_t> unknown_i;  // complement of I (swap-remove)
     std::vector<std::uint32_t> unknown_j;
+    DynamicBitset mask_i;  // I as an n-bit mask (frontier scan order)
+    DynamicBitset mask_j;  // J likewise
     DynamicBitset owned_a;
     DynamicBitset owned_b;
   };
 
-  bool in_phase2() const noexcept { return pool_.size() <= phase2_tasks_; }
+  /// "Once fewer than phase2_tasks tasks remain": strict comparison.
+  bool in_phase2() const noexcept { return pool_.size() < phase2_tasks_; }
 
   bool dynamic_request(std::uint32_t worker, Assignment& out);
   bool random_request(std::uint32_t worker, Assignment& out);
@@ -83,10 +123,17 @@ class DynamicOuterStrategy : public Strategy {
   std::uint32_t n_workers_;
   std::uint64_t phase2_tasks_;
   TaskPool pool_;
+  /// Column-major mirror of the pool's removed set (bit j*n + i set <=>
+  /// task (i, j) gone), kept exact across every take / pop / requeue /
+  /// reset: it turns the stride-n column-j candidates into one
+  /// contiguous word-parallel scan, symmetric to the row run.
+  DynamicBitset removed_t_;
   std::vector<WorkerState> state_;
   Rng rng_;
   std::uint64_t phase2_served_ = 0;
+  std::uint64_t fallback_served_ = 0;
   bool phase_switch_notified_ = false;
+  bool fallback_notified_ = false;
 };
 
 /// Convenience alias constructor matching the paper's name: the switch

@@ -153,6 +153,10 @@ class Strategy {
   void notify_fetches(std::uint32_t worker, const Assignment& assignment);
   /// Emits on_phase_switch at the current simulated time.
   void notify_phase_switch(std::uint64_t tasks_remaining);
+  /// Emits on_fallback at the current simulated time (a data-aware
+  /// strategy switching to random service outside the planned phase-2
+  /// regime; see sim/trace.hpp).
+  void notify_fallback(std::uint64_t tasks_remaining);
 
  private:
   TraceSink* obs_sink_ = nullptr;

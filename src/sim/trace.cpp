@@ -33,4 +33,9 @@ void RecordingTrace::on_phase_switch(double now,
   phase_switches_.push_back(PhaseSwitchEvent{now, tasks_remaining});
 }
 
+void RecordingTrace::on_fallback(double now, std::uint64_t tasks_remaining) {
+  if (!admit()) return;
+  fallbacks_.push_back(FallbackEvent{now, tasks_remaining});
+}
+
 }  // namespace hetsched

@@ -37,6 +37,16 @@ class TraceSink {
     (void)tasks_remaining;
   }
 
+  /// A data-aware strategy began serving randomly because a worker's
+  /// unknown index sets ran dry while `tasks_remaining` tasks were
+  /// still pooled (crash-requeued leftovers) — a regime change distinct
+  /// from the planned two-phase switch above. Emitted at most once per
+  /// rep; default no-op.
+  virtual void on_fallback(double now, std::uint64_t tasks_remaining) {
+    (void)now;
+    (void)tasks_remaining;
+  }
+
   /// One block shipped master -> worker as part of serving a request.
   /// Finer-grained companion of on_assignment (which carries the whole
   /// batch); default no-op.
@@ -74,6 +84,10 @@ class RecordingTrace final : public TraceSink {
     double time;
     std::uint64_t tasks_remaining;
   };
+  struct FallbackEvent {
+    double time;
+    std::uint64_t tasks_remaining;
+  };
 
   RecordingTrace() = default;
   /// Convenience: construct with an event cap (see set_max_events).
@@ -84,10 +98,12 @@ class RecordingTrace final : public TraceSink {
   void on_completion(std::uint32_t worker, double now, TaskId task) override;
   void on_retire(std::uint32_t worker, double now) override;
   void on_phase_switch(double now, std::uint64_t tasks_remaining) override;
+  void on_fallback(double now, std::uint64_t tasks_remaining) override;
 
   /// Caps the total number of stored events (assignments + completions
-  /// + retirements + phase switches). 0 = unbounded (the default).
-  /// Events past the cap are dropped and counted, never stored.
+  /// + retirements + phase switches + fallbacks). 0 = unbounded (the
+  /// default). Events past the cap are dropped and counted, never
+  /// stored.
   void set_max_events(std::size_t max_events) noexcept {
     max_events_ = max_events;
   }
@@ -98,7 +114,7 @@ class RecordingTrace final : public TraceSink {
   /// Events currently stored across all categories.
   std::size_t stored_events() const noexcept {
     return assignments_.size() + completions_.size() + retirements_.size() +
-           phase_switches_.size();
+           phase_switches_.size() + fallbacks_.size();
   }
 
   const std::vector<AssignmentEvent>& assignments() const noexcept {
@@ -113,6 +129,9 @@ class RecordingTrace final : public TraceSink {
   const std::vector<PhaseSwitchEvent>& phase_switches() const noexcept {
     return phase_switches_;
   }
+  const std::vector<FallbackEvent>& fallbacks() const noexcept {
+    return fallbacks_;
+  }
 
  private:
   bool admit();  // false (and counts a drop) once the cap is reached
@@ -121,6 +140,7 @@ class RecordingTrace final : public TraceSink {
   std::vector<CompletionEvent> completions_;
   std::vector<RetireEvent> retirements_;
   std::vector<PhaseSwitchEvent> phase_switches_;
+  std::vector<FallbackEvent> fallbacks_;
   std::size_t max_events_ = 0;
   std::uint64_t dropped_ = 0;
 };

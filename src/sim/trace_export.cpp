@@ -70,6 +70,20 @@ void export_chrome_trace(std::ostream& out, const RecordingTrace& trace,
     json.end_object();
   }
 
+  for (const auto& ev : trace.fallbacks()) {
+    json.begin_object();
+    json.field("name", "random fallback (" +
+                           std::to_string(ev.tasks_remaining) +
+                           " tasks remain)");
+    json.field("cat", "phase");
+    json.field("ph", "i");
+    json.field("s", "g");  // global scope: a full-height marker
+    json.field("ts", ev.time * kScale);
+    json.field("pid", 1);
+    json.field("tid", 0);
+    json.end_object();
+  }
+
   if (counters != nullptr) {
     const auto& names = counters->channel_names();
     for (const auto& sample : counters->samples()) {

@@ -222,6 +222,152 @@ TEST(TaskPool, DenseLayoutMatchesRawSwapRemovePoolRng) {
   }
 }
 
+// -------------------------------------------------- Removed-set view
+
+// The frontier scans of the dynamic strategies read the pool as a
+// removed-id bitset. The compact layout has that set natively; the
+// dense layout mirrors it only when opted in at construction.
+TEST(TaskPool, RemovedViewTracksDenseLayoutOps) {
+  TaskPool pool(100, /*presence_view=*/true);
+  EXPECT_TRUE(pool.has_presence_view());
+  const DynamicBitset& removed = pool.removed_view();
+  EXPECT_TRUE(removed.none());
+
+  Rng rng(5);
+  ASSERT_TRUE(pool.remove(42));
+  EXPECT_TRUE(removed.test(42));
+  const std::uint64_t popped = pool.pop_random(rng);
+  EXPECT_TRUE(removed.test(popped));
+  const std::uint64_t first = pool.pop_first();
+  EXPECT_TRUE(removed.test(first));
+  ASSERT_TRUE(pool.insert(42));  // requeue resurfaces in the view
+  EXPECT_FALSE(removed.test(42));
+
+  // Exactness: the view must agree with contains() for every id.
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(removed.test(id), !pool.contains(id)) << id;
+  }
+
+  pool.reset();
+  EXPECT_TRUE(removed.none());
+  EXPECT_EQ(pool.size(), 100u);
+}
+
+TEST(TaskPool, RemovedViewWithoutOptInIsAbsentOnDenseLayout) {
+  TaskPool pool(100);
+  EXPECT_FALSE(pool.has_presence_view());
+}
+
+TEST(TaskPool, RemovedViewTracksCompactLayout) {
+  // The compact layout keeps the removed-set anyway, so the view is
+  // available regardless of the opt-in flag.
+  TaskPool pool(TaskPool::kCompactThreshold);
+  EXPECT_TRUE(pool.has_presence_view());
+  const DynamicBitset& removed = pool.removed_view();
+  ASSERT_TRUE(pool.remove(123456));
+  EXPECT_TRUE(removed.test(123456));
+  Rng rng(9);
+  const std::uint64_t popped = pool.pop_random(rng);
+  EXPECT_TRUE(removed.test(popped));
+  ASSERT_TRUE(pool.insert(123456));
+  EXPECT_FALSE(removed.test(123456));
+  pool.reset();
+  EXPECT_FALSE(removed.test(popped));
+}
+
+TEST(TaskPool, LazyDenseAgreesWithEagerThroughMixedOps) {
+  // Lazy-dense mode defers the swap-remove index; the observable set
+  // (size / contains / removed_view / ids) must stay identical to the
+  // eager presence-view pool through removes, inserts and a reset.
+  TaskPool lazy(200, /*presence_view=*/true, /*lazy_dense=*/true);
+  TaskPool eager(200, /*presence_view=*/true);
+  for (std::uint64_t id = 0; id < 200; id += 3) {
+    ASSERT_EQ(lazy.remove(id), eager.remove(id)) << id;
+  }
+  EXPECT_FALSE(lazy.remove(3));   // double remove is a no-op
+  EXPECT_FALSE(eager.remove(3));
+  ASSERT_TRUE(lazy.insert(3));
+  ASSERT_TRUE(eager.insert(3));
+  EXPECT_FALSE(lazy.insert(3));   // double insert likewise
+  EXPECT_FALSE(eager.insert(3));
+  EXPECT_THROW(lazy.insert(200), std::out_of_range);
+  EXPECT_EQ(lazy.size(), eager.size());
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    ASSERT_EQ(lazy.contains(id), eager.contains(id)) << id;
+    ASSERT_EQ(lazy.removed_view().test(id), eager.removed_view().test(id));
+  }
+  auto eager_ids = eager.ids();  // dense order is unspecified; lazy is
+  std::sort(eager_ids.begin(), eager_ids.end());  // ascending
+  EXPECT_EQ(lazy.ids(), eager_ids);
+  lazy.reset();
+  eager.reset();
+  EXPECT_EQ(lazy.size(), 200u);
+  EXPECT_TRUE(lazy.removed_view().none());
+}
+
+TEST(TaskPool, LazyDensePopsDrawFromAscendingRebuild) {
+  // After a lazy remove stretch, the first pop reconciles the index in
+  // one ascending pass: pop_first yields the smallest survivor and
+  // pop_random consumes exactly one draw per pop (the bit-identity
+  // contract; the *values* come from the ascending layout).
+  TaskPool pool(100, /*presence_view=*/true, /*lazy_dense=*/true);
+  for (std::uint64_t id = 0; id < 50; ++id) ASSERT_TRUE(pool.remove(id));
+  EXPECT_EQ(pool.pop_first(), 50u);
+  Rng rng_pool(42), rng_ref(42);
+  DynamicBitset popped(100);
+  std::uint64_t remaining = 49;
+  while (!pool.empty()) {
+    // Reference: the rebuild laid survivors out ascending, so a pop at
+    // position p takes the p-th smallest remaining id and back-fills
+    // with the largest (swap-remove).
+    const std::uint64_t id = pool.pop_random(rng_pool);
+    (void)rng_ref.next_below(remaining--);
+    ASSERT_GE(id, 51u);
+    ASSERT_FALSE(popped.test(id)) << "double pop of " << id;
+    popped.set(id);
+  }
+  EXPECT_EQ(popped.count(), 49u);
+  // Same number of draws consumed: the next value matches.
+  EXPECT_EQ(rng_pool.next_u64(), rng_ref.next_u64());
+}
+
+TEST(TaskPool, RemovePresentBitsMatchesPerIdRemovalInEveryLayout) {
+  const std::uint64_t base = 60;  // straddles a word boundary
+  const std::uint64_t bits = 0x8000'0000'0420'0081ull;
+  auto check = [&](TaskPool& batched, TaskPool& scalar) {
+    ASSERT_EQ(batched.size(), scalar.size());
+    batched.remove_present_bits(base, bits);
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      if ((bits >> b) & 1) {
+        ASSERT_TRUE(scalar.remove(base + b)) << b;
+      }
+    }
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (std::uint64_t id = 0; id < 200; ++id) {
+      ASSERT_EQ(batched.contains(id), scalar.contains(id)) << id;
+    }
+  };
+  TaskPool lazy_a(200, true, true), lazy_b(200, true, true);
+  check(lazy_a, lazy_b);
+  TaskPool eager_a(200, true), eager_b(200, true);
+  check(eager_a, eager_b);
+  TaskPool plain_a(200), plain_b(200);  // no presence view: per-id path
+  check(plain_a, plain_b);
+  TaskPool compact_a(TaskPool::kCompactThreshold);
+  TaskPool compact_b(TaskPool::kCompactThreshold);
+  ASSERT_TRUE(compact_a.uses_compact_layout());
+  compact_a.remove_present_bits(base, bits);
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    if ((bits >> b) & 1) {
+      ASSERT_TRUE(compact_b.remove(base + b)) << b;
+    }
+  }
+  EXPECT_EQ(compact_a.size(), compact_b.size());
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    ASSERT_EQ(compact_a.contains(id), compact_b.contains(id)) << id;
+  }
+}
+
 TEST(TaskPool, ResetWorksInBothLayouts) {
   Rng rng(3);
   TaskPool small(100);

@@ -1,0 +1,278 @@
+// Property tests pinning the word-parallel enabled-task frontier of
+// the dynamic strategies against the pre-frontier reference semantics:
+// a data-aware request must allocate exactly the still-pooled tasks of
+// the knowledge extension — (I+i) x (J+j) [x (K+k)] with at least one
+// new coordinate — no matter how the frontier enumerates them.
+//
+// The reference model mirrors the strategy's RNG stream (same
+// derive_stream tag, same swap-remove pick discipline) and keeps a
+// shadow pool as a plain std::set, then recomputes each expected
+// assignment with the old O(y^2)-style nested loops. Runs cover grids
+// of n / workers / seeds and a mid-run requeue (the crash path), which
+// must land the returned ids back in the frontier's view.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "matmul/dynamic_matrix.hpp"
+#include "matmul/matmul_problem.hpp"
+#include "outer/dynamic_outer.hpp"
+#include "outer/outer_problem.hpp"
+
+namespace hetsched {
+namespace {
+
+// Mirrors the strategies' index drawing: uniform pick + swap-remove.
+std::uint32_t mirror_pick(Rng& rng, std::vector<std::uint32_t>& unknown) {
+  const auto pos = static_cast<std::size_t>(rng.next_below(unknown.size()));
+  const std::uint32_t v = unknown[pos];
+  unknown[pos] = unknown.back();
+  unknown.pop_back();
+  return v;
+}
+
+struct OuterMirror {
+  std::vector<std::uint32_t> known_i, known_j, unknown_i, unknown_j;
+
+  explicit OuterMirror(std::uint32_t n) : unknown_i(n), unknown_j(n) {
+    for (std::uint32_t v = 0; v < n; ++v) unknown_i[v] = unknown_j[v] = v;
+  }
+};
+
+struct MatmulMirror {
+  std::vector<std::uint32_t> known_i, known_j, known_k;
+  std::vector<std::uint32_t> unknown_i, unknown_j, unknown_k;
+
+  explicit MatmulMirror(std::uint32_t n)
+      : unknown_i(n), unknown_j(n), unknown_k(n) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      unknown_i[v] = unknown_j[v] = unknown_k[v] = v;
+    }
+  }
+};
+
+TEST(FrontierReference, OuterMatchesNestedLoopReference) {
+  for (const std::uint32_t n : {3u, 7u, 30u, 65u}) {
+    for (const std::uint32_t workers : {1u, 3u}) {
+      for (const std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+        SCOPED_TRACE(testing::Message()
+                     << "n=" << n << " workers=" << workers << " seed=" << seed);
+        DynamicOuterStrategy strategy(OuterConfig{n}, workers, seed);
+        Rng rng(derive_stream(seed, "outer.dynamic"));
+        std::vector<OuterMirror> mirror(workers, OuterMirror(n));
+        std::set<TaskId> pooled;
+        for (TaskId id = 0; id < static_cast<TaskId>(n) * n; ++id) {
+          pooled.insert(id);
+        }
+
+        std::uint32_t w = 0;
+        bool exhausted = false;
+        while (!exhausted) {
+          OuterMirror& m = mirror[w];
+          // The pure strategy goes random only when unknowns run dry,
+          // which a crash-free run never reaches; stop just before.
+          if (m.unknown_i.empty() || m.unknown_j.empty()) break;
+          const auto a = strategy.on_request(w);
+          if (!a.has_value()) {
+            exhausted = true;
+            break;
+          }
+          const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+          const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+          // Old reference semantics: row i against J + j, column j
+          // against I, each taken iff still pooled.
+          std::set<TaskId> expected;
+          auto try_take = [&](TaskId id) {
+            if (pooled.erase(id) != 0) expected.insert(id);
+          };
+          try_take(outer_task_id(n, i, j));
+          for (const std::uint32_t j2 : m.known_j) try_take(outer_task_id(n, i, j2));
+          for (const std::uint32_t i2 : m.known_i) try_take(outer_task_id(n, i2, j));
+          m.known_i.push_back(i);
+          m.known_j.push_back(j);
+
+          const std::set<TaskId> actual(a->tasks.begin(), a->tasks.end());
+          ASSERT_EQ(actual, expected);
+          ASSERT_EQ(a->tasks.size(), actual.size()) << "duplicate task ids";
+          w = (w + 1) % workers;
+        }
+        ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+      }
+    }
+  }
+}
+
+TEST(FrontierReference, OuterMatchesReferenceAfterRequeue) {
+  const std::uint32_t n = 20;
+  const std::uint64_t seed = 7;
+  DynamicOuterStrategy strategy(OuterConfig{n}, 2, seed);
+  Rng rng(derive_stream(seed, "outer.dynamic"));
+  std::vector<OuterMirror> mirror(2, OuterMirror(n));
+  std::set<TaskId> pooled;
+  for (TaskId id = 0; id < static_cast<TaskId>(n) * n; ++id) pooled.insert(id);
+
+  std::vector<TaskId> assigned;  // everything handed out so far
+  auto serve = [&](std::uint32_t w) {
+    OuterMirror& m = mirror[w];
+    ASSERT_FALSE(m.unknown_i.empty());
+    const auto a = strategy.on_request(w);
+    ASSERT_TRUE(a.has_value());
+    const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+    const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+    std::set<TaskId> expected;
+    auto try_take = [&](TaskId id) {
+      if (pooled.erase(id) != 0) expected.insert(id);
+    };
+    try_take(outer_task_id(n, i, j));
+    for (const std::uint32_t j2 : m.known_j) try_take(outer_task_id(n, i, j2));
+    for (const std::uint32_t i2 : m.known_i) try_take(outer_task_id(n, i2, j));
+    m.known_i.push_back(i);
+    m.known_j.push_back(j);
+    const std::set<TaskId> actual(a->tasks.begin(), a->tasks.end());
+    ASSERT_EQ(actual, expected);
+    assigned.insert(assigned.end(), a->tasks.begin(), a->tasks.end());
+  };
+
+  for (int r = 0; r < 6; ++r) serve(static_cast<std::uint32_t>(r % 2));
+
+  // Crash path: every third assigned task goes back to the pool. The
+  // frontier's removed-set view must resurface them for later batches.
+  std::vector<TaskId> requeued;
+  for (std::size_t t = 0; t < assigned.size(); t += 3) {
+    requeued.push_back(assigned[t]);
+  }
+  ASSERT_TRUE(strategy.requeue(requeued));
+  for (const TaskId id : requeued) pooled.insert(id);
+
+  for (int r = 0; r < 10; ++r) serve(static_cast<std::uint32_t>(r % 2));
+  ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+}
+
+TEST(FrontierReference, MatmulMatchesNestedLoopReference) {
+  for (const std::uint32_t n : {2u, 5u, 17u, 40u}) {
+    for (const std::uint32_t workers : {1u, 3u}) {
+      for (const std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+        SCOPED_TRACE(testing::Message()
+                     << "n=" << n << " workers=" << workers << " seed=" << seed);
+        DynamicMatrixStrategy strategy(MatmulConfig{n}, workers, seed);
+        Rng rng(derive_stream(seed, "matmul.dynamic"));
+        std::vector<MatmulMirror> mirror(workers, MatmulMirror(n));
+        std::set<TaskId> pooled;
+        const TaskId total = static_cast<TaskId>(n) * n * n;
+        for (TaskId id = 0; id < total; ++id) pooled.insert(id);
+
+        std::uint32_t w = 0;
+        bool exhausted = false;
+        while (!exhausted) {
+          MatmulMirror& m = mirror[w];
+          if (m.unknown_i.empty()) break;  // random fallback from here on
+          const auto a = strategy.on_request(w);
+          if (!a.has_value()) {
+            exhausted = true;
+            break;
+          }
+          const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+          const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+          const std::uint32_t k = mirror_pick(rng, m.unknown_k);
+          // Old reference semantics: all of (I+i) x (J+j) x (K+k) with
+          // at least one new coordinate, each taken iff still pooled.
+          std::set<TaskId> expected;
+          auto try_take = [&](std::uint32_t ti, std::uint32_t tj,
+                              std::uint32_t tk) {
+            const TaskId id = matmul_task_id(n, ti, tj, tk);
+            if (pooled.erase(id) != 0) expected.insert(id);
+          };
+          auto with_new = [&](std::uint32_t ti, std::uint32_t tj,
+                              std::uint32_t tk) {
+            const bool any_new = ti == i || tj == j || tk == k;
+            if (any_new) try_take(ti, tj, tk);
+          };
+          std::vector<std::uint32_t> all_i = m.known_i;
+          std::vector<std::uint32_t> all_j = m.known_j;
+          std::vector<std::uint32_t> all_k = m.known_k;
+          all_i.push_back(i);
+          all_j.push_back(j);
+          all_k.push_back(k);
+          for (const std::uint32_t ti : all_i) {
+            for (const std::uint32_t tj : all_j) {
+              for (const std::uint32_t tk : all_k) with_new(ti, tj, tk);
+            }
+          }
+          m.known_i.push_back(i);
+          m.known_j.push_back(j);
+          m.known_k.push_back(k);
+
+          const std::set<TaskId> actual(a->tasks.begin(), a->tasks.end());
+          ASSERT_EQ(actual, expected);
+          ASSERT_EQ(a->tasks.size(), actual.size()) << "duplicate task ids";
+          w = (w + 1) % workers;
+        }
+        ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+      }
+    }
+  }
+}
+
+TEST(FrontierReference, MatmulMatchesReferenceAfterRequeue) {
+  const std::uint32_t n = 9;
+  const std::uint64_t seed = 11;
+  DynamicMatrixStrategy strategy(MatmulConfig{n}, 2, seed);
+  Rng rng(derive_stream(seed, "matmul.dynamic"));
+  std::vector<MatmulMirror> mirror(2, MatmulMirror(n));
+  std::set<TaskId> pooled;
+  const TaskId total = static_cast<TaskId>(n) * n * n;
+  for (TaskId id = 0; id < total; ++id) pooled.insert(id);
+
+  std::vector<TaskId> assigned;
+  auto serve = [&](std::uint32_t w) {
+    MatmulMirror& m = mirror[w];
+    ASSERT_FALSE(m.unknown_i.empty());
+    const auto a = strategy.on_request(w);
+    ASSERT_TRUE(a.has_value());
+    const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+    const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+    const std::uint32_t k = mirror_pick(rng, m.unknown_k);
+    std::set<TaskId> expected;
+    auto with_new = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
+      if (ti != i && tj != j && tk != k) return;
+      const TaskId id = matmul_task_id(n, ti, tj, tk);
+      if (pooled.erase(id) != 0) expected.insert(id);
+    };
+    std::vector<std::uint32_t> all_i = m.known_i;
+    std::vector<std::uint32_t> all_j = m.known_j;
+    std::vector<std::uint32_t> all_k = m.known_k;
+    all_i.push_back(i);
+    all_j.push_back(j);
+    all_k.push_back(k);
+    for (const std::uint32_t ti : all_i) {
+      for (const std::uint32_t tj : all_j) {
+        for (const std::uint32_t tk : all_k) with_new(ti, tj, tk);
+      }
+    }
+    m.known_i.push_back(i);
+    m.known_j.push_back(j);
+    m.known_k.push_back(k);
+    const std::set<TaskId> actual(a->tasks.begin(), a->tasks.end());
+    ASSERT_EQ(actual, expected);
+    assigned.insert(assigned.end(), a->tasks.begin(), a->tasks.end());
+  };
+
+  for (int r = 0; r < 6; ++r) serve(static_cast<std::uint32_t>(r % 2));
+
+  std::vector<TaskId> requeued;
+  for (std::size_t t = 0; t < assigned.size(); t += 3) {
+    requeued.push_back(assigned[t]);
+  }
+  ASSERT_TRUE(strategy.requeue(requeued));
+  for (const TaskId id : requeued) pooled.insert(id);
+
+  for (int r = 0; r < 6; ++r) serve(static_cast<std::uint32_t>(r % 2));
+  ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+}
+
+}  // namespace
+}  // namespace hetsched

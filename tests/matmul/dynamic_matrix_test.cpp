@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "matmul/matmul_factory.hpp"
+#include "sim/trace.hpp"
 
 namespace hetsched {
 namespace {
@@ -111,7 +113,10 @@ TEST(DynamicMatrix2Phases, SwitchesAtThreshold) {
 }
 
 TEST(DynamicMatrix2Phases, FullPhase2DegeneratesToRandom) {
-  DynamicMatrixStrategy strategy(MatmulConfig{4}, 1, 7, 64);
+  // Threshold > total tasks: phase 1 never runs (the switch rule is
+  // strict, so threshold == total would still serve the first request
+  // data-aware — see SwitchBoundaryIsStrict).
+  DynamicMatrixStrategy strategy(MatmulConfig{4}, 1, 7, 65);
   std::set<TaskId> seen;
   while (auto a = strategy.on_request(0)) {
     ASSERT_EQ(a->tasks.size(), 1u);
@@ -119,6 +124,29 @@ TEST(DynamicMatrix2Phases, FullPhase2DegeneratesToRandom) {
   }
   EXPECT_EQ(seen.size(), 64u);
   EXPECT_EQ(strategy.phase2_tasks_served(), 64u);
+}
+
+TEST(DynamicMatrix2Phases, SwitchBoundaryIsStrict) {
+  // n = 8, single worker: request r allocates r^3 - (r-1)^3 tasks, so
+  // after 3 requests exactly 512 - 27 = 485 remain. With
+  // phase2_tasks = 485 request 4 arrives at the documented boundary
+  // ("once *fewer than* 485 remain") and must still be data-aware:
+  // 4^3 - 3^3 = 37 tasks in one batch, not 1.
+  DynamicMatrixStrategy strategy(MatmulConfig{8}, 1, 7, 485);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(strategy.on_request(0).has_value());
+  }
+  ASSERT_EQ(strategy.unassigned_tasks(), 485u);
+  EXPECT_EQ(strategy.current_phase(), 1);
+  const auto boundary = strategy.on_request(0);
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(boundary->tasks.size(), 37u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 0u);
+  EXPECT_EQ(strategy.current_phase(), 2);
+  const auto after = strategy.on_request(0);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->tasks.size(), 1u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 1u);
 }
 
 TEST(MakeDynamicMatrix2Phases, RejectsBadFraction) {
@@ -155,6 +183,60 @@ TEST(DynamicMatrix, NamesDistinguishVariants) {
 TEST(DynamicMatrix, RejectsZeroWorkers) {
   EXPECT_THROW(DynamicMatrixStrategy(MatmulConfig{4}, 0, 1),
                std::invalid_argument);
+}
+
+// Single worker drains phase 1 completely, then crash-requeued tasks
+// force the random fallback: those serves are fallback work, never
+// phase-2 work, and the regime change is announced exactly once.
+TEST(DynamicMatrix, RequeueFallbackCountsSeparatelyFromPhase2) {
+  DynamicMatrixStrategy strategy(MatmulConfig{3}, 1, 5);
+  RecordingTrace trace;
+  double clock = 0.0;
+  strategy.attach_observer(&trace, &clock);
+
+  std::vector<TaskId> assigned;
+  while (auto a = strategy.on_request(0)) {
+    assigned.insert(assigned.end(), a->tasks.begin(), a->tasks.end());
+  }
+  ASSERT_EQ(assigned.size(), 27u);  // phase 1 alone drains the pool
+  EXPECT_EQ(strategy.phase2_tasks_served(), 0u);
+  EXPECT_EQ(strategy.fallback_tasks_served(), 0u);
+  EXPECT_TRUE(trace.fallbacks().empty());
+
+  const std::vector<TaskId> requeued(assigned.begin(), assigned.begin() + 4);
+  ASSERT_TRUE(strategy.requeue(requeued));
+  clock = 1.25;
+  std::uint64_t served = 0;
+  while (auto a = strategy.on_request(0)) {
+    ASSERT_EQ(a->tasks.size(), 1u);
+    ASSERT_TRUE(a->blocks.empty());  // the worker already owns all blocks
+    ++served;
+  }
+  EXPECT_EQ(served, 4u);
+  EXPECT_EQ(strategy.fallback_tasks_served(), 4u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 0u);  // regression: was phase2
+  ASSERT_EQ(trace.fallbacks().size(), 1u);
+  EXPECT_EQ(trace.fallbacks()[0].time, 1.25);
+  EXPECT_EQ(trace.fallbacks()[0].tasks_remaining, 4u);
+  EXPECT_TRUE(trace.phase_switches().empty());
+}
+
+TEST(DynamicMatrix2Phases, PhaseSwitchAnnouncedOncePerRep) {
+  DynamicMatrixStrategy strategy(MatmulConfig{8}, 1, 7, 485);
+  RecordingTrace trace;
+  double clock = 4.0;
+  strategy.attach_observer(&trace, &clock);
+  while (strategy.on_request(0).has_value()) {
+  }
+  ASSERT_EQ(trace.phase_switches().size(), 1u);
+  EXPECT_EQ(trace.phase_switches()[0].time, 4.0);
+  EXPECT_EQ(trace.phase_switches()[0].tasks_remaining, 448u);
+  EXPECT_TRUE(trace.fallbacks().empty());
+
+  ASSERT_TRUE(strategy.reset(7));
+  while (strategy.on_request(0).has_value()) {
+  }
+  EXPECT_EQ(trace.phase_switches().size(), 2u);
 }
 
 }  // namespace

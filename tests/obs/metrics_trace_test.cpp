@@ -179,6 +179,34 @@ TEST(MetricsTrace, ForwardsEveryHookDownstream) {
   EXPECT_EQ(metrics.tasks_completed(), sim.total_tasks_done);
 }
 
+TEST(MetricsTrace, FallbackFeedsCounterGaugesAndDownstream) {
+  RecordingTrace recording;
+  MetricsRegistry registry;
+  MetricsTrace metrics(&registry, nullptr, &recording);
+  EXPECT_FALSE(metrics.fell_back());
+  EXPECT_EQ(metrics.fallback_time(), -1.0);
+
+  metrics.on_fallback(1.5, 7);
+  metrics.on_fallback(2.0, 3);  // a second rep in the same run
+  metrics.flush();
+
+  EXPECT_EQ(counter_value(registry, "trace.fallbacks"), 2u);
+  EXPECT_TRUE(has_gauge(registry, "phase.fallback_time"));
+  EXPECT_TRUE(has_gauge(registry, "phase.fallback_tasks_remaining"));
+  // First-occurrence fields freeze at the first fallback, like the
+  // phase-switch ones.
+  EXPECT_TRUE(metrics.fell_back());
+  EXPECT_EQ(metrics.fallback_time(), 1.5);
+  EXPECT_EQ(metrics.fallback_tasks_remaining(), 7u);
+  // Phase-switch state is untouched: the two regime changes are kept
+  // apart all the way down.
+  EXPECT_FALSE(metrics.phase_switched());
+  ASSERT_EQ(recording.fallbacks().size(), 2u);
+  EXPECT_EQ(recording.fallbacks()[0].time, 1.5);
+  EXPECT_EQ(recording.fallbacks()[1].tasks_remaining, 3u);
+  EXPECT_TRUE(recording.phase_switches().empty());
+}
+
 // The strategy-level observer hooks (satellite of the observability
 // issue): data fetches and phase switches surface through any plain
 // TraceSink attached to the engine.

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "outer/outer_factory.hpp"
+#include "sim/trace.hpp"
 
 namespace hetsched {
 namespace {
@@ -111,8 +113,10 @@ TEST(DynamicOuter2Phases, SwitchesAtThreshold) {
 }
 
 TEST(DynamicOuter2Phases, FullPhase2DegeneratesToRandom) {
-  // Threshold = total tasks: phase 1 never runs.
-  DynamicOuterStrategy strategy(OuterConfig{6}, 1, 8, 36);
+  // Threshold > total tasks: phase 1 never runs. ("Once fewer than
+  // phase2_tasks remain" is strict, so threshold == total would still
+  // serve the first request data-aware — see SwitchBoundaryIsStrict.)
+  DynamicOuterStrategy strategy(OuterConfig{6}, 1, 8, 37);
   std::set<TaskId> seen;
   while (auto a = strategy.on_request(0)) {
     ASSERT_EQ(a->tasks.size(), 1u);
@@ -120,6 +124,30 @@ TEST(DynamicOuter2Phases, FullPhase2DegeneratesToRandom) {
   }
   EXPECT_EQ(seen.size(), 36u);
   EXPECT_EQ(strategy.phase2_tasks_served(), 36u);
+}
+
+TEST(DynamicOuter2Phases, SwitchBoundaryIsStrict) {
+  // n = 10, single worker: request r is data-aware while the pool holds
+  // 100 - (r-1)^2 tasks and allocates 2r - 1 of them. After 8 requests
+  // exactly 36 remain, so with phase2_tasks = 36 request 9 arrives at
+  // the documented boundary ("once *fewer than* 36 remain") and must
+  // still be served data-aware: 17 tasks in one batch, not 1.
+  DynamicOuterStrategy strategy(OuterConfig{10}, 1, 8, 36);
+  for (int r = 0; r < 8; ++r) {
+    ASSERT_TRUE(strategy.on_request(0).has_value());
+  }
+  ASSERT_EQ(strategy.unassigned_tasks(), 36u);
+  EXPECT_EQ(strategy.current_phase(), 1);
+  const auto boundary = strategy.on_request(0);
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(boundary->tasks.size(), 17u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 0u);
+  // One task below the threshold the very next request is random.
+  EXPECT_EQ(strategy.current_phase(), 2);
+  const auto after = strategy.on_request(0);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->tasks.size(), 1u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 1u);
 }
 
 TEST(DynamicOuter2Phases, Phase2ReusesPhase1Blocks) {
@@ -182,6 +210,74 @@ TEST(DynamicOuter, NamesDistinguishVariants) {
 TEST(DynamicOuter, RejectsZeroWorkers) {
   EXPECT_THROW(DynamicOuterStrategy(OuterConfig{8}, 0, 1),
                std::invalid_argument);
+}
+
+// Drains a single worker through all n data-aware steps, requeues some
+// of its tasks (the crash path) and drains again: the post-requeue
+// serves run on the random fallback, which must be accounted as
+// fallback work — never as phase 2 — and announced exactly once.
+TEST(DynamicOuter, RequeueFallbackCountsSeparatelyFromPhase2) {
+  DynamicOuterStrategy strategy(OuterConfig{4}, 1, 3);
+  RecordingTrace trace;
+  double clock = 0.0;
+  strategy.attach_observer(&trace, &clock);
+
+  std::vector<TaskId> assigned;
+  while (auto a = strategy.on_request(0)) {
+    assigned.insert(assigned.end(), a->tasks.begin(), a->tasks.end());
+  }
+  ASSERT_EQ(assigned.size(), 16u);  // phase 1 alone drains the pool
+  EXPECT_EQ(strategy.phase2_tasks_served(), 0u);
+  EXPECT_EQ(strategy.fallback_tasks_served(), 0u);
+  EXPECT_TRUE(trace.fallbacks().empty());
+
+  const std::vector<TaskId> requeued(assigned.begin(), assigned.begin() + 5);
+  ASSERT_TRUE(strategy.requeue(requeued));
+  clock = 2.5;
+  std::uint64_t served = 0;
+  while (auto a = strategy.on_request(0)) {
+    ASSERT_EQ(a->tasks.size(), 1u);
+    ASSERT_TRUE(a->blocks.empty());  // the worker already owns all blocks
+    ++served;
+  }
+  EXPECT_EQ(served, 5u);
+  EXPECT_EQ(strategy.fallback_tasks_served(), 5u);
+  EXPECT_EQ(strategy.phase2_tasks_served(), 0u);  // regression: was phase2
+  // The regime change is announced exactly once, as a fallback — the
+  // planned two-phase switch never happened.
+  ASSERT_EQ(trace.fallbacks().size(), 1u);
+  EXPECT_EQ(trace.fallbacks()[0].time, 2.5);
+  EXPECT_EQ(trace.fallbacks()[0].tasks_remaining, 5u);
+  EXPECT_TRUE(trace.phase_switches().empty());
+
+  // reset() rearms the once-per-rep announcement.
+  ASSERT_TRUE(strategy.reset(3));
+  EXPECT_EQ(strategy.fallback_tasks_served(), 0u);
+  while (strategy.on_request(0).has_value()) {
+  }
+  ASSERT_TRUE(strategy.requeue({assigned[0]}));
+  ASSERT_TRUE(strategy.on_request(0).has_value());
+  EXPECT_EQ(trace.fallbacks().size(), 2u);
+}
+
+// The planned two-phase switch is announced exactly once per rep even
+// though every phase-2 request runs through the same branch.
+TEST(DynamicOuter2Phases, PhaseSwitchAnnouncedOncePerRep) {
+  DynamicOuterStrategy strategy(OuterConfig{10}, 1, 8, 36);
+  RecordingTrace trace;
+  double clock = 1.0;
+  strategy.attach_observer(&trace, &clock);
+  while (strategy.on_request(0).has_value()) {
+  }
+  ASSERT_EQ(trace.phase_switches().size(), 1u);
+  EXPECT_EQ(trace.phase_switches()[0].time, 1.0);
+  EXPECT_EQ(trace.phase_switches()[0].tasks_remaining, 19u);
+  EXPECT_TRUE(trace.fallbacks().empty());
+
+  ASSERT_TRUE(strategy.reset(8));
+  while (strategy.on_request(0).has_value()) {
+  }
+  EXPECT_EQ(trace.phase_switches().size(), 2u);
 }
 
 }  // namespace

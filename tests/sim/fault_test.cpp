@@ -89,6 +89,25 @@ TEST(FaultInjection, DynamicOuterLateCrashRequeueDrainsViaRandomFallback) {
   EXPECT_EQ(strategy->unassigned_tasks(), 0u);
 }
 
+TEST(FaultInjection, DynamicMatrixLateCrashRequeueDrainsViaRandomFallback) {
+  // Matmul analogue of the DynamicOuter liveness regression above: a
+  // late-requeued task has all three of its indices in every survivor's
+  // known sets, so the structured extension can never re-allocate it —
+  // only the random fallback can. The pool must still fully drain.
+  Platform platform({30.0, 30.0, 30.0});
+  auto probe = make_matmul_strategy("DynamicMatrix", MatmulConfig{8}, 3, 13);
+  const double makespan = simulate(*probe, platform).makespan;
+
+  auto strategy = make_matmul_strategy("DynamicMatrix", MatmulConfig{8}, 3, 13);
+  const SimResult result =
+      simulate(*strategy, platform,
+               with_faults({WorkerFault{0.85 * makespan, 1, 0.0}}));
+  EXPECT_EQ(result.total_tasks_done, 512u);
+  EXPECT_EQ(result.crashed_workers, 1u);
+  EXPECT_GE(result.requeued_tasks, 1u);
+  EXPECT_EQ(strategy->unassigned_tasks(), 0u);
+}
+
 TEST(FaultInjection, MultipleCrashesSurvivedByLastWorker) {
   auto strategy = make_outer_strategy("RandomOuter", OuterConfig{16}, 3, 4);
   Platform platform({30.0, 30.0, 30.0});
