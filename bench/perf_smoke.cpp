@@ -20,6 +20,7 @@
 #include <fstream>
 #include <iostream>
 #include <queue>
+#include <sstream>
 #include <string>
 #include <sys/resource.h>
 #include <utility>
@@ -29,6 +30,8 @@
 #include "common/json.hpp"
 #include "common/task_pool.hpp"
 #include "matmul/matmul_factory.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "outer/outer_factory.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
@@ -152,6 +155,33 @@ double workload_reps_per_sec(Kernel kernel, const std::string& strategy,
   return result.reps_per_sec;
 }
 
+/// Same fig10-sized workload with the flight recorder attached
+/// (wall-clock profiler + progress heartbeats into a sink). The
+/// resulting rep-cost ratio is a required key in the CI perf gate, so
+/// telemetry cost regressions fail the build like any other slowdown.
+struct ProfiledWorkload {
+  double reps_per_sec = 0.0;
+  ProfileTotals profile;
+};
+
+ProfiledWorkload profiled_fig10_workload(std::uint32_t reps) {
+  ExperimentConfig config;
+  config.kernel = Kernel::kMatmul;
+  config.strategy = "DynamicMatrix2Phases";
+  config.n = 100;
+  config.p = 100;
+  config.reps = reps;
+  config.parallelism = 1;
+  config.seed = 42;
+  config.profile = true;
+  std::ostringstream sink;
+  ProgressReporter reporter(sink, {});
+  reporter.expect_reps(config.reps);
+  config.progress = &reporter;
+  const ExperimentResult result = run_experiment(config);
+  return {result.reps_per_sec, result.profile};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,6 +222,10 @@ int main(int argc, char** argv) {
   reps_of("fig05_outer_n1000", Kernel::kOuter, "DynamicOuter2Phases", 1000);
   reps_of("fig10_mm_n100", Kernel::kMatmul, "RandomMatrix", 100);
   reps_of("fig10_mm_n100", Kernel::kMatmul, "DynamicMatrix2Phases", 100);
+
+  const ProfiledWorkload profiled = profiled_fig10_workload(2);
+  std::cerr << "# reps/sec fig10_mm_n100.DynamicMatrix2Phases (profiled): "
+            << profiled.reps_per_sec << "\n";
 
   const double pool_rss = large_pool_rss_delta_mb();
   std::cerr << "# large pool (10^9 ids) rss delta: " << pool_rss << " MB\n";
@@ -250,7 +284,16 @@ int main(int argc, char** argv) {
   for (const auto& [name, r] : reps) {
     json.field("rep_cost." + name, 1e9 / (r * heap));
   }
+  // Telemetry-on rep cost: gated against the plain fig10 number above,
+  // so profiler + progress can never silently grow past the noise
+  // floor (the structural < 1% gate lives in tests/obs/profiler_test).
+  json.field("profile.rep_cost.fig10_mm_n100.DynamicMatrix2Phases",
+             1e9 / (profiled.reps_per_sec * heap));
   json.end_object();
+  // Per-site wall totals of the profiled run, for eyeballing where a
+  // telemetry regression landed (same site taxonomy as the CLI).
+  json.key("profile");
+  write_profile_json(json, profiled.profile);
   json.key("large_pool");
   json.begin_object();
   json.field("capacity_ids", static_cast<std::uint64_t>(1'000'000'000ull));

@@ -6,8 +6,8 @@
 
 namespace hetsched {
 
-JsonWriter::JsonWriter(std::ostream& out, bool pretty)
-    : out_(out), pretty_(pretty) {}
+JsonWriter::JsonWriter(std::ostream& out, bool pretty, int double_precision)
+    : out_(out), pretty_(pretty), double_precision_(double_precision) {}
 
 JsonWriter::~JsonWriter() { assert(scopes_.empty() && "unbalanced JSON"); }
 
@@ -79,7 +79,7 @@ void JsonWriter::value(double v) {
   pending_key_ = false;
   if (std::isfinite(v)) {
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.12g", v);
+    std::snprintf(buf, sizeof buf, "%.*g", double_precision_, v);
     out_ << buf;
   } else {
     out_ << "null";  // JSON has no NaN/Inf

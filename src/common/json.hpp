@@ -15,7 +15,12 @@ namespace hetsched {
 
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& out, bool pretty = true);
+  /// `double_precision` is the %g significand digit count for doubles.
+  /// The default 12 keeps human-facing output short; writers whose
+  /// numbers must round-trip exactly (the hetsched-trace/1 format, so
+  /// stream analysis is bit-identical to in-memory analysis) pass 17.
+  explicit JsonWriter(std::ostream& out, bool pretty = true,
+                      int double_precision = 12);
   ~JsonWriter();
 
   JsonWriter(const JsonWriter&) = delete;
@@ -59,6 +64,7 @@ class JsonWriter {
 
   std::ostream& out_;
   bool pretty_;
+  int double_precision_;
   std::vector<Scope> scopes_;
   std::vector<bool> scope_has_items_;
   bool pending_key_ = false;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/json.hpp"
+#include "obs/progress.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hetsched {
@@ -27,13 +28,15 @@ void Campaign::add(std::string label, ExperimentConfig config) {
   entries_.push_back(CampaignEntry{std::move(label), std::move(config)});
 }
 
-std::vector<CampaignOutcome> Campaign::run(unsigned parallelism) const {
+std::vector<CampaignOutcome> Campaign::run(unsigned parallelism,
+                                           ProgressReporter* progress) const {
   return run_with([](const ExperimentConfig& c) { return run_experiment(c); },
-                  parallelism);
+                  parallelism, progress);
 }
 
-std::vector<CampaignOutcome> Campaign::run_with(const ExperimentRunner& runner,
-                                                unsigned parallelism) const {
+std::vector<CampaignOutcome> Campaign::run_with(
+    const ExperimentRunner& runner, unsigned parallelism,
+    ProgressReporter* progress) const {
   if (!runner) {
     throw std::invalid_argument("Campaign::run_with: runner must be callable");
   }
@@ -43,6 +46,11 @@ std::vector<CampaignOutcome> Campaign::run_with(const ExperimentRunner& runner,
     outcomes[e].config = entries_[e].config;
   }
   if (entries_.empty()) return outcomes;
+  if (progress != nullptr) {
+    for (const auto& entry : entries_) {
+      progress->expect_reps(entry.config.reps);
+    }
+  }
 
   const auto units = static_cast<std::uint32_t>(entries_.size());
   std::uint32_t threads = 1;
@@ -60,7 +68,15 @@ std::vector<CampaignOutcome> Campaign::run_with(const ExperimentRunner& runner,
   // Shared atomic-index queue: no future window, no head-of-line
   // blocking on the oldest entry, results land at their entry index.
   parallel_for_dynamic(threads, units, [&](std::uint64_t e) {
-    outcomes[e].result = runner(entries_[e].config);
+    if (progress == nullptr) {
+      outcomes[e].result = runner(entries_[e].config);
+      return;
+    }
+    progress->experiment_started(entries_[e].label);
+    ExperimentConfig config = entries_[e].config;
+    config.progress = progress;  // rep-level heartbeats
+    outcomes[e].result = runner(config);
+    progress->experiment_finished(entries_[e].label);
   });
   return outcomes;
 }
@@ -90,6 +106,10 @@ void write_campaign_json(std::ostream& out, const std::string& name,
     json.field("reps_per_sec", outcome.result.reps_per_sec);
     json.field("rep_parallelism",
                static_cast<std::uint64_t>(outcome.result.rep_parallelism));
+    if (outcome.result.profile.enabled) {
+      json.key("profile");
+      write_profile_json(json, outcome.result.profile);
+    }
     json.end_object();
   }
   json.end_array();

@@ -18,6 +18,8 @@
 
 namespace hetsched {
 
+class ProgressReporter;  // obs/progress.hpp
+
 struct CampaignEntry {
   std::string label;  // unique within the campaign
   ExperimentConfig config;
@@ -51,11 +53,20 @@ class Campaign {
   /// nested rep loops fall back to serial — campaign-level and
   /// rep-level parallelism compose without oversubscription. Outcomes
   /// are returned in insertion order regardless of completion order.
-  std::vector<CampaignOutcome> run(unsigned parallelism = 0) const;
+  ///
+  /// `progress` (optional, not owned): every entry's reps are
+  /// registered up front (expect_reps) so the ETA covers the whole
+  /// campaign, entry labels appear in heartbeats while executing, and
+  /// each entry's config is run with the reporter injected. Progress is
+  /// wall-clock-only telemetry; results are bit-identical with or
+  /// without it.
+  std::vector<CampaignOutcome> run(unsigned parallelism = 0,
+                                   ProgressReporter* progress = nullptr) const;
 
   /// Same scheduling, custom experiment runner.
-  std::vector<CampaignOutcome> run_with(const ExperimentRunner& runner,
-                                        unsigned parallelism = 0) const;
+  std::vector<CampaignOutcome> run_with(
+      const ExperimentRunner& runner, unsigned parallelism = 0,
+      ProgressReporter* progress = nullptr) const;
 
  private:
   std::string name_;

@@ -12,6 +12,7 @@
 #include "analysis/outer_analysis.hpp"
 #include "common/rng.hpp"
 #include "matmul/matmul_factory.hpp"
+#include "obs/progress.hpp"
 #include "outer/outer_factory.hpp"
 #include "platform/lower_bound.hpp"
 #include "runtime/thread_pool.hpp"
@@ -91,12 +92,15 @@ RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
   }
   // Rep-context reuse: rewind the cached strategy in place when it
   // supports reset(); otherwise build fresh and cache for next time.
+  ProfShard* prof = ctx != nullptr ? ctx->prof : nullptr;
   std::unique_ptr<Strategy> owned;
   Strategy* strategy = nullptr;
-  if (ctx != nullptr && ctx->strategy != nullptr &&
-      ctx->strategy->reset(rep_seed)) {
-    strategy = ctx->strategy.get();
-  } else {
+  if (ctx != nullptr && ctx->strategy != nullptr) {
+    ProfScope scope(prof, ProfSite::kStrategyReset);
+    if (ctx->strategy->reset(rep_seed)) strategy = ctx->strategy.get();
+  }
+  if (strategy == nullptr) {
+    ProfScope scope(prof, ProfSite::kStrategyBuild);
     owned = build_strategy(config, rep_seed, phase2_fraction);
     strategy = owned.get();
   }
@@ -110,22 +114,28 @@ RepOutcome run_single(const ExperimentConfig& config, std::uint64_t rep_seed,
   }
 
   RepOutcome outcome;
-  if (config.timed) {
-    TimedSimConfig sim_config;
-    sim_config.seed = rep_seed;
-    sim_config.comm = config.comm;
-    sim_config.lookahead = config.lookahead;
-    sim_config.perturbation = config.scenario.perturbation;
-    sim_config.faults = config.faults;
-    sim_config.metrics = metrics;
-    outcome.sim = simulate_timed(*strategy, platform, sim_config, trace);
-  } else {
-    SimConfig sim_config;
-    sim_config.seed = rep_seed;
-    sim_config.perturbation = config.scenario.perturbation;
-    sim_config.faults = config.faults;
-    sim_config.metrics = metrics;
-    outcome.sim = simulate(*strategy, platform, sim_config, trace);
+  {
+    // One scope per engine run: the whole event loop, including every
+    // strategy on_request / serve / retire dispatch. Timing coarser
+    // than per-event keeps clock reads O(1) per rep (the < 1% gate).
+    ProfScope scope(prof, ProfSite::kEngineRun);
+    if (config.timed) {
+      TimedSimConfig sim_config;
+      sim_config.seed = rep_seed;
+      sim_config.comm = config.comm;
+      sim_config.lookahead = config.lookahead;
+      sim_config.perturbation = config.scenario.perturbation;
+      sim_config.faults = config.faults;
+      sim_config.metrics = metrics;
+      outcome.sim = simulate_timed(*strategy, platform, sim_config, trace);
+    } else {
+      SimConfig sim_config;
+      sim_config.seed = rep_seed;
+      sim_config.perturbation = config.scenario.perturbation;
+      sim_config.faults = config.faults;
+      sim_config.metrics = metrics;
+      outcome.sim = simulate(*strategy, platform, sim_config, trace);
+    }
   }
   if (instr != nullptr && instr->on_done) instr->on_done(outcome.sim);
   if (ctx != nullptr && owned != nullptr) ctx->strategy = std::move(owned);
@@ -174,12 +184,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // aggregation is bit-identical for any thread count.
   const std::uint32_t shard_count = std::min(kRepShards, config.reps);
   std::vector<ShardStats> shards(shard_count);
+  // Profiling shards mirror the stat shards: one single-writer struct
+  // per shard, merged in shard order below, so profiled totals
+  // aggregate identically for any thread count.
+  std::vector<ProfShard> prof_shards(config.profile ? shard_count : 0);
   auto run_shard = [&](std::uint64_t s) {
     ShardStats& shard = shards[s];
     // One rep context per shard: the shard is single-writer, so the
     // strategy cached in it is rewound (not rebuilt) for every rep the
     // shard runs after its first.
     RepContext ctx;
+    if (config.profile) ctx.prof = &prof_shards[s];
     for (std::uint64_t r = s; r < config.reps; r += kRepShards) {
       const std::uint64_t rep_seed =
           derive_stream(config.seed, "rep." + std::to_string(r));
@@ -189,6 +204,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       shard.makespan.push(outcome.sim.makespan);
       shard.spread.push(outcome.sim.finish_spread());
       result.reps[r] = std::move(outcome);
+      if (config.progress != nullptr) config.progress->rep_done();
     }
   };
 
@@ -206,11 +222,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   lease.reset();
 
   ShardStats total;
-  for (const ShardStats& shard : shards) {
-    total.normalized.merge(shard.normalized);
-    total.analysis.merge(shard.analysis);
-    total.makespan.merge(shard.makespan);
-    total.spread.merge(shard.spread);
+  {
+    // Main-thread shard: the merge itself is profiled work.
+    ProfShard agg_shard;
+    ProfShard* agg = config.profile ? &agg_shard : nullptr;
+    {
+      ProfScope scope(agg, ProfSite::kAggregate);
+      for (const ShardStats& shard : shards) {
+        total.normalized.merge(shard.normalized);
+        total.analysis.merge(shard.analysis);
+        total.makespan.merge(shard.makespan);
+        total.spread.merge(shard.spread);
+      }
+    }
+    if (config.profile) {
+      result.profile.enabled = true;
+      for (const ProfShard& shard : prof_shards) result.profile.add(shard);
+      result.profile.add(agg_shard);
+    }
   }
   result.normalized = total.normalized.to_summary();
   result.analysis_ratio = total.analysis.to_summary();

@@ -15,12 +15,15 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/profiler.hpp"
 #include "platform/platform.hpp"
 #include "platform/scenario.hpp"
 #include "sim/engine.hpp"
 #include "sim/engine_timed.hpp"
 
 namespace hetsched {
+
+class ProgressReporter;  // obs/progress.hpp
 
 enum class Kernel { kOuter, kMatmul };
 
@@ -58,6 +61,14 @@ struct ExperimentConfig {
   /// the budget. A nonzero value is honored exactly (capped at the
   /// shard count). Results are bit-identical for every setting.
   std::uint32_t parallelism = 0;
+  /// Wall-clock self-profiling (obs/profiler.hpp). Adds O(1) clock
+  /// reads per rep; totals land in ExperimentResult::profile. Never
+  /// affects sim results (pinned by the observability determinism
+  /// tests).
+  bool profile = false;
+  /// Live heartbeat sink (obs/progress.hpp); the rep loop reports every
+  /// completed rep into it. Not owned. May be null.
+  ProgressReporter* progress = nullptr;
 };
 
 struct RepOutcome {
@@ -80,6 +91,8 @@ struct ExperimentResult {
   double wall_time_sec = 0.0;         // wall time of the whole rep loop
   double reps_per_sec = 0.0;          // reps / wall_time_sec
   std::uint32_t rep_parallelism = 1;  // threads the rep loop actually used
+  /// Per-site wall-clock totals; enabled iff config.profile was set.
+  ProfileTotals profile;
 };
 
 /// Optional observation plumbing for one repetition (src/obs builds on
@@ -113,6 +126,9 @@ struct RepInstrumentation {
 /// different configs or threads.
 struct RepContext {
   std::unique_ptr<Strategy> strategy;
+  /// Profiling shard the context's reps accumulate into (single-writer,
+  /// like the context itself). Null = profiling off.
+  ProfShard* prof = nullptr;
 };
 
 /// Runs one repetition with an explicit per-rep seed, optionally

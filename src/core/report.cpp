@@ -69,6 +69,12 @@ void write_experiment_json(std::ostream& out, const ExperimentConfig& config,
   json.field("reps_per_sec", result.reps_per_sec);
   json.field("rep_parallelism",
              static_cast<std::uint64_t>(result.rep_parallelism));
+  // Like the engine extras above: only present when profiling ran, so
+  // unprofiled outputs stay byte-identical.
+  if (result.profile.enabled) {
+    json.key("profile");
+    write_profile_json(json, result.profile);
+  }
 
   if (include_reps) {
     json.key("reps_detail");

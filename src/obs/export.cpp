@@ -5,8 +5,11 @@
 
 namespace hetsched {
 
-void write_timeseries_csv(std::ostream& out,
-                          const TimeSeriesSampler& sampler) {
+void write_timeseries_csv(std::ostream& out, const TimeSeriesSampler& sampler,
+                          std::uint64_t dropped_events) {
+  if (dropped_events > 0) {
+    out << "# dropped_events=" << dropped_events << '\n';
+  }
   std::vector<std::string> columns;
   columns.reserve(sampler.channel_names().size() + 1);
   columns.push_back("time");
@@ -22,7 +25,8 @@ void write_timeseries_csv(std::ostream& out,
 }
 
 void write_timeseries_jsonl(std::ostream& out,
-                            const TimeSeriesSampler& sampler) {
+                            const TimeSeriesSampler& sampler,
+                            std::uint64_t dropped_events) {
   {
     JsonWriter meta(out, /*pretty=*/false);
     meta.begin_object();
@@ -32,6 +36,7 @@ void write_timeseries_jsonl(std::ostream& out,
     meta.begin_array();
     for (const auto& name : sampler.channel_names()) meta.value(name);
     meta.end_array();
+    meta.field("dropped_events", dropped_events);
     meta.end_object();
   }
   out << '\n';

@@ -6,18 +6,25 @@
 // (write_metrics_json) to make one self-describing file per run.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 
 #include "obs/sampler.hpp"
 
 namespace hetsched {
 
-/// Header "time,<ch1>,<ch2>,..." then one row per sample.
-void write_timeseries_csv(std::ostream& out, const TimeSeriesSampler& sampler);
+/// Header "time,<ch1>,<ch2>,..." then one row per sample. A nonzero
+/// `dropped_events` (RecordingTrace cap hit during the run) is recorded
+/// as a leading "# dropped_events=N" comment so downstream plots know
+/// the series' source trace was truncated.
+void write_timeseries_csv(std::ostream& out, const TimeSeriesSampler& sampler,
+                          std::uint64_t dropped_events = 0);
 
-/// First line {"type":"meta","interval":dt,"channels":[...]} then one
-/// {"type":"sample","t":...,"v":[...]} line per sample.
+/// First line {"type":"meta","interval":dt,"channels":[...],
+/// "dropped_events":N} then one {"type":"sample","t":...,"v":[...]}
+/// line per sample.
 void write_timeseries_jsonl(std::ostream& out,
-                            const TimeSeriesSampler& sampler);
+                            const TimeSeriesSampler& sampler,
+                            std::uint64_t dropped_events = 0);
 
 }  // namespace hetsched

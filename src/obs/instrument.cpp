@@ -81,6 +81,11 @@ void run_instrumented_rep(const ExperimentConfig& config,
   instr.on_done = [&](const SimResult& sim) { out.sampler.finish(sim.makespan); };
 
   out.outcome = run_single(config, rep_seed, &instr);
+  // Surface trace truncation next to the data it biases: exporters and
+  // the analyzer read this counter (and RecordingTrace::dropped_events)
+  // to warn that attribution over the stored events is incomplete.
+  out.registry.counter("trace.dropped_events")
+      .add(out.recording.dropped_events());
   out.phase_switched = metrics_trace.phase_switched();
   out.phase_switch_time = metrics_trace.phase_switch_time();
   out.phase_switch_tasks_remaining =

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "common/json.hpp"
@@ -53,6 +54,34 @@ void Histogram::merge(const std::vector<std::uint64_t>& bucket_counts,
   while (!sum_.compare_exchange_weak(expected, expected + sum_delta,
                                      std::memory_order_relaxed)) {
   }
+}
+
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0) || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
+  }
+  const std::vector<std::uint64_t> counts = this->counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  // Rank of the target observation (1-based); q = 0 means the first.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
 }
 
 std::vector<std::uint64_t> Histogram::counts() const {
@@ -152,6 +181,12 @@ void write_metrics_json(std::ostream& out, const MetricsRegistry& registry) {
     json.end_array();
     json.field("count", h->count());
     json.field("sum", h->sum());
+    if (h->count() > 0) {
+      // SLA percentiles (interpolated; see Histogram::quantile).
+      json.field("p50", h->quantile(0.50));
+      json.field("p95", h->quantile(0.95));
+      json.field("p99", h->quantile(0.99));
+    }
     json.end_object();
   }
   json.end_object();

@@ -67,6 +67,15 @@ class Histogram {
   void merge(const std::vector<std::uint64_t>& bucket_counts,
              double sum_delta);
 
+  /// Interpolated quantile estimate for q in [0, 1] (throws outside).
+  /// Assumes non-negative observations spread uniformly within each
+  /// bucket (the Prometheus convention): the first bucket interpolates
+  /// from 0 and a quantile landing in the overflow bucket returns the
+  /// last bound (the histogram cannot resolve beyond it). NaN when the
+  /// histogram is empty. Reads relaxed — quiesce before reading, like
+  /// the other snapshot accessors.
+  double quantile(double q) const;
+
   const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
   /// Per-bucket counts; size = upper_bounds().size() + 1 (overflow last).
   std::vector<std::uint64_t> counts() const;

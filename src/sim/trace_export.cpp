@@ -105,6 +105,12 @@ void export_chrome_trace(std::ostream& out, const RecordingTrace& trace,
 
   json.end_array();
   json.field("displayTimeUnit", "ms");
+  // Chrome's about:tracing ignores unknown top-level keys; consumers
+  // (and the analyze warning path) read the truncation marker here.
+  json.key("metadata");
+  json.begin_object();
+  json.field("dropped_events", trace.dropped_events());
+  json.end_object();
   json.end_object();
   out << '\n';
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -70,6 +71,45 @@ TEST(Histogram, MergeFoldsPreAggregatedShard) {
   EXPECT_THROW(h.merge({1, 2}, 0.0), std::invalid_argument);  // wrong width
 }
 
+TEST(Histogram, QuantileInterpolatesKnownDistribution) {
+  // 100 observations spread uniformly over (0, 10]: ten per bucket of
+  // width 1. The exact quantiles of that distribution are known, and
+  // linear interpolation inside a bucket must reproduce them.
+  Histogram h({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+  for (int i = 1; i <= 100; ++i) h.observe(i * 0.1);
+  EXPECT_NEAR(h.quantile(0.50), 5.0, 1e-12);
+  EXPECT_NEAR(h.quantile(0.95), 9.5, 1e-12);
+  EXPECT_NEAR(h.quantile(0.99), 9.9, 1e-12);
+  EXPECT_NEAR(h.quantile(0.05), 0.5, 1e-12);
+  // q=0 still needs one observation's rank; q=1 is the last bound.
+  EXPECT_NEAR(h.quantile(0.0), 0.1, 1e-12);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-12);
+}
+
+TEST(Histogram, QuantileFirstBucketInterpolatesFromZero) {
+  Histogram h({4.0, 8.0});
+  h.observe(1.0);
+  h.observe(2.0);
+  // Both observations land in [0, 4]; the median rank sits halfway
+  // through the bucket under the Prometheus convention.
+  EXPECT_NEAR(h.quantile(0.5), 2.0, 1e-12);
+}
+
+TEST(Histogram, QuantileOverflowBucketClampsToLastBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(100.0);  // overflow
+  EXPECT_NEAR(h.quantile(0.99), 2.0, 1e-12);
+}
+
+TEST(Histogram, QuantileEmptyIsNaNAndBadQThrows) {
+  Histogram h({1.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  h.observe(0.5);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
 TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(Histogram({}), std::invalid_argument);
   EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
@@ -128,6 +168,10 @@ TEST(MetricsJson, WritesAllSectionsCompact) {
   EXPECT_NE(text.find("\"histograms\""), std::string::npos);
   EXPECT_NE(text.find("\"bounds\""), std::string::npos);
   EXPECT_NE(text.find("\"counts\""), std::string::npos);
+  // Non-empty histograms carry interpolated SLA percentiles.
+  EXPECT_NE(text.find("\"p50\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"p95\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"p99\":1"), std::string::npos);
   // Compact (single JSON-lines record): no newline inside.
   EXPECT_EQ(text.find('\n'), std::string::npos);
 }

@@ -1,0 +1,116 @@
+// The flight-recorder contract: observability must be a pure reader.
+// Profiler scopes, progress heartbeats, and the instrumented trace
+// stack read wall clocks and engine events but never the simulated
+// clock or any RNG stream — so every simulated quantity stays
+// bit-identical whether observability is off, on, single-threaded, or
+// running across all rep shards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "obs/instrument.hpp"
+#include "obs/progress.hpp"
+
+namespace hetsched {
+namespace {
+
+ExperimentConfig golden_config() {
+  // Mirrors the engine-golden protocol family: two-phase dynamic outer
+  // on a moderate platform, enough reps to span several stat shards.
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter2Phases";
+  config.n = 24;
+  config.p = 6;
+  config.reps = 8;
+  config.seed = 42;
+  return config;
+}
+
+void expect_summaries_bit_identical(const ExperimentResult& a,
+                                    const ExperimentResult& b) {
+  // EXPECT_EQ on doubles is exact ==: any drift, even 1 ulp, fails.
+  EXPECT_EQ(a.normalized.mean, b.normalized.mean);
+  EXPECT_EQ(a.normalized.stddev, b.normalized.stddev);
+  EXPECT_EQ(a.normalized.min, b.normalized.min);
+  EXPECT_EQ(a.normalized.max, b.normalized.max);
+  EXPECT_EQ(a.makespan.mean, b.makespan.mean);
+  EXPECT_EQ(a.makespan.stddev, b.makespan.stddev);
+  EXPECT_EQ(a.analysis_ratio.mean, b.analysis_ratio.mean);
+  EXPECT_EQ(a.finish_spread.mean, b.finish_spread.mean);
+  EXPECT_EQ(a.beta, b.beta);
+  ASSERT_EQ(a.reps.size(), b.reps.size());
+  for (std::size_t r = 0; r < a.reps.size(); ++r) {
+    EXPECT_EQ(a.reps[r].sim.makespan, b.reps[r].sim.makespan) << "rep " << r;
+    EXPECT_EQ(a.reps[r].normalized, b.reps[r].normalized) << "rep " << r;
+    EXPECT_EQ(a.reps[r].sim.total_blocks, b.reps[r].sim.total_blocks);
+  }
+}
+
+TEST(ObservabilityDeterminism, ProfiledRunMatchesPlainRunExactly) {
+  ExperimentConfig plain = golden_config();
+  plain.parallelism = 1;
+  const ExperimentResult reference = run_experiment(plain);
+  EXPECT_FALSE(reference.profile.enabled);
+
+  ExperimentConfig profiled = golden_config();
+  profiled.parallelism = 1;
+  profiled.profile = true;
+  std::ostringstream progress_out;
+  ProgressReporter reporter(progress_out, {});
+  reporter.expect_reps(profiled.reps);
+  profiled.progress = &reporter;
+  const ExperimentResult observed = run_experiment(profiled);
+  reporter.finish();
+
+  EXPECT_TRUE(observed.profile.enabled);
+  EXPECT_EQ(reporter.reps_done(), profiled.reps);
+  expect_summaries_bit_identical(reference, observed);
+}
+
+TEST(ObservabilityDeterminism, ObservedRunIsThreadCountInvariant) {
+  ExperimentConfig serial = golden_config();
+  serial.parallelism = 1;
+  serial.profile = true;
+  std::ostringstream out1;
+  ProgressReporter reporter1(out1, {});
+  serial.progress = &reporter1;
+  const ExperimentResult one = run_experiment(serial);
+
+  ExperimentConfig parallel = golden_config();
+  parallel.parallelism = 4;
+  parallel.profile = true;
+  std::ostringstream out4;
+  ProgressReporter reporter4(out4, {});
+  parallel.progress = &reporter4;
+  const ExperimentResult four = run_experiment(parallel);
+
+  EXPECT_EQ(four.rep_parallelism, 4u);
+  expect_summaries_bit_identical(one, four);
+}
+
+TEST(ObservabilityDeterminism, InstrumentedRepMatchesBareRunSingle) {
+  const ExperimentConfig config = golden_config();
+  const std::uint64_t rep_seed = derive_stream(config.seed, "rep.0");
+  const RepOutcome bare = run_single(config, rep_seed);
+
+  InstrumentedRep rep;
+  run_instrumented_rep(config, rep_seed, {}, rep);
+
+  EXPECT_EQ(rep.outcome.sim.makespan, bare.sim.makespan);
+  EXPECT_EQ(rep.outcome.sim.total_blocks, bare.sim.total_blocks);
+  EXPECT_EQ(rep.outcome.normalized, bare.normalized);
+  ASSERT_EQ(rep.outcome.sim.workers.size(), bare.sim.workers.size());
+  for (std::size_t k = 0; k < bare.sim.workers.size(); ++k) {
+    EXPECT_EQ(rep.outcome.sim.workers[k].busy_time,
+              bare.sim.workers[k].busy_time);
+    EXPECT_EQ(rep.outcome.sim.workers[k].finish_time,
+              bare.sim.workers[k].finish_time);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

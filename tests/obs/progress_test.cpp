@@ -1,0 +1,187 @@
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/experiment.hpp"
+
+namespace hetsched {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+// Injectable clock the tests step manually: reporters only see the
+// wall clock through Options::clock, so throttling is exact here.
+std::atomic<std::uint64_t> g_now_ns{0};
+std::uint64_t manual_clock() { return g_now_ns.load(); }
+
+TEST(ProgressReporter, ThrottlesToOneHeartbeatPerInterval) {
+  g_now_ns = 0;
+  std::ostringstream out;
+  ProgressReporter::Options options;
+  options.min_interval_sec = 1.0;
+  options.clock = &manual_clock;
+  ProgressReporter reporter(out, options);
+  reporter.expect_reps(100);
+
+  // 10 reps inside the first second: no heartbeat.
+  for (int i = 0; i < 10; ++i) reporter.rep_done();
+  EXPECT_EQ(reporter.emissions(), 0u);
+  EXPECT_EQ(out.str(), "");
+
+  // Clock passes the deadline: exactly one heartbeat for the burst.
+  g_now_ns = 1'500'000'000;
+  for (int i = 0; i < 10; ++i) reporter.rep_done();
+  EXPECT_EQ(reporter.emissions(), 1u);
+  EXPECT_EQ(count_occurrences(out.str(), "\"type\":\"heartbeat\""), 1u);
+
+  // Next interval: one more.
+  g_now_ns = 3'000'000'000;
+  reporter.rep_done();
+  EXPECT_EQ(reporter.emissions(), 2u);
+
+  reporter.finish();
+  EXPECT_EQ(reporter.emissions(), 3u);
+  EXPECT_EQ(count_occurrences(out.str(), "\"type\":\"done\""), 1u);
+  EXPECT_EQ(reporter.reps_done(), 21u);
+  EXPECT_EQ(reporter.reps_total(), 100u);
+}
+
+TEST(ProgressReporter, HeartbeatRecordCarriesRateEtaAndActiveLabels) {
+  g_now_ns = 0;
+  std::ostringstream out;
+  ProgressReporter::Options options;
+  options.min_interval_sec = 1.0;
+  options.clock = &manual_clock;
+  ProgressReporter reporter(out, options);
+  reporter.expect_reps(40);
+  reporter.experiment_started("fig05/p20");
+  reporter.experiment_started("fig05/p50");
+
+  // 19 reps land before the first deadline (no emission), then the
+  // clock advances and the 20th triggers the heartbeat: 20 reps in 2 s
+  // => 10 reps/s, 20 remaining => eta 2 s.
+  for (int i = 0; i < 19; ++i) reporter.rep_done();
+  EXPECT_EQ(reporter.emissions(), 0u);
+  g_now_ns = 2'000'000'000;
+  reporter.rep_done();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"reps_done\":20"), std::string::npos);
+  EXPECT_NE(text.find("\"reps_total\":40"), std::string::npos);
+  EXPECT_NE(text.find("\"reps_per_sec\":10"), std::string::npos);
+  EXPECT_NE(text.find("\"eta_sec\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"active\":[\"fig05/p20\",\"fig05/p50\"]"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"rss_mib\":"), std::string::npos);
+
+  reporter.experiment_finished("fig05/p20");
+  g_now_ns = 4'000'000'000;
+  reporter.rep_done();
+  EXPECT_NE(out.str().find("\"active\":[\"fig05/p50\"]"), std::string::npos);
+}
+
+TEST(ProgressReporter, FinishIsIdempotentAndSelfTimed) {
+  g_now_ns = 0;
+  std::ostringstream out;
+  ProgressReporter::Options options;
+  options.clock = &manual_clock;
+  ProgressReporter reporter(out, options);
+  reporter.finish();
+  reporter.finish();  // second call must not emit again
+  EXPECT_EQ(reporter.emissions(), 1u);
+  EXPECT_EQ(count_occurrences(out.str(), "\"type\":\"done\""), 1u);
+  EXPECT_NE(out.str().find("\"emissions\":"), std::string::npos);
+  EXPECT_NE(out.str().find("\"emit_ns\":"), std::string::npos);
+}
+
+TEST(ProgressReporter, HumanModeRewritesOneLine) {
+  g_now_ns = 0;
+  std::ostringstream out;
+  ProgressReporter::Options options;
+  options.min_interval_sec = 1.0;
+  options.jsonl = false;
+  options.clock = &manual_clock;
+  ProgressReporter reporter(out, options);
+  reporter.expect_reps(4);
+  reporter.experiment_started("fig05");
+  g_now_ns = 2'000'000'000;
+  reporter.rep_done();
+  EXPECT_NE(out.str().find("\r[hetsched] 1/4 reps"), std::string::npos);
+  EXPECT_NE(out.str().find("[fig05]"), std::string::npos);
+  EXPECT_EQ(out.str().find('\n'), std::string::npos);
+  reporter.finish();
+  EXPECT_EQ(out.str().back(), '\n');  // terminal newline, once
+}
+
+TEST(ProgressReporter, HotPathIsOneClockReadPerRep) {
+  g_now_ns = 0;
+  std::ostringstream out;
+  std::atomic<std::uint64_t> reads{0};
+  static std::atomic<std::uint64_t>* counter = nullptr;
+  counter = &reads;
+  ProgressReporter::Options options;
+  options.min_interval_sec = 1e9;  // never emit
+  options.clock = [] {
+    counter->fetch_add(1);
+    return std::uint64_t{0};
+  };
+  ProgressReporter reporter(out, options);
+  const std::uint64_t after_ctor = reads.load();
+  for (int i = 0; i < 100; ++i) reporter.rep_done();
+  EXPECT_EQ(reads.load() - after_ctor, 100u);
+}
+
+TEST(RunExperimentProgress, CountsEveryRep) {
+  std::ostringstream out;
+  ProgressReporter reporter(out, {});
+  ExperimentConfig config;
+  config.kernel = Kernel::kOuter;
+  config.strategy = "DynamicOuter";
+  config.n = 20;
+  config.p = 4;
+  config.reps = 6;
+  config.progress = &reporter;
+  reporter.expect_reps(config.reps);  // the owner registers the total
+  run_experiment(config);
+  reporter.finish();
+  EXPECT_EQ(reporter.reps_done(), 6u);
+  EXPECT_EQ(reporter.reps_total(), 6u);
+  EXPECT_NE(out.str().find("\"type\":\"done\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"reps_done\":6"), std::string::npos);
+}
+
+TEST(CampaignProgress, RegistersAllEntriesUpFront) {
+  Campaign campaign("progress-test");
+  for (const char* strategy : {"RandomOuter", "DynamicOuter"}) {
+    ExperimentConfig config;
+    config.kernel = Kernel::kOuter;
+    config.strategy = strategy;
+    config.n = 16;
+    config.p = 4;
+    config.reps = 3;
+    campaign.add(strategy, config);
+  }
+  std::ostringstream out;
+  ProgressReporter reporter(out, {});
+  campaign.run(/*parallelism=*/2, &reporter);
+  reporter.finish();
+  EXPECT_EQ(reporter.reps_total(), 6u);
+  EXPECT_EQ(reporter.reps_done(), 6u);
+  EXPECT_NE(out.str().find("\"reps_total\":6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -132,7 +132,7 @@ TEST(SamplerExport, JsonlRoundTrip) {
   // deliberate — downstream parsers key on these fields).
   EXPECT_EQ(lines[0],
             "{\"type\":\"meta\",\"interval\":0.25,"
-            "\"channels\":[\"up\",\"down\"]}");
+            "\"channels\":[\"up\",\"down\"],\"dropped_events\":0}");
 
   for (std::size_t row = 0; row < sampler.num_samples(); ++row) {
     const std::string& line = lines[row + 1];
@@ -170,6 +170,28 @@ TEST(SamplerExport, CsvRoundTrip) {
     EXPECT_DOUBLE_EQ(t, sampler.sample_time(row));
     EXPECT_DOUBLE_EQ(val, sampler.sample_value(row, 0));
   }
+}
+
+// Trace truncation is surfaced in both exporters' metadata so a series
+// whose source recording hit the event cap can never masquerade as
+// complete (satellite of docs/observability.md#trace-truncation).
+TEST(SamplerExport, DroppedEventsSurfaceInBothFormats) {
+  TimeSeriesSampler sampler(1.0);
+  double v = 0.0;
+  sampler.add_channel("v", [&v] { return v; });
+  sampler.advance_to(1.0);
+
+  std::ostringstream jsonl;
+  write_timeseries_jsonl(jsonl, sampler, /*dropped_events=*/7);
+  EXPECT_NE(jsonl.str().find("\"dropped_events\":7"), std::string::npos);
+
+  std::ostringstream csv;
+  write_timeseries_csv(csv, sampler, /*dropped_events=*/7);
+  EXPECT_EQ(csv.str().find("# dropped_events=7\n"), 0u);
+  // Zero drops keep the CSV comment-free (plot scripts skip no lines).
+  std::ostringstream clean;
+  write_timeseries_csv(clean, sampler, /*dropped_events=*/0);
+  EXPECT_EQ(clean.str().find('#'), std::string::npos);
 }
 
 }  // namespace

@@ -143,6 +143,30 @@ TEST(TraceExport, RecordingTraceCapDropsAndCounts) {
   }
 }
 
+// The trace shell carries the truncation count so a viewer (or the
+// analyze warning path) can tell a complete Gantt from a capped one.
+TEST(TraceExport, MetadataCarriesDroppedEvents) {
+  Platform platform({10.0, 20.0});
+
+  RecordingTrace clean;
+  auto strategy = make_outer_strategy("SortedOuter", OuterConfig{4}, 2, 1);
+  simulate(*strategy, platform, {}, &clean);
+  std::ostringstream a;
+  export_chrome_trace(a, clean, platform);
+  EXPECT_NE(a.str().find("\"metadata\":{\"dropped_events\":0}"),
+            std::string::npos);
+
+  RecordingTrace capped(10);
+  auto strategy2 = make_outer_strategy("SortedOuter", OuterConfig{4}, 2, 1);
+  simulate(*strategy2, platform, {}, &capped);
+  ASSERT_GT(capped.dropped_events(), 0u);
+  std::ostringstream b;
+  export_chrome_trace(b, capped, platform);
+  EXPECT_NE(b.str().find("\"metadata\":{\"dropped_events\":" +
+                         std::to_string(capped.dropped_events()) + "}"),
+            std::string::npos);
+}
+
 TEST(TraceExport, PhaseSwitchEmitsGlobalInstant) {
   OuterStrategyOptions options;
   options.phase2_fraction = std::exp(-2.0);

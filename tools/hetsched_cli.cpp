@@ -9,10 +9,12 @@
 //                      [--strategies=RandomOuter,DynamicOuter] [--json]
 //   hetsched_cli partition --speeds=10,40,25,25
 //   hetsched_cli dag   --factorization=cholesky [--tiles=16] [--p=8]
+//   hetsched_cli analyze --trace=events.jsonl [--json]
 //   hetsched_cli help
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -30,8 +32,11 @@
 #include "dag/dag_engine.hpp"
 #include "dag/lu.hpp"
 #include "dag/qr.hpp"
+#include "obs/analyze.hpp"
 #include "obs/export.hpp"
 #include "obs/instrument.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "platform/platform.hpp"
 #include "sim/trace_export.hpp"
 #include "static_part/column_partition.hpp"
@@ -65,8 +70,17 @@ int usage() {
       "             [--metrics-out=FILE] JSON-lines: meta record, one sample\n"
       "                                  record per sampling instant, final\n"
       "                                  metrics snapshot record\n"
+      "             [--events-out=FILE]  self-describing hetsched-trace/1\n"
+      "                                  JSONL (meta + worker stats + every\n"
+      "                                  event + samples) for `analyze`\n"
       "             [--sample-interval=DT] sampling cadence in simulated time\n"
       "                                  units (default: ~192 samples/run)\n"
+      "             telemetry (wall clock only; never perturbs results):\n"
+      "             [--profile]          wall-clock self-profiler; per-site\n"
+      "                                  totals in the report/JSON output\n"
+      "             [--progress]         live heartbeats to stderr\n"
+      "             [--progress-out=FILE] JSONL heartbeats to FILE\n"
+      "             [--progress-interval=SEC] heartbeat throttle (default 1)\n"
       "  sweep      sweep worker counts for several strategies\n"
       "             --kernel=... [--p=10,50,100] [--strategies=a,b,c]\n"
       "             [--analysis] [--json]\n"
@@ -76,9 +90,19 @@ int usage() {
       "  dag        compare ready-task policies on a factorization graph\n"
       "             --factorization=cholesky|qr|lu [--tiles=16] [--p=8]\n"
       "             [--reps=3] [--seed=]\n"
+      "             [--events-out=FILE] [--policy=NAME] record one traced\n"
+      "                                  rep of NAME as hetsched-trace/1\n"
+      "                                  JSONL for `analyze`\n"
       "  campaign   run a strategy x worker-count matrix as one parallel\n"
       "             batch, JSON output\n"
       "             --kernel=... [--strategies=a,b] [--p=10,50] [--reps=]\n"
+      "             [--progress] [--progress-out=FILE]\n"
+      "             [--progress-interval=SEC]\n"
+      "  analyze    post-hoc report over a hetsched-trace/1 JSONL file:\n"
+      "             per-worker time attribution, phase timeline, critical\n"
+      "             path, ODE-divergence verdict\n"
+      "             --trace=FILE [--json] [--json-out=FILE] [--md-out=FILE]\n"
+      "             [--alarm=0.15] [--support=0.02] [--profile]\n"
       "  help       this text\n";
   return 2;
 }
@@ -114,14 +138,46 @@ std::vector<WorkerFault> parse_faults(const std::string& spec) {
   return faults;
 }
 
+// Owns the optional live progress reporter plus its output file, built
+// from --progress / --progress-out / --progress-interval. The file (if
+// any) lives on the heap so the reporter's stream reference stays valid
+// wherever the setup struct ends up.
+struct ProgressSetup {
+  std::unique_ptr<std::ofstream> file;
+  std::unique_ptr<ProgressReporter> reporter;
+
+  ProgressReporter* get() const noexcept { return reporter.get(); }
+};
+
+ProgressSetup make_progress(const CliArgs& args) {
+  ProgressSetup setup;
+  const std::string path = args.get("progress-out", "");
+  if (!args.get_bool("progress", false) && path.empty()) return setup;
+  ProgressReporter::Options options;
+  options.min_interval_sec = args.get_double("progress-interval", 1.0);
+  if (!path.empty()) {
+    setup.file = std::make_unique<std::ofstream>(path);
+    if (!*setup.file) throw std::runtime_error("cannot open " + path);
+    setup.reporter = std::make_unique<ProgressReporter>(*setup.file, options);
+  } else {
+    options.jsonl = false;  // human one-liner, rewritten in place
+    setup.reporter = std::make_unique<ProgressReporter>(std::cerr, options);
+  }
+  return setup;
+}
+
 // Re-runs repetition 0 of `config` with the metrics stack attached and
 // writes the requested artifacts: a chrome-tracing / Perfetto JSON file
-// (--trace-out) and/or a JSON-lines time series + metrics snapshot
-// (--metrics-out).
+// (--trace-out), a JSON-lines time series + metrics snapshot
+// (--metrics-out), and/or a self-describing hetsched-trace/1 event file
+// (--events-out) ready for `hetsched_cli analyze`.
 void dump_observability(const CliArgs& args, const ExperimentConfig& config) {
   const std::string trace_path = args.get("trace-out", "");
   const std::string metrics_path = args.get("metrics-out", "");
-  if (trace_path.empty() && metrics_path.empty()) return;
+  const std::string events_path = args.get("events-out", "");
+  if (trace_path.empty() && metrics_path.empty() && events_path.empty()) {
+    return;
+  }
 
   InstrumentOptions options;
   options.sample_interval = args.get_double("sample-interval", 0.0);
@@ -140,10 +196,32 @@ void dump_observability(const CliArgs& args, const ExperimentConfig& config) {
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     if (!out) throw std::runtime_error("cannot open " + metrics_path);
-    write_timeseries_jsonl(out, rep.sampler);
+    write_timeseries_jsonl(out, rep.sampler, rep.recording.dropped_events());
     write_metrics_json(out, rep.registry);
     out << "\n";
     std::cerr << "wrote metrics time series to " << metrics_path << "\n";
+  }
+  if (!events_path.empty()) {
+    std::ofstream out(events_path);
+    if (!out) throw std::runtime_error("cannot open " + events_path);
+    TraceMeta meta;
+    meta.engine = config.timed ? "timed" : "flat";
+    meta.kernel = to_string(config.kernel);
+    meta.strategy = config.strategy;
+    meta.n = config.n;
+    meta.p = config.p;
+    meta.makespan = rep.outcome.sim.makespan;
+    meta.bandwidth = config.comm.bandwidth;
+    meta.speeds = rep.outcome.speeds;
+    meta.workers.reserve(rep.outcome.sim.workers.size());
+    for (const auto& w : rep.outcome.sim.workers) {
+      meta.workers.push_back({w.tasks_done, w.blocks_received, w.busy_time,
+                              w.finish_time, w.starved_time});
+    }
+    write_trace_jsonl(out, rep.recording, meta, &rep.sampler);
+    std::cerr << "wrote event trace to " << events_path
+              << " (analyze with: hetsched_cli analyze --trace=" << events_path
+              << ")\n";
   }
 }
 
@@ -169,8 +247,14 @@ int cmd_run(const CliArgs& args) {
   config.lookahead =
       static_cast<std::uint32_t>(args.get_int("lookahead", config.lookahead));
   config.faults = parse_faults(args.get("faults", ""));
+  config.profile = args.get_bool("profile", false);
 
+  ProgressSetup progress = make_progress(args);
+  config.progress = progress.get();
+  if (progress.get() != nullptr) progress.get()->expect_reps(config.reps);
   const ExperimentResult result = run_experiment(config);
+  if (progress.get() != nullptr) progress.get()->finish();
+  config.progress = nullptr;  // the instrumented re-run is not counted
   dump_observability(args, config);
   if (args.get_bool("json", false)) {
     write_experiment_json(std::cout, config, result,
@@ -187,6 +271,15 @@ int cmd_run(const CliArgs& args) {
             << " (sd " << result.normalized.stddev << ")\n";
   std::cout << "analysis prediction : " << result.analysis_ratio.mean << "\n";
   std::cout << "makespan            : " << result.makespan.mean << "\n";
+  if (result.profile.enabled) {
+    std::cout << "profile (wall ns, self):\n";
+    for (std::size_t i = 0; i < kNumProfSites; ++i) {
+      const auto& site = result.profile.sites[i];
+      if (site.calls == 0) continue;
+      std::cout << "  " << to_string(static_cast<ProfSite>(i)) << " : "
+                << site.self_ns << " ns over " << site.calls << " call(s)\n";
+    }
+  }
   if (!config.faults.empty() && !result.reps.empty()) {
     const auto& rep0 = result.reps.front().sim;
     std::cout << "faults (rep 0)      : " << rep0.crashed_workers
@@ -310,6 +403,47 @@ int cmd_dag(const CliArgs& args) {
                CsvWriter::format(inflation / reps, 4)});
   }
   table.print(std::cout);
+
+  // --events-out: record one extra rep of --policy (default: the first
+  // registered policy) as a hetsched-trace/1 file for `analyze`. DAG
+  // meta carries the graph bounds so the report can rate the schedule.
+  const std::string events_path = args.get("events-out", "");
+  if (!events_path.empty()) {
+    const std::string policy_name =
+        args.get("policy", dag_policy_names().front());
+    const std::uint64_t rep_seed = derive_stream(seed, "rep.0");
+    Rng speed_rng(derive_stream(rep_seed, "speeds"));
+    const Platform platform =
+        make_platform(UniformIntervalSpeeds(10.0, 100.0), p, speed_rng);
+    auto policy = make_dag_policy(policy_name, rep_seed);
+    RecordingTrace trace(1u << 20);
+    DagSimConfig config;
+    config.seed = rep_seed;
+    const DagSimResult result =
+        simulate_dag(graph, platform, *policy, config, &trace);
+
+    std::ofstream out(events_path);
+    if (!out) throw std::runtime_error("cannot open " + events_path);
+    TraceMeta meta;
+    meta.engine = "dag";
+    meta.strategy = policy_name;
+    meta.n = tiles;
+    meta.p = p;
+    meta.makespan = result.makespan;
+    meta.speeds = platform.speeds();
+    meta.graph_critical_path = graph.critical_path();
+    meta.makespan_lower_bound =
+        DagSimResult::makespan_lower_bound(graph, platform);
+    meta.workers.reserve(result.workers.size());
+    for (const auto& w : result.workers) {
+      meta.workers.push_back({w.tasks_done, w.blocks_received, w.busy_time,
+                              w.finish_time, w.starved_time});
+    }
+    write_trace_jsonl(out, trace, meta);
+    std::cerr << "wrote event trace to " << events_path
+              << " (analyze with: hetsched_cli analyze --trace=" << events_path
+              << ")\n";
+  }
   return 0;
 }
 
@@ -338,9 +472,70 @@ int cmd_campaign(const CliArgs& args) {
       campaign.add(strategy + ".p" + std::to_string(v), config);
     }
   }
-  const auto outcomes =
-      campaign.run(static_cast<unsigned>(args.get_int("jobs", 0)));
+  ProgressSetup progress = make_progress(args);
+  const auto outcomes = campaign.run(
+      static_cast<unsigned>(args.get_int("jobs", 0)), progress.get());
+  if (progress.get() != nullptr) progress.get()->finish();
   write_campaign_json(std::cout, campaign.name(), outcomes);
+  return 0;
+}
+
+int cmd_analyze(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty()) {
+    std::cerr << "analyze: --trace=FILE is required\n";
+    return 2;
+  }
+  AnalyzeOptions options;
+  options.ode_alarm_threshold =
+      args.get_double("alarm", options.ode_alarm_threshold);
+  options.ode_support_min =
+      args.get_double("support", options.ode_support_min);
+
+  // The analyzer profiles itself through the same site taxonomy as the
+  // rep loop; --profile surfaces it on stderr.
+  ProfShard shard;
+  ProfShard* prof = args.get_bool("profile", false) ? &shard : nullptr;
+
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  TraceAnalysis analysis;
+  {
+    ProfScope scope(prof, ProfSite::kAnalyze);
+    analysis = analyze_trace_stream(in, options);
+  }
+  {
+    ProfScope scope(prof, ProfSite::kExport);
+    const std::string json_path = args.get("json-out", "");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot open " + json_path);
+      write_analysis_json(out, analysis);
+      std::cerr << "wrote analysis JSON to " << json_path << "\n";
+    }
+    const std::string md_path = args.get("md-out", "");
+    if (!md_path.empty()) {
+      std::ofstream out(md_path);
+      if (!out) throw std::runtime_error("cannot open " + md_path);
+      write_analysis_markdown(out, analysis);
+      std::cerr << "wrote analysis report to " << md_path << "\n";
+    }
+    if (args.get_bool("json", false)) {
+      write_analysis_json(std::cout, analysis);
+    } else {
+      write_analysis_markdown(std::cout, analysis);
+    }
+  }
+  for (const auto& warning : analysis.warnings) {
+    std::cerr << "warning: " << warning << "\n";
+  }
+  if (prof != nullptr) {
+    std::cerr << "profile: analyze "
+              << shard.sites[static_cast<std::size_t>(ProfSite::kAnalyze)].ns
+              << " ns, export "
+              << shard.sites[static_cast<std::size_t>(ProfSite::kExport)].ns
+              << " ns\n";
+  }
   return 0;
 }
 
@@ -357,6 +552,7 @@ int main(int argc, char** argv) {
     if (command == "partition") return cmd_partition(args);
     if (command == "dag") return cmd_dag(args);
     if (command == "campaign") return cmd_campaign(args);
+    if (command == "analyze") return cmd_analyze(args);
     if (command == "help" || command == "--help") {
       usage();
       return 0;
