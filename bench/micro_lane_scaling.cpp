@@ -1,0 +1,275 @@
+// Lane-count scaling curves for the intra-rep lane team
+// (common/lane_team.hpp): how the three work shapes that ride the
+// lanes — word-parallel frontier scans, word-level batch retirement,
+// and per-lane output fill + merge — scale at 1/2/4/8 lanes, plus the
+// end-to-end request drains they compose into (fig10-sized matmul,
+// fig05-sized outer, and a capped N/l = 1000 matmul slice of the
+// large-N hot path).
+//
+// Writes LANE_SCALING.json; the checked-in reference lives at
+// bench/baselines/lane_scaling.json. The parallelism budget is forced
+// to 16 for the duration so the requested lanes are granted on any
+// runner; on hosts with fewer cores than lanes the curve honestly
+// degrades (the dispatch overhead stays, the parallelism doesn't),
+// which is exactly what the baseline should record. Outputs are
+// bit-identical across the lane axis by construction (pinned by
+// tests/integration/lane_identity_test.cpp); this bench measures the
+// wall-clock side of that contract.
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/dynamic_bitset.hpp"
+#include "common/json.hpp"
+#include "common/lane_team.hpp"
+#include "core/experiment.hpp"
+#include "matmul/matmul_factory.hpp"
+#include "outer/outer_factory.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/strategy.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::size_t kWords = 1 << 15;  // 2 MiB bitset: larger than L1/L2
+constexpr std::size_t kBits = kWords << 6;
+constexpr std::uint64_t kChunkWords = 8;  // the strategies' unit granularity
+
+/// Work shape 1 — frontier scan: AND-NOT gather of a mask against a
+/// shared absent-set, chunk-split across lanes. ns per mask word.
+double frontier_scan_ns_per_word(LaneTeam& team) {
+  DynamicBitset mask(kBits);
+  for (std::size_t p = 0; p < kBits; p += 3) mask.set(p);
+  DynamicBitset absent(kBits);
+  for (std::size_t p = 0; p < kBits; p += 7) absent.set(p);
+  absent.materialize_all();
+  const std::uint64_t chunks = kWords / kChunkWords;
+  const std::uint32_t lanes = team.lanes();
+  std::vector<std::uint64_t> found(lanes, 0);
+  std::uint64_t rounds = 0;
+  double elapsed = 0.0;
+  while (elapsed < 0.3) {
+    const double start = now_sec();
+    team.run([&](std::uint32_t lane) {
+      std::uint64_t local = 0;
+      const auto [c0, c1] = LaneTeam::split(chunks, lanes, lane);
+      for (std::uint64_t c = c0; c < c1; ++c) {
+        for_each_masked_present_word_relaxed(
+            mask, absent, 0, c * kChunkWords, (c + 1) * kChunkWords,
+            [&](std::size_t, std::uint64_t hits) {
+              local += static_cast<std::uint64_t>(std::popcount(hits));
+            });
+      }
+      found[lane] += local;
+    });
+    elapsed += now_sec() - start;
+    ++rounds;
+  }
+  std::uint64_t sink = 0;
+  for (const auto f : found) sink += f;
+  if (sink == 0) std::cerr << "";
+  return elapsed * 1e9 / static_cast<double>(rounds * kWords);
+}
+
+/// Work shape 2 — batch retirement: relaxed word-level ORs into a
+/// shared presence set, chunk-split across lanes. ns per word written.
+double batch_retire_ns_per_word(LaneTeam& team) {
+  DynamicBitset presence(kBits);
+  presence.materialize_all();
+  const std::uint64_t chunks = kWords / kChunkWords;
+  const std::uint32_t lanes = team.lanes();
+  std::uint64_t rounds = 0;
+  double elapsed = 0.0;
+  while (elapsed < 0.3) {
+    const double start = now_sec();
+    team.run([&](std::uint32_t lane) {
+      const auto [c0, c1] = LaneTeam::split(chunks, lanes, lane);
+      for (std::uint64_t c = c0; c < c1; ++c) {
+        for (std::uint64_t w = c * kChunkWords; w < (c + 1) * kChunkWords;
+             ++w) {
+          presence.or_shifted_relaxed(w << 6, 0x5555555555555555ull);
+        }
+      }
+    });
+    elapsed += now_sec() - start;
+    ++rounds;
+  }
+  return elapsed * 1e9 / static_cast<double>(rounds * kWords);
+}
+
+/// Work shape 3 — output fill: per-lane scratch segments filled from a
+/// split id range, merged in lane order (the Assignment tail of every
+/// laned request). ns per task id moved.
+double output_fill_ns_per_task(LaneTeam& team) {
+  constexpr std::uint64_t kIds = 1 << 18;
+  const std::uint32_t lanes = team.lanes();
+  std::vector<std::vector<TaskId>> segs(lanes);
+  std::vector<TaskId> out;
+  out.reserve(kIds);
+  std::uint64_t rounds = 0;
+  double elapsed = 0.0;
+  while (elapsed < 0.3) {
+    const double start = now_sec();
+    team.run([&](std::uint32_t lane) {
+      auto& seg = segs[lane];
+      seg.clear();
+      const auto [b, e] = LaneTeam::split(kIds, lanes, lane);
+      for (std::uint64_t id = b; id < e; ++id) seg.push_back(id);
+    });
+    out.clear();
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+      out.insert(out.end(), segs[lane].begin(), segs[lane].end());
+    }
+    elapsed += now_sec() - start;
+    ++rounds;
+  }
+  if (out.size() != kIds) std::cerr << "";
+  return elapsed * 1e9 / static_cast<double>(rounds * kIds);
+}
+
+/// End-to-end: ns per data-aware request on a drain capped at
+/// `max_requests` (0 = to exhaustion). The large-N configs cap the
+/// drain to the structured phase the lanes accelerate; the RNG stream
+/// and outputs are identical across the lane axis.
+double drain_ns_per_request(Kernel kernel, const std::string& name,
+                            std::uint32_t n, std::uint32_t workers,
+                            std::uint32_t lanes, std::uint64_t max_requests) {
+  std::unique_ptr<Strategy> strategy;
+  if (kernel == Kernel::kOuter) {
+    OuterStrategyOptions options;
+    options.lanes = lanes;
+    strategy = make_outer_strategy(name, OuterConfig{n}, workers, 42, options);
+  } else {
+    MatmulStrategyOptions options;
+    options.lanes = lanes;
+    strategy = make_matmul_strategy(name, MatmulConfig{n}, workers, 42, options);
+  }
+  strategy->prepare_lanes();
+  Assignment scratch;
+  std::uint32_t next_worker = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t sink = 0;
+  const double start = now_sec();
+  while ((max_requests == 0 || requests < max_requests) &&
+         strategy->on_request(next_worker, scratch)) {
+    sink += scratch.tasks.size();
+    ++requests;
+    next_worker = (next_worker + 1) % workers;
+  }
+  const double elapsed = now_sec() - start;
+  if (sink == 0) std::cerr << "";
+  return elapsed * 1e9 / static_cast<double>(requests);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string out_path = args.get("out", "LANE_SCALING.json");
+  const std::vector<std::uint32_t> lane_grid = {1, 2, 4, 8};
+
+  // Force a budget that covers the widest team; restored before exit.
+  set_parallel_budget_capacity(16);
+
+  std::vector<std::pair<std::string, std::vector<double>>> kernels;
+  kernels.emplace_back("frontier_scan_ns_per_word", std::vector<double>{});
+  kernels.emplace_back("batch_retire_ns_per_word", std::vector<double>{});
+  kernels.emplace_back("output_fill_ns_per_task", std::vector<double>{});
+  for (const std::uint32_t lanes : lane_grid) {
+    LaneTeam team(lanes);
+    if (team.lanes() != lanes) {
+      std::cerr << "# warning: requested " << lanes << " lanes, granted "
+                << team.lanes() << "\n";
+    }
+    kernels[0].second.push_back(frontier_scan_ns_per_word(team));
+    kernels[1].second.push_back(batch_retire_ns_per_word(team));
+    kernels[2].second.push_back(output_fill_ns_per_task(team));
+    std::cerr << "# lanes=" << lanes
+              << " scan=" << kernels[0].second.back()
+              << " retire=" << kernels[1].second.back()
+              << " fill=" << kernels[2].second.back() << " ns\n";
+  }
+
+  struct DrainCase {
+    const char* label;
+    Kernel kernel;
+    const char* strategy;
+    std::uint32_t n;
+    std::uint32_t workers;
+    std::uint64_t max_requests;
+  };
+  const DrainCase drains[] = {
+      // fig10-sized matmul: the paper's N/l = 100 protocol shape.
+      {"fig10_mm_n100", Kernel::kMatmul, "DynamicMatrix", 100, 16, 3000},
+      // fig05-sized outer: N/l = 1000, full structured drain.
+      {"fig05_outer_n1000", Kernel::kOuter, "DynamicOuter", 1000, 16, 3000},
+      // The large-N hot path: N/l = 1000 matmul, few workers so the
+      // known sets (and with them the per-request scan width) grow
+      // fast. Capped: the point is the structured phase's cost curve.
+      {"mm_n1000_capped", Kernel::kMatmul, "DynamicMatrix", 1000, 4, 600},
+  };
+  std::vector<std::pair<std::string, std::vector<double>>> drain_results;
+  for (const DrainCase& d : drains) {
+    std::vector<double> per_lane;
+    for (const std::uint32_t lanes : lane_grid) {
+      per_lane.push_back(drain_ns_per_request(d.kernel, d.strategy, d.n,
+                                              d.workers, lanes,
+                                              d.max_requests));
+      std::cerr << "# drain " << d.label << " lanes=" << lanes << ": "
+                << per_lane.back() << " ns/request\n";
+    }
+    drain_results.emplace_back(d.label, std::move(per_lane));
+  }
+
+  set_parallel_budget_capacity(0);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("schema", "hetsched-lane-scaling/1");
+  json.field("host_hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  const auto emit = [&](const char* key, const auto& rows) {
+    json.key(key);
+    json.begin_object();
+    for (const auto& [label, per_lane] : rows) {
+      json.key(label);
+      json.begin_object();
+      for (std::size_t x = 0; x < per_lane.size(); ++x) {
+        json.field("lanes" + std::to_string(lane_grid[x]), per_lane[x]);
+      }
+      // Scaling factor vs one lane (> 1 = speedup) for quick reading.
+      for (std::size_t x = 1; x < per_lane.size(); ++x) {
+        json.field("speedup_lanes" + std::to_string(lane_grid[x]),
+                   per_lane[0] / per_lane[x]);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  };
+  emit("kernels", kernels);
+  emit("drains", drain_results);
+  json.end_object();
+  out << "\n";
+  std::cerr << "# wrote " << out_path << "\n";
+  return 0;
+}

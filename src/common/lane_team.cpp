@@ -1,0 +1,90 @@
+#include "common/lane_team.hpp"
+
+namespace hetsched {
+
+namespace {
+// Spin this many epoch polls before parking on the condition variable.
+// The hot path is one dispatch per data-aware request, so a lane that
+// just finished a request almost always sees the next epoch within the
+// spin window; the cv is for inter-rep and phase-2 gaps.
+constexpr int kSpinPolls = 1 << 14;
+}  // namespace
+
+LaneTeam::LaneTeam(std::uint32_t want) : lease_(want > 1 ? want - 1 : 0) {
+  extra_ = lease_.granted();
+  threads_.reserve(extra_);
+  for (std::uint32_t lane = 1; lane <= extra_; ++lane) {
+    threads_.emplace_back([this, lane] { lane_loop(lane); });
+  }
+}
+
+LaneTeam::~LaneTeam() {
+  if (extra_ > 0) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+}
+
+void LaneTeam::dispatch(LaneFn fn, void* ctx) {
+  fn_ = fn;
+  ctx_ = ctx;
+  pending_.store(extra_, std::memory_order_relaxed);
+  // The release publishes fn_/ctx_ (and everything the owner wrote
+  // before the call) to lanes that acquire the new epoch.
+  epoch_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: a lane that checked the epoch and is about
+  // to wait cannot miss the notify once we hold the mutex it blocks on.
+  { const std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+  ++dispatches_;
+
+  fn(ctx_, 0);
+
+  // The acquire pairs with each lane's release countdown, making the
+  // lanes' scratch writes visible before run() returns.
+  int polls = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (++polls >= kSpinPolls) {
+      polls = 0;
+      std::this_thread::yield();
+    }
+  }
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void LaneTeam::lane_loop(std::uint32_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    int polls = 0;
+    while (e == seen && !stop_.load(std::memory_order_relaxed)) {
+      if (++polls >= kSpinPolls) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return epoch_.load(std::memory_order_acquire) != seen ||
+                 stop_.load(std::memory_order_relaxed);
+        });
+      }
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    if (e == seen) return;  // stop requested, no new work
+    seen = e;
+    try {
+      fn_(ctx_, lane);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace hetsched

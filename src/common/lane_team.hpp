@@ -1,0 +1,113 @@
+// A strategy-owned team of intra-rep worker threads ("lanes").
+//
+// The discrete-event engines are serial by design — the event loop IS
+// the simulated clock — but the dominant per-event work of the
+// data-aware strategies (frontier scans over p per-worker n-bit masks,
+// word-level batch retirement, the scattered per-task bit writes and
+// output fill) is embarrassingly data-parallel. A LaneTeam parallelizes
+// exactly that work *inside* one on_request call, under the serial
+// clock, without touching RNG consumption or output order.
+//
+// Composition: the team leases its extra threads from the process-wide
+// parallelism budget (runtime/thread_pool.hpp) at construction, so
+// campaign x rep x lane nesting never oversubscribes the machine — when
+// the rep loop already holds the budget, the lease grants zero extras
+// and the team degrades to serial execution on the calling thread.
+// Degrading is always safe: the strategies' lane paths are proven (and
+// tested) bit-identical to their serial paths, so the granted lane
+// count can vary run to run without changing a single output bit.
+//
+// Dispatch is a spin-then-sleep epoch barrier: run(fn) publishes fn,
+// bumps the epoch (release), wakes any sleeping lane, executes
+// fn(lane 0) on the calling thread, and spin-waits (acquire) for the
+// extra lanes' completion countdown. A round trip costs ~1 us when the
+// lanes are spinning; lanes fall back to a condition variable after a
+// bounded spin so an idle team burns no CPU between requests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace hetsched {
+
+class LaneTeam {
+ public:
+  /// Leases up to `want - 1` extra threads from the parallelism budget
+  /// (lane 0 is the calling thread and needs no slot of its own when
+  /// the caller's slot is already accounted, e.g. by a rep-shard
+  /// lease). want <= 1 builds an inert team: lanes() == 1, run() is a
+  /// plain call.
+  explicit LaneTeam(std::uint32_t want);
+  ~LaneTeam();
+
+  LaneTeam(const LaneTeam&) = delete;
+  LaneTeam& operator=(const LaneTeam&) = delete;
+
+  /// 1 + the extra threads actually granted. Constant for the team's
+  /// lifetime.
+  std::uint32_t lanes() const noexcept { return extra_ + 1; }
+
+  /// Parallel dispatches run() has performed (inert calls with
+  /// lanes() == 1 are not counted as dispatches).
+  std::uint64_t dispatches() const noexcept { return dispatches_; }
+
+  /// Runs fn(lane) for lane in [0, lanes()), lane 0 on the calling
+  /// thread, and returns when every lane has finished (a full barrier:
+  /// lane writes are visible to the caller afterwards). fn must not
+  /// call run() reentrantly. The first exception thrown by any lane is
+  /// rethrown here after the barrier. No heap allocation per call.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    if (extra_ == 0) {
+      fn(0u);
+      return;
+    }
+    using F = std::remove_reference_t<Fn>;
+    F& ref = fn;
+    dispatch([](void* ctx, std::uint32_t lane) { (*static_cast<F*>(ctx))(lane); },
+             &ref);
+  }
+
+  /// The deterministic contiguous split of `count` work units:
+  /// lane `lane` of `lanes` owns [count*lane/lanes, count*(lane+1)/lanes).
+  /// Boundaries depend only on (count, lanes, lane) — concatenating the
+  /// ranges in lane order always reproduces 0..count-1.
+  static std::pair<std::uint64_t, std::uint64_t> split(
+      std::uint64_t count, std::uint32_t lanes, std::uint32_t lane) noexcept {
+    return {count * lane / lanes, count * (lane + 1) / lanes};
+  }
+
+ private:
+  using LaneFn = void (*)(void* ctx, std::uint32_t lane);
+
+  void dispatch(LaneFn fn, void* ctx);
+  void lane_loop(std::uint32_t lane);
+
+  ParallelLease lease_;
+  std::uint32_t extra_ = 0;
+  std::uint64_t dispatches_ = 0;
+
+  // Dispatch slot: written by the owner before the epoch release-store,
+  // read by lanes after their epoch acquire-load.
+  LaneFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hetsched

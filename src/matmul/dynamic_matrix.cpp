@@ -9,16 +9,22 @@ namespace hetsched {
 DynamicMatrixStrategy::DynamicMatrixStrategy(MatmulConfig config,
                                              std::uint32_t workers,
                                              std::uint64_t seed,
-                                             std::uint64_t phase2_tasks)
+                                             std::uint64_t phase2_tasks,
+                                             std::uint32_t lanes)
     : config_(config),
       n_workers_(workers),
       phase2_tasks_(phase2_tasks),
       pool_(config.total_tasks(), /*presence_view=*/true, /*lazy_dense=*/true),
       removed_t_(config.total_tasks()),
-      rng_(derive_stream(seed, "matmul.dynamic")) {
+      rng_(derive_stream(seed, "matmul.dynamic")),
+      lanes_requested_(lanes > 0 ? lanes : 1) {
   validate(config_);
   if (workers == 0) {
     throw std::invalid_argument("DynamicMatrixStrategy: need at least 1 worker");
+  }
+  if (lanes_requested_ > 1) {
+    team_ = std::make_unique<LaneTeam>(lanes_requested_);
+    lane_out_.resize(team_->lanes());
   }
   state_.reserve(workers);
   for (std::uint32_t w = 0; w < workers; ++w) {
@@ -86,7 +92,36 @@ bool DynamicMatrixStrategy::reset(std::uint64_t seed) {
   fallback_served_ = 0;
   phase_switch_notified_ = false;
   fallback_notified_ = false;
+  lane_ready_ = false;  // the O(1) clears above staled the bitsets
+  parallel_requests_ = 0;
+  serial_requests_ = 0;
   return true;
+}
+
+void DynamicMatrixStrategy::ensure_lane_ready() {
+  if (lane_ready_) return;
+  // The relaxed lane phase ORs into these concurrently; generation
+  // stamps cannot be maintained atomically, so make every word current
+  // once per rep. Point writes elsewhere (requeue, random pops) keep
+  // materialized words current, so this survives until the next
+  // reset().
+  pool_.materialize_presence();
+  removed_t_.materialize_all();
+  lane_ready_ = true;
+}
+
+void DynamicMatrixStrategy::prepare_lanes() {
+  if (team_ != nullptr && team_->lanes() > 1) ensure_lane_ready();
+}
+
+LaneUtilization DynamicMatrixStrategy::lane_utilization() const {
+  LaneUtilization u;
+  u.lanes_requested = lanes_requested_;
+  u.lanes_granted = team_ != nullptr ? team_->lanes() : 1;
+  u.team_dispatches = team_ != nullptr ? team_->dispatches() : 0;
+  u.parallel_requests = parallel_requests_;
+  u.serial_requests = serial_requests_;
+  return u;
 }
 
 bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
@@ -170,45 +205,56 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
   // the assignment set matches the former nested-loop rescan; the
   // enumeration order documented in the header is what the goldens
   // pin.
-  const DynamicBitset& removed = pool_.removed_view();
-  auto take_run = [&](std::uint32_t ti, std::uint32_t tj) {
-    const std::uint64_t base = matmul_task_id(n, ti, tj, 0);
-    const std::uint64_t mirror_base = static_cast<std::uint64_t>(ti) * n * n + tj;
-    for_each_masked_present_word(
-        w.mask_k, removed, base, [&](std::size_t wd, std::uint64_t hits) {
-          pool_.remove_present_bits(base + (wd << 6), hits);  // batch side
-          do {
-            const std::size_t k2 =
-                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-            removed_t_.set(mirror_base + k2 * n);  // scattered side
-            out.tasks.push_back(base + k2);
-            hits &= hits - 1;
-          } while (hits != 0);
-        });
-  };
-  w.mask_k.set(k);    // runs scan K + k
-  take_run(i, j);     // corner run (i, j, ·)
-  w.mask_j.for_each_set_in_range(0, n, [&](std::size_t j2) {  // i-slab
-    take_run(i, static_cast<std::uint32_t>(j2));
-  });
-  w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {  // j-slab
-    take_run(static_cast<std::uint32_t>(i2), j);
-  });
-  w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {  // k-face
-    const std::uint64_t face_base = (static_cast<std::uint64_t>(i2) * n + k) * n;
-    const std::uint64_t id_base = static_cast<std::uint64_t>(i2) * n * n + k;
-    for_each_masked_present_word(
-        w.mask_j, removed_t_, face_base, [&](std::size_t wd, std::uint64_t hits) {
-          removed_t_.or_shifted(face_base + (wd << 6), hits);  // batch side
-          do {
-            const std::size_t j2 =
-                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-            pool_.remove_present_bits(id_base + j2 * n, 1);  // scattered side
-            out.tasks.push_back(id_base + j2 * n);
-            hits &= hits - 1;
-          } while (hits != 0);
-        });
-  });
+  w.mask_k.set(k);  // runs scan K + k
+  if (team_ != nullptr && team_->lanes() > 1 &&
+      w.known_j.size() + 2 * w.known_i.size() >= 1) {
+    // Lane-parallel scan/retire/fill. Bit-identical to the serial
+    // branch below for any lane count (the unit partition reproduces
+    // the serial enumeration order; see parallel_take), so the gate may
+    // depend on runtime state without affecting outputs.
+    parallel_take(w, i, j, k, out);
+    ++parallel_requests_;
+  } else {
+    if (team_ != nullptr) ++serial_requests_;
+    const DynamicBitset& removed = pool_.removed_view();
+    auto take_run = [&](std::uint32_t ti, std::uint32_t tj) {
+      const std::uint64_t base = matmul_task_id(n, ti, tj, 0);
+      const std::uint64_t mirror_base = static_cast<std::uint64_t>(ti) * n * n + tj;
+      for_each_masked_present_word(
+          w.mask_k, removed, base, [&](std::size_t wd, std::uint64_t hits) {
+            pool_.remove_present_bits(base + (wd << 6), hits);  // batch side
+            do {
+              const std::size_t k2 =
+                  (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+              removed_t_.set(mirror_base + k2 * n);  // scattered side
+              out.tasks.push_back(base + k2);
+              hits &= hits - 1;
+            } while (hits != 0);
+          });
+    };
+    take_run(i, j);     // corner run (i, j, ·)
+    w.mask_j.for_each_set_in_range(0, n, [&](std::size_t j2) {  // i-slab
+      take_run(i, static_cast<std::uint32_t>(j2));
+    });
+    w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {  // j-slab
+      take_run(static_cast<std::uint32_t>(i2), j);
+    });
+    w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {  // k-face
+      const std::uint64_t face_base = (static_cast<std::uint64_t>(i2) * n + k) * n;
+      const std::uint64_t id_base = static_cast<std::uint64_t>(i2) * n * n + k;
+      for_each_masked_present_word(
+          w.mask_j, removed_t_, face_base, [&](std::size_t wd, std::uint64_t hits) {
+            removed_t_.or_shifted(face_base + (wd << 6), hits);  // batch side
+            do {
+              const std::size_t j2 =
+                  (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+              pool_.remove_present_bits(id_base + j2 * n, 1);  // scattered side
+              out.tasks.push_back(id_base + j2 * n);
+              hits &= hits - 1;
+            } while (hits != 0);
+          });
+    });
+  }
   w.mask_i.set(i);
   w.mask_j.set(j);
 
@@ -217,6 +263,105 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
   w.known_k.push_back(k);
   notify_fetches(worker, out);
   return true;
+}
+
+// One contiguous (ti, tj, ·) run: the lane-shared twin of take_run in
+// dynamic_request. All shared-bitset traffic goes through the relaxed
+// atomic accessors; the hits are interleaving-independent because no
+// unit's writes ever land on another unit's mask-selected candidate
+// bits (the extension's runs are disjoint id ranges, and the mirror
+// bits the runs scatter carry a k2- or tj-coordinate the face scans
+// mask away).
+void DynamicMatrixStrategy::lane_take_run(const WorkerState& w,
+                                          std::uint32_t ti, std::uint32_t tj,
+                                          LaneSeg& seg) {
+  const std::uint32_t n = config_.n;
+  const std::uint64_t base = matmul_task_id(n, ti, tj, 0);
+  const std::uint64_t mirror_base = static_cast<std::uint64_t>(ti) * n * n + tj;
+  for_each_masked_present_word_relaxed(
+      w.mask_k, pool_.removed_view(), base, 0, w.mask_k.word_count(),
+      [&](std::size_t wd, std::uint64_t hits) {
+        pool_.remove_present_bits_relaxed(base + (wd << 6), hits);
+        do {
+          const std::size_t k2 =
+              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+          removed_t_.set_relaxed(mirror_base + k2 * n);
+          seg.tasks.push_back(base + k2);
+          hits &= hits - 1;
+        } while (hits != 0);
+      });
+}
+
+/// One k-face probe row (i2, ·, k): lane-shared twin of the face scan.
+void DynamicMatrixStrategy::lane_take_face(const WorkerState& w,
+                                           std::uint32_t i2, std::uint32_t k,
+                                           LaneSeg& seg) {
+  const std::uint32_t n = config_.n;
+  const std::uint64_t face_base = (static_cast<std::uint64_t>(i2) * n + k) * n;
+  const std::uint64_t id_base = static_cast<std::uint64_t>(i2) * n * n + k;
+  for_each_masked_present_word_relaxed(
+      w.mask_j, removed_t_, face_base, 0, w.mask_j.word_count(),
+      [&](std::size_t wd, std::uint64_t hits) {
+        removed_t_.or_shifted_relaxed(face_base + (wd << 6), hits);
+        do {
+          const std::size_t j2 =
+              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+          pool_.remove_present_bits_relaxed(id_base + j2 * n, 1);
+          seg.tasks.push_back(id_base + j2 * n);
+          hits &= hits - 1;
+        } while (hits != 0);
+      });
+}
+
+void DynamicMatrixStrategy::parallel_take(WorkerState& w, std::uint32_t i,
+                                          std::uint32_t j, std::uint32_t k,
+                                          Assignment& out) {
+  ensure_lane_ready();
+  const std::uint32_t n = config_.n;
+  // Flatten the serial enumeration into an ordered unit list: corner
+  // run, i-slab runs (j2 in J ascending), j-slab runs (i2 in I
+  // ascending), k-face probes (i2 in I ascending). Unit boundaries
+  // depend only on (y, lane count), never on scan results, so the
+  // contiguous lane split + lane-order concatenation reproduces the
+  // serial output order exactly.
+  lane_j2_.clear();
+  lane_i2_.clear();
+  w.mask_j.for_each_set_in_range(0, n, [&](std::size_t j2) {
+    lane_j2_.push_back(static_cast<std::uint32_t>(j2));
+  });
+  w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {
+    lane_i2_.push_back(static_cast<std::uint32_t>(i2));
+  });
+  const std::uint64_t yj = lane_j2_.size();
+  const std::uint64_t yi = lane_i2_.size();
+  const std::uint64_t units = 1 + yj + 2 * yi;
+  const std::uint32_t lanes = team_->lanes();
+  auto body = [&](std::uint32_t lane) {
+    LaneSeg& seg = lane_out_[lane];
+    seg.tasks.clear();
+    const auto [u0, u1] = LaneTeam::split(units, lanes, lane);
+    for (std::uint64_t u = u0; u < u1; ++u) {
+      if (u == 0) {
+        lane_take_run(w, i, j, seg);  // corner
+      } else if (u < 1 + yj) {
+        lane_take_run(w, i, lane_j2_[u - 1], seg);  // i-slab
+      } else if (u < 1 + yj + yi) {
+        lane_take_run(w, lane_i2_[u - 1 - yj], j, seg);  // j-slab
+      } else {
+        lane_take_face(w, lane_i2_[u - 1 - yj - yi], k, seg);  // k-face
+      }
+    }
+  };
+  team_->run(body);
+  // Owner-side merge: segments in lane index order, then one counter
+  // commit (every task was exactly one pool removal).
+  std::uint64_t taken = 0;
+  for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+    const LaneSeg& seg = lane_out_[lane];
+    taken += seg.tasks.size();
+    out.tasks.insert(out.tasks.end(), seg.tasks.begin(), seg.tasks.end());
+  }
+  pool_.commit_lane_removals(taken);
 }
 
 bool DynamicMatrixStrategy::random_request(std::uint32_t worker,
@@ -228,15 +373,41 @@ bool DynamicMatrixStrategy::random_request(std::uint32_t worker,
     // untainted ship path skipped. They are exactly I x K, K x J and
     // I x J so far, one word-parallel mask OR per known row.
     const std::uint32_t n = config_.n;
-    for (const std::uint32_t i2 : w.known_i) {
-      or_mask_into_range(w.blocks.owned_a, w.mask_k,
-                         static_cast<std::size_t>(i2) * n);
-      or_mask_into_range(w.blocks.owned_c, w.mask_j,
-                         static_cast<std::size_t>(i2) * n);
-    }
-    for (const std::uint32_t k2 : w.known_k) {
-      or_mask_into_range(w.blocks.owned_b, w.mask_j,
-                         static_cast<std::size_t>(k2) * n);
+    const std::uint64_t yi = w.known_i.size();
+    const std::uint64_t rows = yi + w.known_k.size();
+    if (team_ != nullptr && team_->lanes() > 1 && rows >= 2) {
+      // Lane split over the known rows. OR is commutative and the
+      // targets are worker-private, so any interleaving yields the
+      // same sets; materialize first so the relaxed ORs are valid.
+      w.blocks.owned_a.materialize_all();
+      w.blocks.owned_b.materialize_all();
+      w.blocks.owned_c.materialize_all();
+      const std::uint32_t lanes = team_->lanes();
+      team_->run([&](std::uint32_t lane) {
+        const auto [u0, u1] = LaneTeam::split(rows, lanes, lane);
+        for (std::uint64_t u = u0; u < u1; ++u) {
+          if (u < yi) {
+            const std::size_t row = static_cast<std::size_t>(w.known_i[u]) * n;
+            or_mask_into_range_relaxed(w.blocks.owned_a, w.mask_k, row);
+            or_mask_into_range_relaxed(w.blocks.owned_c, w.mask_j, row);
+          } else {
+            or_mask_into_range_relaxed(
+                w.blocks.owned_b, w.mask_j,
+                static_cast<std::size_t>(w.known_k[u - yi]) * n);
+          }
+        }
+      });
+    } else {
+      for (const std::uint32_t i2 : w.known_i) {
+        or_mask_into_range(w.blocks.owned_a, w.mask_k,
+                           static_cast<std::size_t>(i2) * n);
+        or_mask_into_range(w.blocks.owned_c, w.mask_j,
+                           static_cast<std::size_t>(i2) * n);
+      }
+      for (const std::uint32_t k2 : w.known_k) {
+        or_mask_into_range(w.blocks.owned_b, w.mask_j,
+                           static_cast<std::size_t>(k2) * n);
+      }
     }
     w.blocks_tracked = true;
   }
@@ -254,7 +425,8 @@ bool DynamicMatrixStrategy::random_request(std::uint32_t worker,
 DynamicMatrixStrategy make_dynamic_matrix_2phases(MatmulConfig config,
                                                   std::uint32_t workers,
                                                   std::uint64_t seed,
-                                                  double phase2_fraction) {
+                                                  double phase2_fraction,
+                                                  std::uint32_t lanes) {
   if (phase2_fraction < 0.0 || phase2_fraction > 1.0) {
     throw std::invalid_argument(
         "make_dynamic_matrix_2phases: fraction must be in [0, 1]");
@@ -262,7 +434,8 @@ DynamicMatrixStrategy make_dynamic_matrix_2phases(MatmulConfig config,
   const double tasks =
       phase2_fraction * static_cast<double>(config.total_tasks());
   return DynamicMatrixStrategy(config, workers, seed,
-                               static_cast<std::uint64_t>(std::llround(tasks)));
+                               static_cast<std::uint64_t>(std::llround(tasks)),
+                               lanes);
 }
 
 }  // namespace hetsched

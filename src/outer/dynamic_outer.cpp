@@ -10,16 +10,22 @@ namespace hetsched {
 DynamicOuterStrategy::DynamicOuterStrategy(OuterConfig config,
                                            std::uint32_t workers,
                                            std::uint64_t seed,
-                                           std::uint64_t phase2_tasks)
+                                           std::uint64_t phase2_tasks,
+                                           std::uint32_t lanes)
     : config_(config),
       n_workers_(workers),
       phase2_tasks_(phase2_tasks),
       pool_(config.total_tasks(), /*presence_view=*/true, /*lazy_dense=*/true),
       removed_t_(config.total_tasks()),
-      rng_(derive_stream(seed, "outer.dynamic")) {
+      rng_(derive_stream(seed, "outer.dynamic")),
+      lanes_requested_(lanes > 0 ? lanes : 1) {
   validate(config_);
   if (workers == 0) {
     throw std::invalid_argument("DynamicOuterStrategy: need at least 1 worker");
+  }
+  if (lanes_requested_ > 1) {
+    team_ = std::make_unique<LaneTeam>(lanes_requested_);
+    lane_out_.resize(team_->lanes());
   }
   state_.resize(workers);
   for (auto& w : state_) {
@@ -79,7 +85,36 @@ bool DynamicOuterStrategy::reset(std::uint64_t seed) {
   fallback_served_ = 0;
   phase_switch_notified_ = false;
   fallback_notified_ = false;
+  lane_ready_ = false;  // the O(1) clears above staled the bitsets
+  parallel_requests_ = 0;
+  serial_requests_ = 0;
   return true;
+}
+
+void DynamicOuterStrategy::ensure_lane_ready() {
+  if (lane_ready_) return;
+  // The relaxed lane phase ORs into these concurrently; generation
+  // stamps cannot be maintained atomically, so make every word current
+  // once per rep. Point writes elsewhere (requeue, random pops) keep
+  // materialized words current, so this survives until the next
+  // reset().
+  pool_.materialize_presence();
+  removed_t_.materialize_all();
+  lane_ready_ = true;
+}
+
+void DynamicOuterStrategy::prepare_lanes() {
+  if (team_ != nullptr && team_->lanes() > 1) ensure_lane_ready();
+}
+
+LaneUtilization DynamicOuterStrategy::lane_utilization() const {
+  LaneUtilization u;
+  u.lanes_requested = lanes_requested_;
+  u.lanes_granted = team_ != nullptr ? team_->lanes() : 1;
+  u.team_dispatches = team_ != nullptr ? team_->dispatches() : 0;
+  u.parallel_requests = parallel_requests_;
+  u.serial_requests = serial_requests_;
+  return u;
 }
 
 bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
@@ -125,40 +160,125 @@ bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
   // against the I mask. Enumeration order is (i, j2) ascending then
   // (i2, j) ascending — any candidate is taken iff still pooled, so the
   // assignment *set* matches the former per-element rescan exactly.
-  const DynamicBitset& removed = pool_.removed_view();
   const std::uint64_t row_base = outer_task_id(config_.n, i, 0);
   const std::uint64_t col_base = static_cast<std::uint64_t>(j) * config_.n;
   w.mask_j.set(j);
-  for_each_masked_present_word(
-      w.mask_j, removed, row_base, [&](std::size_t wd, std::uint64_t hits) {
-        pool_.remove_present_bits(row_base + (wd << 6), hits);  // batch side
-        do {
-          const std::size_t j2 =
-              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-          removed_t_.set(j2 * config_.n + i);  // scattered side
-          out.tasks.push_back(row_base + j2);
-          hits &= hits - 1;
-        } while (hits != 0);
-      });
-  for_each_masked_present_word(
-      w.mask_i, removed_t_, col_base, [&](std::size_t wd, std::uint64_t hits) {
-        removed_t_.or_shifted(col_base + (wd << 6), hits);  // batch side
-        do {
-          const std::size_t i2 =
-              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-          const TaskId id =
-              outer_task_id(config_.n, static_cast<std::uint32_t>(i2), j);
-          pool_.remove_present_bits(id, 1);  // scattered side
-          out.tasks.push_back(id);
-          hits &= hits - 1;
-        } while (hits != 0);
-      });
+  if (team_ != nullptr && team_->lanes() > 1) {
+    // Lane-parallel scan/retire/fill. Bit-identical to the serial
+    // branch below for any lane count (the fixed word-chunk partition
+    // reproduces the serial enumeration order; see parallel_take), so
+    // the gate may depend on runtime state without affecting outputs.
+    parallel_take(w, i, j, out);
+    ++parallel_requests_;
+  } else {
+    if (team_ != nullptr) ++serial_requests_;
+    const DynamicBitset& removed = pool_.removed_view();
+    for_each_masked_present_word(
+        w.mask_j, removed, row_base, [&](std::size_t wd, std::uint64_t hits) {
+          pool_.remove_present_bits(row_base + (wd << 6), hits);  // batch side
+          do {
+            const std::size_t j2 =
+                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+            removed_t_.set(j2 * config_.n + i);  // scattered side
+            out.tasks.push_back(row_base + j2);
+            hits &= hits - 1;
+          } while (hits != 0);
+        });
+    for_each_masked_present_word(
+        w.mask_i, removed_t_, col_base, [&](std::size_t wd, std::uint64_t hits) {
+          removed_t_.or_shifted(col_base + (wd << 6), hits);  // batch side
+          do {
+            const std::size_t i2 =
+                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+            const TaskId id =
+                outer_task_id(config_.n, static_cast<std::uint32_t>(i2), j);
+            pool_.remove_present_bits(id, 1);  // scattered side
+            out.tasks.push_back(id);
+            hits &= hits - 1;
+          } while (hits != 0);
+        });
+  }
   w.mask_i.set(i);
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
   notify_fetches(worker, out);
   return true;
+}
+
+// The lane-parallel twin of the serial scan block: the row run and the
+// column run are cut into fixed word chunks (kLaneChunkWords mask words
+// = 512 candidates each), ordered row chunks ascending then column
+// chunks ascending, and the unit list is split contiguously across
+// lanes. Chunk boundaries depend only on n, so per-lane outputs
+// concatenated in lane index order equal the serial enumeration for any
+// lane count. Race-freedom: a row hit writes the pool inside its own
+// chunk words (batch) and the mirror at (j2, i) — outside the column
+// window unless j2 == j, where offset i is masked out (i is not in
+// mask_i until after the merge); a column hit writes the mirror inside
+// its own chunk words and the pool at (i2, j) with i2 != i. Unaligned
+// batch writes may spill one word into a neighbouring chunk, but only
+// at bit positions that chunk's mask never selects.
+void DynamicOuterStrategy::parallel_take(WorkerState& w, std::uint32_t i,
+                                         std::uint32_t j, Assignment& out) {
+  ensure_lane_ready();
+  const std::uint32_t n = config_.n;
+  const std::uint64_t row_base = outer_task_id(config_.n, i, 0);
+  const std::uint64_t col_base = static_cast<std::uint64_t>(j) * n;
+  const std::uint64_t words = w.mask_j.word_count();
+  const std::uint64_t chunks = (words + kLaneChunkWords - 1) / kLaneChunkWords;
+  const std::uint64_t units = 2 * chunks;  // row chunks, then column chunks
+  const std::uint32_t lanes = team_->lanes();
+  auto body = [&](std::uint32_t lane) {
+    LaneSeg& seg = lane_out_[lane];
+    seg.tasks.clear();
+    const auto [u0, u1] = LaneTeam::split(units, lanes, lane);
+    for (std::uint64_t u = u0; u < u1; ++u) {
+      const bool row = u < chunks;
+      const std::uint64_t c = row ? u : u - chunks;
+      const std::size_t w0 = static_cast<std::size_t>(c * kLaneChunkWords);
+      const std::size_t w1 = w0 + kLaneChunkWords;  // kernel clamps to end
+      if (row) {
+        for_each_masked_present_word_relaxed(
+            w.mask_j, pool_.removed_view(), row_base, w0, w1,
+            [&](std::size_t wd, std::uint64_t hits) {
+              pool_.remove_present_bits_relaxed(row_base + (wd << 6), hits);
+              do {
+                const std::size_t j2 =
+                    (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+                removed_t_.set_relaxed(j2 * n + i);
+                seg.tasks.push_back(row_base + j2);
+                hits &= hits - 1;
+              } while (hits != 0);
+            });
+      } else {
+        for_each_masked_present_word_relaxed(
+            w.mask_i, removed_t_, col_base, w0, w1,
+            [&](std::size_t wd, std::uint64_t hits) {
+              removed_t_.or_shifted_relaxed(col_base + (wd << 6), hits);
+              do {
+                const std::size_t i2 =
+                    (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
+                const TaskId id =
+                    outer_task_id(config_.n, static_cast<std::uint32_t>(i2), j);
+                pool_.remove_present_bits_relaxed(id, 1);
+                seg.tasks.push_back(id);
+                hits &= hits - 1;
+              } while (hits != 0);
+            });
+      }
+    }
+  };
+  team_->run(body);
+  // Owner-side merge: segments in lane index order, then one counter
+  // commit (every task was exactly one pool removal).
+  std::uint64_t taken = 0;
+  for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+    const LaneSeg& seg = lane_out_[lane];
+    taken += seg.tasks.size();
+    out.tasks.insert(out.tasks.end(), seg.tasks.begin(), seg.tasks.end());
+  }
+  pool_.commit_lane_removals(taken);
 }
 
 bool DynamicOuterStrategy::random_request(std::uint32_t worker,
@@ -183,14 +303,16 @@ bool DynamicOuterStrategy::random_request(std::uint32_t worker,
 DynamicOuterStrategy make_dynamic_outer_2phases(OuterConfig config,
                                                 std::uint32_t workers,
                                                 std::uint64_t seed,
-                                                double phase2_fraction) {
+                                                double phase2_fraction,
+                                                std::uint32_t lanes) {
   if (phase2_fraction < 0.0 || phase2_fraction > 1.0) {
     throw std::invalid_argument(
         "make_dynamic_outer_2phases: fraction must be in [0, 1]");
   }
   const double tasks = phase2_fraction * static_cast<double>(config.total_tasks());
   return DynamicOuterStrategy(config, workers, seed,
-                              static_cast<std::uint64_t>(std::llround(tasks)));
+                              static_cast<std::uint64_t>(std::llround(tasks)),
+                              lanes);
 }
 
 }  // namespace hetsched

@@ -15,6 +15,9 @@ struct OuterStrategyOptions {
   /// For DynamicOuter2Phases: fraction of tasks served by phase 2
   /// (typically exp(-beta)). Ignored by the other strategies.
   double phase2_fraction = 0.0;
+  /// Intra-rep lane team size for the data-aware strategies (1 = no
+  /// team; see common/lane_team.hpp). Ignored by the other strategies.
+  std::uint32_t lanes = 1;
 };
 
 /// Builds one of: "RandomOuter", "SortedOuter", "DynamicOuter",

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "sim/engine.hpp"
 #include "sim/event_core.hpp"
 
 namespace hetsched {
@@ -197,6 +198,7 @@ TimedSimResult simulate_timed(Strategy& strategy, const Platform& platform,
           .set(result.workers[k].starved_time);
     }
   }
+  publish_lane_gauges(config.metrics, strategy);
   return result;
 }
 

@@ -1,0 +1,178 @@
+// The intra-rep lane team: deterministic split, barrier semantics,
+// budget-aware sizing, and the campaign x rep x lane nesting guarantee
+// (the lane lease can never push the process past its budget).
+#include "common/lane_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace hetsched {
+namespace {
+
+// Restores the hardware-default capacity on scope exit so an override
+// cannot leak into other tests.
+struct BudgetOverride {
+  explicit BudgetOverride(std::uint32_t capacity) {
+    set_parallel_budget_capacity(capacity);
+  }
+  ~BudgetOverride() { set_parallel_budget_capacity(0); }
+};
+
+TEST(LaneTeam, SplitCoversRangeContiguouslyInLaneOrder) {
+  for (const std::uint64_t count : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+    for (const std::uint32_t lanes : {1u, 2u, 3u, 8u, 16u}) {
+      std::uint64_t expect_begin = 0;
+      for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+        const auto [b, e] = LaneTeam::split(count, lanes, lane);
+        EXPECT_EQ(b, expect_begin) << count << "/" << lanes << "@" << lane;
+        EXPECT_LE(b, e);
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, count);
+    }
+  }
+}
+
+TEST(LaneTeam, InertTeamRunsOnCallingThread) {
+  LaneTeam team(1);
+  EXPECT_EQ(team.lanes(), 1u);
+  const std::thread::id me = std::this_thread::get_id();
+  std::uint32_t calls = 0;
+  team.run([&](std::uint32_t lane) {
+    EXPECT_EQ(lane, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), me);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(team.dispatches(), 0u);  // inert calls are not dispatches
+}
+
+TEST(LaneTeam, EveryLaneRunsExactlyOncePerDispatch) {
+  const BudgetOverride cap(8);
+  LaneTeam team(4);
+  ASSERT_EQ(team.lanes(), 4u);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::atomic<int>> hits(team.lanes());
+    team.run([&](std::uint32_t lane) { hits[lane].fetch_add(1); });
+    // run() is a full barrier: lane writes are visible here.
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(team.dispatches(), 100u);
+}
+
+TEST(LaneTeam, LaneZeroIsTheCallingThread) {
+  const BudgetOverride cap(4);
+  LaneTeam team(2);
+  ASSERT_EQ(team.lanes(), 2u);
+  const std::thread::id me = std::this_thread::get_id();
+  team.run([&](std::uint32_t lane) {
+    if (lane == 0) EXPECT_EQ(std::this_thread::get_id(), me);
+    else EXPECT_NE(std::this_thread::get_id(), me);
+  });
+}
+
+TEST(LaneTeam, FirstExceptionIsRethrownAfterTheBarrier) {
+  const BudgetOverride cap(4);
+  LaneTeam team(4);
+  ASSERT_GE(team.lanes(), 2u);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(team.run([&](std::uint32_t lane) {
+    ran.fetch_add(1);
+    if (lane != 0) throw std::runtime_error("lane boom");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), static_cast<int>(team.lanes()));
+  // The team survives an exception: the next dispatch still works.
+  std::atomic<int> again{0};
+  team.run([&](std::uint32_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), static_cast<int>(team.lanes()));
+}
+
+TEST(LaneTeam, SizesAgainstTheRemainingBudget) {
+  const BudgetOverride cap(4);
+  const ParallelLease holder(3);  // an enclosing rep loop holds 3 slots
+  ASSERT_EQ(holder.granted(), 3u);
+  LaneTeam team(4);  // wants 3 extras, only 1 slot remains
+  EXPECT_EQ(team.lanes(), 2u);
+}
+
+TEST(LaneTeam, DegradesToSerialWhenBudgetIsDrained) {
+  const BudgetOverride cap(2);
+  const ParallelLease holder(2);
+  ASSERT_EQ(holder.granted(), 2u);
+  LaneTeam team(8);
+  EXPECT_EQ(team.lanes(), 1u);
+  std::uint32_t calls = 0;
+  team.run([&](std::uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(LaneTeam, ReleasesItsSlotsOnDestruction) {
+  const BudgetOverride cap(4);
+  {
+    LaneTeam team(4);
+    EXPECT_EQ(team.lanes(), 4u);
+    EXPECT_EQ(parallel_budget_in_use(), 3u);
+  }
+  EXPECT_EQ(parallel_budget_in_use(), 0u);
+}
+
+TEST(ParallelBudget, ExactLeaseRecordsUsagePastCapacity) {
+  const BudgetOverride cap(2);
+  const ParallelLease exact(4, /*exact=*/true);
+  EXPECT_EQ(exact.granted(), 4u);  // honored as asked...
+  EXPECT_EQ(parallel_budget_in_use(), 4u);  // ...and visible to others
+  LaneTeam team(8);
+  EXPECT_EQ(team.lanes(), 1u);  // nested teams cannot double-book
+}
+
+// Satellite 1: campaign x rep x lane nesting can never push the peak
+// number of concurrently running threads past the process budget. The
+// outer lease models the rep loop (exact mode, as run_experiment takes
+// for --parallelism), each "rep" builds a LaneTeam and hammers it; the
+// lane bodies count themselves in and out and record the high-water
+// mark, which must stay within capacity.
+TEST(LaneTeamStress, NestedLeasesRespectTheProcessBudget) {
+  constexpr std::uint32_t kCapacity = 6;
+  const BudgetOverride cap(kCapacity);
+  std::atomic<std::uint32_t> active{0};
+  std::atomic<std::uint32_t> peak{0};
+  auto enter = [&] {
+    const std::uint32_t now = active.fetch_add(1) + 1;
+    std::uint32_t seen = peak.load();
+    while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+    }
+  };
+  auto leave = [&] { active.fetch_sub(1); };
+
+  // Two rep shards in parallel (exact lease: 2 threads, recorded), each
+  // running reps that spin up a wide lane team. The teams want 8 lanes
+  // each; with 2 budget slots taken by the shard threads, the two teams
+  // can only lease 4 extras between them.
+  const ParallelLease rep_lease(2, /*exact=*/true);
+  parallel_for_dynamic(2, 2, [&](std::uint64_t) {
+    for (int rep = 0; rep < 20; ++rep) {
+      LaneTeam team(8);
+      for (int req = 0; req < 50; ++req) {
+        // Lane 0 is the shard thread itself, so counting inside the
+        // lane body counts every concurrently running thread once.
+        team.run([&](std::uint32_t) {
+          enter();
+          leave();
+        });
+      }
+    }
+  });
+  EXPECT_LE(peak.load(), kCapacity);
+  EXPECT_EQ(parallel_budget_in_use(), 2u);  // only the rep lease remains
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -22,9 +22,21 @@
 #include "matmul/matmul_problem.hpp"
 #include "outer/dynamic_outer.hpp"
 #include "outer/outer_problem.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace hetsched {
 namespace {
+
+// The lane-parallel request path must satisfy the same reference
+// semantics as the serial frontier, so every grid below also runs with
+// a 4-lane team. Raising the budget cap (restored on scope exit) makes
+// the lanes actually grant on a small CI box.
+struct BudgetOverride {
+  explicit BudgetOverride(std::uint32_t capacity) {
+    set_parallel_budget_capacity(capacity);
+  }
+  ~BudgetOverride() { set_parallel_budget_capacity(0); }
+};
 
 // Mirrors the strategies' index drawing: uniform pick + swap-remove.
 std::uint32_t mirror_pick(Rng& rng, std::vector<std::uint32_t>& unknown) {
@@ -56,12 +68,16 @@ struct MatmulMirror {
 };
 
 TEST(FrontierReference, OuterMatchesNestedLoopReference) {
+  const BudgetOverride cap(8);
   for (const std::uint32_t n : {3u, 7u, 30u, 65u}) {
     for (const std::uint32_t workers : {1u, 3u}) {
-      for (const std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+      for (const std::uint64_t seed : {1ull, 42ull}) {
+       for (const std::uint32_t lanes : {1u, 4u}) {
         SCOPED_TRACE(testing::Message()
-                     << "n=" << n << " workers=" << workers << " seed=" << seed);
-        DynamicOuterStrategy strategy(OuterConfig{n}, workers, seed);
+                     << "n=" << n << " workers=" << workers << " seed=" << seed
+                     << " lanes=" << lanes);
+        DynamicOuterStrategy strategy(OuterConfig{n}, workers, seed,
+                                      /*phase2_tasks=*/0, lanes);
         Rng rng(derive_stream(seed, "outer.dynamic"));
         std::vector<OuterMirror> mirror(workers, OuterMirror(n));
         std::set<TaskId> pooled;
@@ -101,15 +117,18 @@ TEST(FrontierReference, OuterMatchesNestedLoopReference) {
           w = (w + 1) % workers;
         }
         ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+       }
       }
     }
   }
 }
 
 TEST(FrontierReference, OuterMatchesReferenceAfterRequeue) {
+  const BudgetOverride cap(8);
   const std::uint32_t n = 20;
   const std::uint64_t seed = 7;
-  DynamicOuterStrategy strategy(OuterConfig{n}, 2, seed);
+  DynamicOuterStrategy strategy(OuterConfig{n}, 2, seed, /*phase2_tasks=*/0,
+                                /*lanes=*/4);
   Rng rng(derive_stream(seed, "outer.dynamic"));
   std::vector<OuterMirror> mirror(2, OuterMirror(n));
   std::set<TaskId> pooled;
@@ -153,12 +172,16 @@ TEST(FrontierReference, OuterMatchesReferenceAfterRequeue) {
 }
 
 TEST(FrontierReference, MatmulMatchesNestedLoopReference) {
+  const BudgetOverride cap(8);
   for (const std::uint32_t n : {2u, 5u, 17u, 40u}) {
     for (const std::uint32_t workers : {1u, 3u}) {
-      for (const std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+      for (const std::uint64_t seed : {1ull, 42ull}) {
+       for (const std::uint32_t lanes : {1u, 4u}) {
         SCOPED_TRACE(testing::Message()
-                     << "n=" << n << " workers=" << workers << " seed=" << seed);
-        DynamicMatrixStrategy strategy(MatmulConfig{n}, workers, seed);
+                     << "n=" << n << " workers=" << workers << " seed=" << seed
+                     << " lanes=" << lanes);
+        DynamicMatrixStrategy strategy(MatmulConfig{n}, workers, seed,
+                                       /*phase2_tasks=*/0, lanes);
         Rng rng(derive_stream(seed, "matmul.dynamic"));
         std::vector<MatmulMirror> mirror(workers, MatmulMirror(n));
         std::set<TaskId> pooled;
@@ -212,15 +235,18 @@ TEST(FrontierReference, MatmulMatchesNestedLoopReference) {
           w = (w + 1) % workers;
         }
         ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+       }
       }
     }
   }
 }
 
 TEST(FrontierReference, MatmulMatchesReferenceAfterRequeue) {
+  const BudgetOverride cap(8);
   const std::uint32_t n = 9;
   const std::uint64_t seed = 11;
-  DynamicMatrixStrategy strategy(MatmulConfig{n}, 2, seed);
+  DynamicMatrixStrategy strategy(MatmulConfig{n}, 2, seed, /*phase2_tasks=*/0,
+                                 /*lanes=*/4);
   Rng rng(derive_stream(seed, "matmul.dynamic"));
   std::vector<MatmulMirror> mirror(2, MatmulMirror(n));
   std::set<TaskId> pooled;

@@ -1,0 +1,204 @@
+// Bit-identity of the intra-rep lane team: every observable of an
+// experiment — per-rep sim stats, normalized summaries, the exact task
+// and block enumeration order of every request — must be identical for
+// any --lanes value, across strategies, engines, rep parallelism and
+// crash scripts. This is the contract that lets the lane count be a
+// pure performance knob (and lets the strategies gate the parallel
+// path on runtime state like the granted lane count).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "matmul/dynamic_matrix.hpp"
+#include "outer/dynamic_outer.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hetsched {
+namespace {
+
+// Lane teams size themselves against the process parallelism budget;
+// on a small CI box the default budget may not cover multi-lane teams
+// at all. Tests that must exercise the parallel path raise the cap
+// (restored on scope exit) so lanes are actually granted.
+struct BudgetOverride {
+  explicit BudgetOverride(std::uint32_t capacity) {
+    set_parallel_budget_capacity(capacity);
+  }
+  ~BudgetOverride() { set_parallel_budget_capacity(0); }
+};
+
+void expect_same_result(const ExperimentResult& a, const ExperimentResult& b) {
+  // Exact floating-point equality on purpose: the contract is
+  // bit-identical, not approximately equal.
+  EXPECT_EQ(a.normalized.mean, b.normalized.mean);
+  EXPECT_EQ(a.normalized.stddev, b.normalized.stddev);
+  EXPECT_EQ(a.makespan.mean, b.makespan.mean);
+  EXPECT_EQ(a.finish_spread.mean, b.finish_spread.mean);
+  ASSERT_EQ(a.reps.size(), b.reps.size());
+  for (std::size_t r = 0; r < a.reps.size(); ++r) {
+    const SimResult& sa = a.reps[r].sim;
+    const SimResult& sb = b.reps[r].sim;
+    EXPECT_EQ(sa.makespan, sb.makespan) << "rep " << r;
+    EXPECT_EQ(sa.total_blocks, sb.total_blocks) << "rep " << r;
+    EXPECT_EQ(sa.total_tasks_done, sb.total_tasks_done) << "rep " << r;
+    EXPECT_EQ(sa.requeued_tasks, sb.requeued_tasks) << "rep " << r;
+    ASSERT_EQ(sa.workers.size(), sb.workers.size());
+    for (std::size_t w = 0; w < sa.workers.size(); ++w) {
+      EXPECT_EQ(sa.workers[w].tasks_done, sb.workers[w].tasks_done)
+          << "rep " << r << " worker " << w;
+      EXPECT_EQ(sa.workers[w].blocks_received, sb.workers[w].blocks_received)
+          << "rep " << r << " worker " << w;
+      EXPECT_EQ(sa.workers[w].busy_time, sb.workers[w].busy_time)
+          << "rep " << r << " worker " << w;
+      EXPECT_EQ(sa.workers[w].finish_time, sb.workers[w].finish_time)
+          << "rep " << r << " worker " << w;
+    }
+  }
+}
+
+TEST(LaneIdentity, ExperimentsAreBitIdenticalForAnyLaneCount) {
+  const BudgetOverride cap(16);
+  struct Case {
+    Kernel kernel;
+    const char* strategy;
+    std::uint32_t n;
+  };
+  const Case cases[] = {
+      {Kernel::kOuter, "DynamicOuter", 48},
+      {Kernel::kOuter, "DynamicOuter2Phases", 48},
+      {Kernel::kMatmul, "DynamicMatrix", 12},
+      {Kernel::kMatmul, "DynamicMatrix2Phases", 12},
+  };
+  for (const Case& c : cases) {
+    for (const bool timed : {false, true}) {
+      for (const std::uint32_t parallelism : {1u, 4u}) {
+        SCOPED_TRACE(testing::Message()
+                     << c.strategy << (timed ? " timed" : " flat")
+                     << " parallelism=" << parallelism);
+        ExperimentConfig config;
+        config.kernel = c.kernel;
+        config.strategy = c.strategy;
+        config.n = c.n;
+        config.p = 5;
+        config.reps = 4;
+        config.seed = 2024;
+        config.timed = timed;
+        config.parallelism = parallelism;
+        config.lanes = 1;
+        const ExperimentResult base = run_experiment(config);
+        for (const std::uint32_t lanes : {2u, 8u}) {
+          config.lanes = lanes;
+          const ExperimentResult with_lanes = run_experiment(config);
+          SCOPED_TRACE(testing::Message() << "lanes=" << lanes);
+          expect_same_result(base, with_lanes);
+        }
+      }
+    }
+  }
+}
+
+TEST(LaneIdentity, CrashRequeueRunsAreBitIdentical) {
+  const BudgetOverride cap(16);
+  for (const char* strategy : {"DynamicMatrix", "DynamicMatrix2Phases"}) {
+    SCOPED_TRACE(strategy);
+    ExperimentConfig config;
+    config.kernel = Kernel::kMatmul;
+    config.strategy = strategy;
+    config.n = 12;
+    config.p = 6;
+    config.reps = 3;
+    config.seed = 7;
+    // A crash (factor 0, tasks requeue) and a straggler: the requeue
+    // path must keep both presence orientations exact so later lane
+    // scans stay identical.
+    config.faults = {WorkerFault{0.02, 1, 0.0}, WorkerFault{0.05, 3, 0.2}};
+    config.lanes = 1;
+    const ExperimentResult base = run_experiment(config);
+    config.lanes = 4;
+    const ExperimentResult with_lanes = run_experiment(config);
+    expect_same_result(base, with_lanes);
+    // Crashes actually happened, so the identity covers the requeue path.
+    EXPECT_GT(base.reps[0].sim.requeued_tasks, 0u);
+  }
+}
+
+// Stronger than set equality: the exact enumeration ORDER of each
+// request's tasks and blocks must match the serial scan, because the
+// engines hand tasks to workers in assignment order and any
+// reordering would change timed schedules.
+TEST(LaneIdentity, DrainPinsTaskAndBlockOrder) {
+  const BudgetOverride cap(16);
+  const std::uint32_t n = 30;
+  const std::uint32_t workers = 3;
+  const std::uint64_t seed = 99;
+  {
+    DynamicOuterStrategy serial(OuterConfig{n}, workers, seed);
+    DynamicOuterStrategy laned(OuterConfig{n}, workers, seed,
+                               /*phase2_tasks=*/0, /*lanes=*/4);
+    laned.prepare_lanes();
+    EXPECT_GT(laned.lane_utilization().lanes_granted, 1u);
+    std::uint32_t w = 0;
+    for (;;) {
+      const auto a = serial.on_request(w);
+      const auto b = laned.on_request(w);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (!a.has_value()) break;
+      ASSERT_EQ(a->tasks, b->tasks);  // same ids, same order
+      ASSERT_EQ(a->blocks.size(), b->blocks.size());
+      for (std::size_t x = 0; x < a->blocks.size(); ++x) {
+        EXPECT_EQ(a->blocks[x].operand, b->blocks[x].operand);
+        EXPECT_EQ(a->blocks[x].row, b->blocks[x].row);
+        EXPECT_EQ(a->blocks[x].col, b->blocks[x].col);
+      }
+      w = (w + 1) % workers;
+    }
+    // The laned drain really took the parallel path.
+    EXPECT_GT(laned.lane_utilization().parallel_requests, 0u);
+  }
+  {
+    DynamicMatrixStrategy serial(MatmulConfig{11}, workers, seed);
+    DynamicMatrixStrategy laned(MatmulConfig{11}, workers, seed,
+                                /*phase2_tasks=*/0, /*lanes=*/4);
+    laned.prepare_lanes();
+    std::uint32_t w = 0;
+    for (;;) {
+      const auto a = serial.on_request(w);
+      const auto b = laned.on_request(w);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (!a.has_value()) break;
+      ASSERT_EQ(a->tasks, b->tasks);
+      ASSERT_EQ(a->blocks.size(), b->blocks.size());
+      w = (w + 1) % workers;
+    }
+    EXPECT_GT(laned.lane_utilization().parallel_requests, 0u);
+  }
+}
+
+// A drained budget degrades the team to one lane; results must still
+// be identical (the serial branch) and nothing may deadlock.
+TEST(LaneIdentity, DrainedBudgetDegradesToSerial) {
+  const BudgetOverride cap(2);
+  const ParallelLease holder(2);
+  ASSERT_EQ(holder.granted(), 2u);
+  DynamicOuterStrategy serial(OuterConfig{20}, 2, 5);
+  DynamicOuterStrategy laned(OuterConfig{20}, 2, 5, /*phase2_tasks=*/0,
+                             /*lanes=*/8);
+  EXPECT_EQ(laned.lane_utilization().lanes_granted, 1u);
+  std::uint32_t w = 0;
+  for (;;) {
+    const auto a = serial.on_request(w);
+    const auto b = laned.on_request(w);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    ASSERT_EQ(a->tasks, b->tasks);
+    w = (w + 1) % 2;
+  }
+  EXPECT_EQ(laned.lane_utilization().parallel_requests, 0u);
+  EXPECT_GT(laned.lane_utilization().serial_requests, 0u);
+}
+
+}  // namespace
+}  // namespace hetsched

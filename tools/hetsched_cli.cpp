@@ -60,6 +60,9 @@ int usage() {
       "                                  comm knobs, used with --timed\n"
       "             [--faults=t:w:f,...] scripted faults: at time t worker w\n"
       "                                  scales speed by f (f=0 -> crash)\n"
+      "             [--lanes=L]          intra-rep lane team for the dynamic\n"
+      "                                  strategies' request hot path; results\n"
+      "                                  are bit-identical for every L\n"
       "             observability (re-runs repetition 0 instrumented):\n"
       "             [--trace-out=FILE]   chrome-tracing JSON with per-worker\n"
       "                                  Gantt rows, phase-switch markers and\n"
@@ -247,6 +250,7 @@ int cmd_run(const CliArgs& args) {
   config.lookahead =
       static_cast<std::uint32_t>(args.get_int("lookahead", config.lookahead));
   config.faults = parse_faults(args.get("faults", ""));
+  config.lanes = static_cast<std::uint32_t>(args.get_int("lanes", 1));
   config.profile = args.get_bool("profile", false);
 
   ProgressSetup progress = make_progress(args);
