@@ -115,6 +115,13 @@ void JsonWriter::null() {
   if (!scope_has_items_.empty()) scope_has_items_.back() = true;
 }
 
+std::string JsonWriter::hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
 std::string JsonWriter::escape(std::string_view raw) {
   std::string out;
   out.reserve(raw.size());

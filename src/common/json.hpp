@@ -56,6 +56,11 @@ class JsonWriter {
   /// JSON string escaping (exposed for tests).
   static std::string escape(std::string_view raw);
 
+  /// Fixed-width lower-case hex form of a 64-bit value ("00ab...", 16
+  /// digits). Used for config hashes, which must survive JSON number
+  /// precision and language round-trips as strings.
+  static std::string hex16(std::uint64_t v);
+
  private:
   enum class Scope : std::uint8_t { kObject, kArray };
 

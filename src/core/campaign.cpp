@@ -97,6 +97,11 @@ void write_campaign_json(std::ostream& out, const std::string& name,
     json.field("n", static_cast<std::uint64_t>(outcome.config.n));
     json.field("p", static_cast<std::uint64_t>(outcome.config.p));
     json.field("scenario", outcome.config.scenario.name);
+    // Present only for spec-compiled configs (spec/spec.hpp), keeping
+    // hand-built campaigns byte-identical.
+    if (outcome.config.config_hash != 0) {
+      json.field("config_hash", JsonWriter::hex16(outcome.config.config_hash));
+    }
     json.field("beta", outcome.result.beta);
     json.field("normalized_mean", outcome.result.normalized.mean);
     json.field("normalized_sd", outcome.result.normalized.stddev);

@@ -57,6 +57,11 @@ void write_experiment_json(std::ostream& out, const ExperimentConfig& config,
     }
     json.end_array();
   }
+  // Present only when the config came through the spec compiler, so
+  // hand-built configs keep their JSON unchanged.
+  if (config.config_hash != 0) {
+    json.field("config_hash", JsonWriter::hex16(config.config_hash));
+  }
   json.end_object();
 
   json.field("beta", result.beta);

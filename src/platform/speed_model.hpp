@@ -57,6 +57,9 @@ class TwoClassSpeeds final : public SpeedModel {
   TwoClassSpeeds(double slow, double fast, double fast_fraction);
   std::string name() const override;
   double draw(Rng& rng) const override;
+  double slow() const noexcept { return slow_; }
+  double fast() const noexcept { return fast_; }
+  double fast_fraction() const noexcept { return fast_fraction_; }
 
  private:
   double slow_;
@@ -77,6 +80,7 @@ class FixedListSpeeds final : public SpeedModel {
   explicit FixedListSpeeds(std::vector<double> speeds);
   std::string name() const override;
   double draw(Rng& rng) const override;
+  const std::vector<double>& speeds() const noexcept { return speeds_; }
 
  private:
   std::vector<double> speeds_;
@@ -89,6 +93,7 @@ class HomogeneousSpeeds final : public SpeedModel {
   explicit HomogeneousSpeeds(double speed = 100.0);
   std::string name() const override;
   double draw(Rng& rng) const override;
+  double speed() const noexcept { return speed_; }
 
  private:
   double speed_;

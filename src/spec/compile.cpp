@@ -1,0 +1,58 @@
+#include "spec/compile.hpp"
+
+#include <optional>
+
+namespace hetsched {
+
+CompiledCampaign compile_spec(const ScenarioSpec& resolved) {
+  validate_spec(resolved);
+
+  // An empty phase2 axis = one point with the speed-agnostic default
+  // (resolve_beta derives the analysis optimum per config).
+  std::vector<std::optional<double>> phase2s;
+  if (resolved.phase2s.empty()) {
+    phase2s.push_back(std::nullopt);
+  } else {
+    for (double ph2 : resolved.phase2s) phase2s.emplace_back(ph2);
+  }
+
+  CompiledCampaign out;
+  out.name = *resolved.name;
+  for (std::uint32_t n : resolved.ns) {
+    for (std::uint32_t p : resolved.ps) {
+      for (const std::string& strategy : resolved.strategies) {
+        for (const std::optional<double>& ph2 : phase2s) {
+          ExperimentConfig config;
+          config.kernel = *resolved.kernel;
+          config.strategy = strategy;
+          config.n = n;
+          config.p = p;
+          // Fresh model per entry: some SpeedModels carry mutable draw
+          // state, so campaign entries must not share one.
+          config.scenario = make_scenario(*resolved.platform);
+          config.phase2_fraction = ph2;
+          config.seed = *resolved.seed;
+          config.reps = *resolved.reps;
+          config.timed = *resolved.timed;
+          config.comm.bandwidth = *resolved.bandwidth;
+          config.comm.latency = *resolved.latency;
+          config.lookahead = *resolved.lookahead;
+          config.lanes = *resolved.lanes;
+          config.faults = to_worker_faults(resolved.faults);
+          config.config_hash = config_hash(config);
+
+          std::string label = strategy + ".p" + std::to_string(p);
+          if (resolved.ns.size() > 1) label += ".n" + std::to_string(n);
+          if (resolved.phase2s.size() > 1) {
+            label += ".ph" + format_double(*ph2);
+          }
+          out.entries.push_back(CampaignEntry{std::move(label),
+                                              std::move(config)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,28 @@
+// Back-end of the spec layer: a resolved+validated ScenarioSpec
+// compiles into the labeled CampaignEntry list the Campaign runner
+// consumes. Grid axes expand n -> p -> strategy -> phase2 (the legacy
+// cmd_campaign insertion order), every entry gets a fresh Scenario
+// (speed models carry draw state) and its config_hash stamped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "spec/spec.hpp"
+
+namespace hetsched {
+
+struct CompiledCampaign {
+  std::string name;
+  std::vector<CampaignEntry> entries;
+};
+
+/// Expands the grid of a resolved spec. Calls validate_spec first, so
+/// feeding it an invalid spec throws SpecError rather than producing
+/// bad configs. Labels are `<strategy>.p<p>`, extended with `.n<n>`
+/// and/or `.ph<phase2>` only when that axis has more than one value —
+/// single-axis campaigns keep the exact legacy labels.
+CompiledCampaign compile_spec(const ScenarioSpec& resolved);
+
+}  // namespace hetsched

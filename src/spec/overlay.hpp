@@ -1,0 +1,21 @@
+// CLI front-end of the spec layer: flags become a *partial*
+// ScenarioSpec that merge_specs lays over an optional --spec=FILE, so
+// flag-driven and file-driven invocations funnel through the same
+// resolution, validation and compilation.
+#pragma once
+
+#include "common/cli.hpp"
+#include "spec/spec.hpp"
+
+namespace hetsched {
+
+/// Lifts the experiment-shaping flags (--name --kernel --strategy /
+/// --strategies --n --p --beta / --phase2 --scenario --reps --seed
+/// --timed --bandwidth --latency --lookahead --lanes --faults) into a
+/// partial spec; only flags actually present produce set fields.
+/// Output/telemetry flags (--json, --profile, --progress*, --*-out,
+/// --jobs, ...) are not configuration and stay outside the spec.
+/// Throws SpecError on malformed values (field-named, range-checked).
+ScenarioSpec spec_overlay_from_cli(const CliArgs& args);
+
+}  // namespace hetsched

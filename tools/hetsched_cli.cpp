@@ -10,7 +10,16 @@
 //   hetsched_cli partition --speeds=10,40,25,25
 //   hetsched_cli dag   --factorization=cholesky [--tiles=16] [--p=8]
 //   hetsched_cli analyze --trace=events.jsonl [--json]
+//   hetsched_cli validate --spec=scenario.hspec [--canonical]
 //   hetsched_cli help
+//
+// run/sweep/campaign/validate all compile their configuration through
+// the spec layer (src/spec): flags become a partial ScenarioSpec
+// overlaid on an optional --spec=FILE (.hspec), then one shared
+// resolve -> validate -> compile pipeline produces the experiment
+// configs. Flag-only invocations compile to exactly the configs the
+// commands used to build by hand (pinned by
+// tests/spec/spec_cli_identity_test.cpp).
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -25,6 +34,7 @@
 #include "common/cli.hpp"
 #include "core/campaign.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "core/figure.hpp"
 #include "core/report.hpp"
@@ -39,6 +49,9 @@
 #include "obs/progress.hpp"
 #include "platform/platform.hpp"
 #include "sim/trace_export.hpp"
+#include "spec/compile.hpp"
+#include "spec/overlay.hpp"
+#include "spec/parse.hpp"
 #include "static_part/column_partition.hpp"
 
 namespace {
@@ -54,6 +67,8 @@ int usage() {
       "             --kernel=outer|matmul --strategy=<name> [--n= --p=]\n"
       "             [--scenario=default|hom|unif.1|...|dyn.20] [--reps=]\n"
       "             [--seed=] [--beta=] [--json] [--details]\n"
+      "             [--spec=FILE.hspec]  load a scenario spec; flags\n"
+      "                                  override its fields\n"
       "             engine selection and fault injection:\n"
       "             [--timed]            comm-timed engine (serial uplink)\n"
       "             [--bandwidth=B] [--latency=L] [--lookahead=K]\n"
@@ -86,7 +101,7 @@ int usage() {
       "             [--progress-interval=SEC] heartbeat throttle (default 1)\n"
       "  sweep      sweep worker counts for several strategies\n"
       "             --kernel=... [--p=10,50,100] [--strategies=a,b,c]\n"
-      "             [--analysis] [--json]\n"
+      "             [--analysis] [--json] [--spec=FILE.hspec]\n"
       "  tune       print the analysis-optimal beta for (kernel, p, n)\n"
       "  partition  static 7/4 rectangle partition for explicit speeds\n"
       "             --speeds=10,40,25,25 [--n=100]\n"
@@ -99,8 +114,15 @@ int usage() {
       "  campaign   run a strategy x worker-count matrix as one parallel\n"
       "             batch, JSON output\n"
       "             --kernel=... [--strategies=a,b] [--p=10,50] [--reps=]\n"
+      "             [--n=100,200] [--beta=] [--name=] [--timed ...]\n"
+      "             [--faults=...] [--lanes=]\n"
+      "             [--spec=FILE.hspec]  load a scenario spec; flags\n"
+      "                                  override its fields\n"
       "             [--progress] [--progress-out=FILE]\n"
       "             [--progress-interval=SEC]\n"
+      "  validate   check a .hspec spec end to end without running it;\n"
+      "             prints the expanded entries and config hashes\n"
+      "             --spec=FILE.hspec [--canonical]\n"
       "  analyze    post-hoc report over a hetsched-trace/1 JSONL file:\n"
       "             per-worker time attribution, phase timeline, critical\n"
       "             path, ODE-divergence verdict\n"
@@ -120,25 +142,19 @@ std::vector<std::string> split_names(const std::string& csv) {
   return out;
 }
 
-// Parses --faults=t:w:f,t:w:f — at time t, scale worker w's speed by
-// factor f (0 = crash). Validation against the worker count happens in
-// the engine.
-std::vector<WorkerFault> parse_faults(const std::string& spec) {
-  std::vector<WorkerFault> faults;
-  for (const auto& item : split_names(spec)) {
-    std::stringstream ss(item);
-    std::string t, w, f;
-    if (!std::getline(ss, t, ':') || !std::getline(ss, w, ':') ||
-        !std::getline(ss, f, ':')) {
-      throw std::invalid_argument("faults: expected t:w:f, got '" + item + "'");
-    }
-    WorkerFault fault;
-    fault.time = std::stod(t);
-    fault.worker = static_cast<std::uint32_t>(std::stoul(w));
-    fault.factor = std::stod(f);
-    faults.push_back(fault);
-  }
-  return faults;
+// The shared configuration pipeline of run/sweep/campaign/validate:
+// parse --spec=FILE if given, lay the flag overlay on top, resolve
+// against the command's defaults, and validate. Every error is a
+// SpecError naming the offending field (and, for file input, its
+// line/column).
+ScenarioSpec load_spec(const CliArgs& args, const SpecDefaults& defaults) {
+  ScenarioSpec spec;
+  const std::string path = args.get("spec", "");
+  if (!path.empty()) spec = parse_spec_file(path);
+  spec = resolve_spec(merge_specs(std::move(spec), spec_overlay_from_cli(args)),
+                      defaults);
+  validate_spec(spec);
+  return spec;
 }
 
 // Owns the optional live progress reporter plus its output file, built
@@ -229,28 +245,16 @@ void dump_observability(const CliArgs& args, const ExperimentConfig& config) {
 }
 
 int cmd_run(const CliArgs& args) {
-  ExperimentConfig config;
-  config.kernel = kernel_from_string(args.get("kernel", "outer"));
-  config.strategy = args.get(
-      "strategy",
-      config.kernel == Kernel::kOuter ? "DynamicOuter2Phases"
-                                      : "DynamicMatrix2Phases");
-  config.n = static_cast<std::uint32_t>(
-      args.get_int("n", config.kernel == Kernel::kOuter ? 100 : 40));
-  config.p = static_cast<std::uint32_t>(args.get_int("p", 20));
-  config.scenario = named_scenario(args.get("scenario", "default"));
-  config.reps = static_cast<std::uint32_t>(args.get_int("reps", 10));
-  config.seed = args.get_int("seed", 42);
-  if (args.has("beta")) {
-    config.phase2_fraction = std::exp(-args.get_double("beta", 4.0));
+  const ScenarioSpec spec = load_spec(args, run_spec_defaults());
+  CompiledCampaign compiled = compile_spec(spec);
+  if (compiled.entries.size() != 1) {
+    throw SpecError("run: the spec expands to " +
+                    std::to_string(compiled.entries.size()) +
+                    " experiments; use `campaign` for grids");
   }
-  config.timed = args.get_bool("timed", false);
-  config.comm.bandwidth = args.get_double("bandwidth", config.comm.bandwidth);
-  config.comm.latency = args.get_double("latency", config.comm.latency);
-  config.lookahead =
-      static_cast<std::uint32_t>(args.get_int("lookahead", config.lookahead));
-  config.faults = parse_faults(args.get("faults", ""));
-  config.lanes = static_cast<std::uint32_t>(args.get_int("lanes", 1));
+  ExperimentConfig config = std::move(compiled.entries.front().config);
+  // Telemetry is not configuration: it never enters the spec or the
+  // config hash.
   config.profile = args.get_bool("profile", false);
 
   ProgressSetup progress = make_progress(args);
@@ -293,23 +297,30 @@ int cmd_run(const CliArgs& args) {
 }
 
 int cmd_sweep(const CliArgs& args) {
-  const Kernel kernel = kernel_from_string(args.get("kernel", "outer"));
-  const auto n = static_cast<std::uint32_t>(
-      args.get_int("n", kernel == Kernel::kOuter ? 100 : 40));
-  const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 5));
-  const std::uint64_t seed = args.get_int("seed", 42);
-  std::vector<std::uint32_t> ps;
-  for (const auto v : args.get_int_list("p", {10, 50, 100})) {
-    ps.push_back(static_cast<std::uint32_t>(v));
+  const ScenarioSpec spec = load_spec(args, batch_spec_defaults());
+  // sweep_worker_count fixes one n and a flat engine; grids over n and
+  // the richer engine knobs belong to `campaign`.
+  if (spec.ns.size() != 1) {
+    throw SpecError("sweep: exactly one n (use `campaign` for n grids)");
   }
-  std::vector<std::string> strategies = split_names(args.get(
-      "strategies", kernel == Kernel::kOuter
-                        ? "RandomOuter,DynamicOuter,DynamicOuter2Phases"
-                        : "RandomMatrix,DynamicMatrix,DynamicMatrix2Phases"));
+  if (!spec.phase2s.empty()) {
+    throw SpecError("sweep: beta/phase2 is not supported (use `campaign`)");
+  }
+  if (*spec.timed) {
+    throw SpecError("sweep: the timed engine is not supported (use "
+                    "`campaign`)");
+  }
+  if (!spec.faults.empty()) {
+    throw SpecError("sweep: faults are not supported (use `campaign`)");
+  }
+  if (*spec.lanes != 1) {
+    throw SpecError("sweep: lanes are not supported (use `campaign`)");
+  }
 
   const auto points = sweep_worker_count(
-      kernel, n, ps, named_scenario(args.get("scenario", "default")),
-      strategies, args.get_bool("analysis", true), seed, reps);
+      *spec.kernel, spec.ns.front(), spec.ps, make_scenario(*spec.platform),
+      spec.strategies, args.get_bool("analysis", true), *spec.seed,
+      *spec.reps);
   if (args.get_bool("json", false)) {
     write_sweep_json(std::cout, "p", points);
   } else {
@@ -452,35 +463,42 @@ int cmd_dag(const CliArgs& args) {
 }
 
 int cmd_campaign(const CliArgs& args) {
-  const Kernel kernel = kernel_from_string(args.get("kernel", "outer"));
-  const auto n = static_cast<std::uint32_t>(
-      args.get_int("n", kernel == Kernel::kOuter ? 100 : 40));
-  const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 5));
-  const std::uint64_t seed = args.get_int("seed", 42);
-  const std::vector<std::string> strategies = split_names(args.get(
-      "strategies", kernel == Kernel::kOuter
-                        ? "RandomOuter,DynamicOuter,DynamicOuter2Phases"
-                        : "RandomMatrix,DynamicMatrix,DynamicMatrix2Phases"));
-
-  Campaign campaign("cli");
-  for (const auto v : args.get_int_list("p", {10, 50, 100})) {
-    for (const auto& strategy : strategies) {
-      ExperimentConfig config;
-      config.kernel = kernel;
-      config.strategy = strategy;
-      config.n = n;
-      config.p = static_cast<std::uint32_t>(v);
-      config.reps = reps;
-      config.seed = seed;
-      config.scenario = named_scenario(args.get("scenario", "default"));
-      campaign.add(strategy + ".p" + std::to_string(v), config);
-    }
+  const ScenarioSpec spec = load_spec(args, batch_spec_defaults());
+  CompiledCampaign compiled = compile_spec(spec);
+  Campaign campaign(compiled.name);
+  for (auto& entry : compiled.entries) {
+    campaign.add(std::move(entry.label), std::move(entry.config));
   }
   ProgressSetup progress = make_progress(args);
   const auto outcomes = campaign.run(
       static_cast<unsigned>(args.get_int("jobs", 0)), progress.get());
   if (progress.get() != nullptr) progress.get()->finish();
   write_campaign_json(std::cout, campaign.name(), outcomes);
+  return 0;
+}
+
+// Validates a .hspec file end to end (parse -> resolve -> validate ->
+// compile) without running anything, and shows what it would run:
+// the expanded entry labels with their config hashes, or the canonical
+// spec text with --canonical. CI runs this over every checked-in spec.
+int cmd_validate(const CliArgs& args) {
+  const std::string path = args.get("spec", "");
+  if (path.empty()) {
+    std::cerr << "validate: --spec=FILE is required\n";
+    return 2;
+  }
+  const ScenarioSpec spec = load_spec(args, batch_spec_defaults());
+  const CompiledCampaign compiled = compile_spec(spec);
+  if (args.get_bool("canonical", false)) {
+    std::cout << canonical_text(spec);
+    return 0;
+  }
+  std::cout << compiled.name << ": " << compiled.entries.size()
+            << " experiment(s)\n";
+  for (const auto& entry : compiled.entries) {
+    std::cout << "  " << entry.label << "  config_hash="
+              << JsonWriter::hex16(entry.config.config_hash) << "\n";
+  }
   return 0;
 }
 
@@ -556,6 +574,7 @@ int main(int argc, char** argv) {
     if (command == "partition") return cmd_partition(args);
     if (command == "dag") return cmd_dag(args);
     if (command == "campaign") return cmd_campaign(args);
+    if (command == "validate") return cmd_validate(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "help" || command == "--help") {
       usage();
