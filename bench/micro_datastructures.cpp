@@ -6,9 +6,11 @@
 #include "common/dynamic_bitset.hpp"
 #include "common/rng.hpp"
 #include "common/swap_remove_pool.hpp"
+#include "common/task_pool.hpp"
 #include "outer/outer_factory.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
+#include "sim/strategy.hpp"
 
 namespace {
 
@@ -45,6 +47,89 @@ void BM_PoolRemoveById(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PoolRemoveById)->Arg(1000000);
+
+void BM_PoolRemovePresentRun(benchmark::State& state) {
+  // Word-level strided retirement — the primitive behind every
+  // run-encoded grant: one call retires up to 64 tasks. Arg is the
+  // stride (1 = the contiguous k-run orientation, 100 = the scattered
+  // face/column orientation of the dual-mirror structure).
+  const auto stride = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kIds = 1ull << 22;
+  TaskPool pool(kIds, /*presence_view=*/true, /*lazy_dense=*/true);
+  std::uint64_t first = 0;
+  for (auto _ : state) {
+    if (first + 64 * stride > kIds) {
+      state.PauseTiming();
+      pool = TaskPool(kIds, true, true);
+      first = 0;
+      state.ResumeTiming();
+    }
+    pool.remove_present_run(first, ~std::uint64_t{0}, stride);
+    first += 64 * stride;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel("items = tasks retired");
+}
+BENCHMARK(BM_PoolRemovePresentRun)->Arg(1)->Arg(100);
+
+void BM_PoolRemovePerTask(benchmark::State& state) {
+  // Per-task baseline for BM_PoolRemovePresentRun: the same 64-id
+  // windows retired one remove() at a time (the pre-run protocol).
+  const auto stride = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kIds = 1ull << 22;
+  TaskPool pool(kIds, /*presence_view=*/true, /*lazy_dense=*/true);
+  std::uint64_t first = 0;
+  for (auto _ : state) {
+    if (first + 64 * stride > kIds) {
+      state.PauseTiming();
+      pool = TaskPool(kIds, true, true);
+      first = 0;
+      state.ResumeTiming();
+    }
+    for (int b = 0; b < 64; ++b) pool.remove(first + b * stride);
+    first += 64 * stride;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel("items = tasks retired");
+}
+BENCHMARK(BM_PoolRemovePerTask)->Arg(1)->Arg(100);
+
+void BM_AssignmentRunIteration(benchmark::State& state) {
+  // Consumer-side cost of the run facade: expanding an Assignment of
+  // 64 full TaskRuns (4096 tasks) through for_each_task.
+  Assignment a;
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    a.task_runs.push_back(
+        TaskRun{static_cast<TaskId>(r) * 4096, ~std::uint64_t{0}, 40, 64});
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    a.for_each_task([&](TaskId id) { sum += id; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+  state.SetLabel("items = tasks visited");
+}
+BENCHMARK(BM_AssignmentRunIteration);
+
+void BM_AssignmentScalarIteration(benchmark::State& state) {
+  // Per-task baseline for BM_AssignmentRunIteration: the same 4096
+  // task ids carried as scalars in Assignment::tasks.
+  Assignment a;
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    for (std::uint32_t b = 0; b < 64; ++b) {
+      a.tasks.push_back(static_cast<TaskId>(r) * 4096 + b * 40);
+    }
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    a.for_each_task([&](TaskId id) { sum += id; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+  state.SetLabel("items = tasks visited");
+}
+BENCHMARK(BM_AssignmentScalarIteration);
 
 void BM_BitsetSetTest(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

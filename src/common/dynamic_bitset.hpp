@@ -67,6 +67,26 @@ class DynamicBitset {
     }
   }
 
+  /// Strided batch set: bit b of `bits` sets position base + b * stride.
+  /// The scattered side of run retirement: stride 1 delegates to the
+  /// word-level or_shifted; larger strides (an outer column, a matmul
+  /// k-face through the mirrors) walk the set bits with one stamped
+  /// read-modify-write each — the per-word writes are inherent to the
+  /// transposed orientation, but the per-bit call and bookkeeping
+  /// overhead of a caller-side loop is not.
+  void set_run(std::size_t base, std::uint64_t bits,
+               std::size_t stride) noexcept {
+    if (stride == 1) {
+      or_shifted(base, bits);
+      return;
+    }
+    std::uint64_t rest = bits;
+    while (rest != 0) {
+      set(base + static_cast<std::size_t>(std::countr_zero(rest)) * stride);
+      rest &= rest - 1;
+    }
+  }
+
   /// Number of set bits.
   std::size_t count() const noexcept;
 
@@ -176,6 +196,96 @@ class DynamicBitset {
     }
   }
 
+  /// Relaxed atomic set_run(base, bits, stride): same semantics, every
+  /// touched word updated with a fetch_or. Same materialization
+  /// precondition as the other relaxed writers.
+  void set_run_relaxed(std::size_t base, std::uint64_t bits,
+                       std::size_t stride) noexcept {
+    if (stride == 1) {
+      or_shifted_relaxed(base, bits);
+      return;
+    }
+    std::uint64_t rest = bits;
+    while (rest != 0) {
+      set_relaxed(base +
+                  static_cast<std::size_t>(std::countr_zero(rest)) * stride);
+      rest &= rest - 1;
+    }
+  }
+
+  // -- Materialized serial access -------------------------------------
+  // The dynamic strategies' serial request loop shares the lane path's
+  // precondition (materialize_all() once per rep) but not its threads,
+  // so it can also skip the generation resolution — one array index per
+  // word instead of a stamp load and branch per access. In the request
+  // hot loop the stamp arrays are pure cache pressure: dropping them
+  // halves the lines the frontier scan touches. Point writers (set,
+  // insert/remove) keep materialized words current, so the precondition
+  // survives until the next clear()/resize().
+
+  /// word(w) without generation resolution. Requires materialize_all()
+  /// since the last clear()/resize().
+  std::uint64_t word_m(std::size_t w) const noexcept {
+    assert(gen_[w] == gen_id_ && "serial _m access to unmaterialized word");
+    return words_[w];
+  }
+
+  /// word_or_zero(w) without generation resolution.
+  std::uint64_t word_or_zero_m(std::size_t w) const noexcept {
+    return w < words_.size() ? word_m(w) : 0;
+  }
+
+  /// set(pos) without generation resolution.
+  void set_m(std::size_t pos) noexcept {
+    assert(gen_[pos >> 6] == gen_id_ &&
+           "serial _m access to unmaterialized word");
+    words_[pos >> 6] |= 1ULL << (pos & 63);
+  }
+
+  /// or_shifted(base, bits) without generation resolution.
+  void or_shifted_m(std::size_t base, std::uint64_t bits) noexcept {
+    if (bits == 0) return;
+    assert(gen_[base >> 6] == gen_id_ &&
+           "serial _m access to unmaterialized word");
+    words_[base >> 6] |= bits << (base & 63);
+    if ((base & 63) != 0) {
+      const std::uint64_t high = bits >> (64 - (base & 63));
+      if (high != 0) {
+        assert(gen_[(base >> 6) + 1] == gen_id_ &&
+               "serial _m access to unmaterialized word");
+        words_[(base >> 6) + 1] |= high;
+      }
+    }
+  }
+
+  /// set_run(base, bits, stride) without generation resolution.
+  void set_run_m(std::size_t base, std::uint64_t bits,
+                 std::size_t stride) noexcept {
+    if (stride == 1) {
+      or_shifted_m(base, bits);
+      return;
+    }
+    std::uint64_t rest = bits;
+    while (rest != 0) {
+      set_m(base + static_cast<std::size_t>(std::countr_zero(rest)) * stride);
+      rest &= rest - 1;
+    }
+  }
+
+  /// Raw word storage for flattened serial hot loops: the per-word _m
+  /// checks hoisted out of the loop entirely. Same precondition as the
+  /// _m accessors — every word generation-current (materialize_all(),
+  /// or the owning pool's materialize_presence()) — verified once per
+  /// grab in debug builds instead of once per word.
+  std::uint64_t* raw_words_m() noexcept {
+    assert(all_words_current() && "raw_words_m on unmaterialized bitset");
+    return words_.data();
+  }
+  const std::uint64_t* raw_words_m() const noexcept {
+    assert(all_words_current() && "raw_words_m on unmaterialized bitset");
+    return words_.data();
+  }
+
   /// Logical comparison (generation representations may differ).
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b);
 
@@ -199,6 +309,13 @@ class DynamicBitset {
   /// Applies pending clears so words_ alone is authoritative (used by
   /// resize and generation wrap-around).
   void materialize() noexcept;
+
+  bool all_words_current() const noexcept {
+    for (std::size_t w = 0; w < gen_.size(); ++w) {
+      if (gen_[w] != gen_id_) return false;
+    }
+    return true;
+  }
 
   std::size_t n_bits_ = 0;
   std::uint32_t gen_id_ = 0;
@@ -261,6 +378,29 @@ void for_each_masked_present_word(const DynamicBitset& mask,
     if (m == 0) continue;
     std::uint64_t gone = absent.word_or_zero(q0 + w) >> shift;
     if (shift != 0) gone |= absent.word_or_zero(q0 + w + 1) << (64 - shift);
+    const std::uint64_t hits = m & ~gone;
+    if (hits != 0) fn(w, hits);
+  }
+}
+
+/// Materialized-serial variant of for_each_masked_present_word: the
+/// absent-side window is gathered with the unstamped _m readers (absent
+/// must be materialized; see DynamicBitset::materialize_all). The mask
+/// side keeps the stamped read — masks are a handful of hot words and
+/// may legitimately carry a pending clear. fn may set the reported bits
+/// in `absent` through the _m writers.
+template <typename Fn>
+void for_each_masked_present_word_m(const DynamicBitset& mask,
+                                    const DynamicBitset& absent,
+                                    std::size_t base, Fn&& fn) {
+  const std::size_t shift = base & 63;
+  const std::size_t q0 = base >> 6;
+  const std::size_t words = mask.word_count();
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t m = mask.word(w);
+    if (m == 0) continue;
+    std::uint64_t gone = absent.word_or_zero_m(q0 + w) >> shift;
+    if (shift != 0) gone |= absent.word_or_zero_m(q0 + w + 1) << (64 - shift);
     const std::uint64_t hits = m & ~gone;
     if (hits != 0) fn(w, hits);
   }

@@ -61,6 +61,21 @@ class CompactTaskPool {
   /// every set bit names a present id (violations corrupt size()).
   void remove_present_bits(std::uint64_t base, std::uint64_t bits) noexcept;
 
+  /// Strided batch removal: bit b of `bits` removes id first + b * stride
+  /// (same present-ids precondition as remove_present_bits). One size
+  /// update for the whole run; stale tail entries are pruned lazily by
+  /// pop_random, exactly as after remove().
+  void remove_present_run(std::uint64_t first, std::uint64_t bits,
+                          std::uint64_t stride) noexcept {
+    if (bits == 0) return;
+    if (stride == 1) {
+      remove_present_bits(first, bits);
+      return;
+    }
+    removed_.set_run(first, bits, stride);
+    size_ -= static_cast<std::uint64_t>(std::popcount(bits));
+  }
+
   /// Re-inserts a previously removed id (task requeue after a worker
   /// failure). Returns false if the id is already present.
   bool insert(std::uint64_t id);
@@ -95,6 +110,11 @@ class CompactTaskPool {
     removed_.or_shifted_relaxed(base, bits);
     // Stale tail entries are pruned lazily by pop_random, exactly as
     // after remove(); size_ is settled by commit_lane_removals.
+  }
+
+  void remove_present_run_relaxed(std::uint64_t first, std::uint64_t bits,
+                                  std::uint64_t stride) noexcept {
+    removed_.set_run_relaxed(first, bits, stride);
   }
 
   void commit_lane_removals(std::uint64_t count) noexcept { size_ -= count; }
@@ -214,6 +234,85 @@ class TaskPool {
       bits &= bits - 1;
     }
   }
+  /// Strided batch removal: bit b of `bits` removes id first + b * stride,
+  /// all verified present by the caller's frontier gather. The run
+  /// analogue of remove_present_bits: one call and one live-counter
+  /// update retire a whole TaskRun. Stride 1 delegates to the word-OR
+  /// path; larger strides pay one bit write per id (the scattered
+  /// orientation of the dual-mirror structure) but no per-id counter or
+  /// call overhead. Precondition: every set bit names a present id.
+  void remove_present_run(std::uint64_t first, std::uint64_t bits,
+                          std::uint64_t stride) noexcept {
+    if (bits == 0) return;
+    if (stride == 1) {
+      remove_present_bits(first, bits);
+      return;
+    }
+    if (compact_) {
+      large_.remove_present_run(first, bits, stride);
+      return;
+    }
+    if (lazy_) {
+      dense_removed_.set_run(first, bits, stride);
+      lazy_live_ -= static_cast<std::uint64_t>(std::popcount(bits));
+      dense_stale_ = true;
+      return;
+    }
+    std::uint64_t rest = bits;
+    while (rest != 0) {
+      const std::uint64_t id =
+          first + static_cast<std::uint64_t>(std::countr_zero(rest)) * stride;
+      dense_.remove(id);
+      if (dense_view_) dense_removed_.set(id);
+      rest &= rest - 1;
+    }
+  }
+  /// Materialized-serial remove_present_bits: the bitset write skips
+  /// generation resolution (see DynamicBitset::set_m and friends).
+  /// Requires materialize_presence() since the last reset(); layouts
+  /// without an unstamped path fall back to the stamped call, so the
+  /// semantics never differ.
+  void remove_present_bits_m(std::uint64_t base, std::uint64_t bits) noexcept {
+    if (bits == 0) return;
+    if (lazy_) {
+      dense_removed_.or_shifted_m(base, bits);
+      lazy_live_ -= static_cast<std::uint64_t>(std::popcount(bits));
+      dense_stale_ = true;
+      return;
+    }
+    remove_present_bits(base, bits);
+  }
+  /// Materialized-serial remove_present_run; same contract as
+  /// remove_present_bits_m.
+  void remove_present_run_m(std::uint64_t first, std::uint64_t bits,
+                            std::uint64_t stride) noexcept {
+    if (bits == 0) return;
+    if (lazy_ && stride != 1) {
+      dense_removed_.set_run_m(first, bits, stride);
+      lazy_live_ -= static_cast<std::uint64_t>(std::popcount(bits));
+      dense_stale_ = true;
+      return;
+    }
+    if (lazy_) {
+      remove_present_bits_m(first, bits);
+      return;
+    }
+    remove_present_run(first, bits, stride);
+  }
+  /// Raw removed-mask words for the flattened serial fast path. Only
+  /// the lazy-dense layout exposes one (nullptr otherwise — callers
+  /// fall back to the stamped/_m calls). The caller scans and ORs
+  /// removal bits directly against the same precondition as the _m
+  /// family, then settles the bookkeeping in one step with
+  /// commit_serial_removals(total bits set).
+  std::uint64_t* raw_removed_words_m() noexcept {
+    return lazy_ ? dense_removed_.raw_words_m() : nullptr;
+  }
+  void commit_serial_removals(std::uint64_t taken) noexcept {
+    if (taken == 0) return;
+    lazy_live_ -= taken;
+    dense_stale_ = true;
+  }
   bool insert(std::uint64_t id) {
     if (compact_) return large_.insert(id);
     if (lazy_) {
@@ -309,6 +408,17 @@ class TaskPool {
       large_.remove_present_bits_relaxed(base, bits);
     } else {
       dense_removed_.or_shifted_relaxed(base, bits);
+    }
+  }
+
+  /// Lane-shared remove_present_run: bitset writes only, no counter
+  /// update (see remove_present_bits_relaxed for the contract).
+  void remove_present_run_relaxed(std::uint64_t first, std::uint64_t bits,
+                                  std::uint64_t stride) noexcept {
+    if (compact_) {
+      large_.remove_present_run_relaxed(first, bits, stride);
+    } else {
+      dense_removed_.set_run_relaxed(first, bits, stride);
     }
   }
 

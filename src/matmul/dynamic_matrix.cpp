@@ -6,6 +6,20 @@
 
 namespace hetsched {
 
+namespace {
+/// Widest index-mask (words) the flattened serial scan keeps on the
+/// stack: n <= 1024. Larger problems fall back to the stamped branch.
+constexpr std::size_t kMaxFlatWords = 16;
+
+/// n rows of ceil(n/64) words, every valid bit set (tail bits clear).
+void refill_alive(std::vector<std::uint64_t>& rows, std::uint32_t n) {
+  const std::size_t aw = (n + 63) >> 6;
+  rows.assign(static_cast<std::size_t>(n) * aw, ~0ULL);
+  const std::uint64_t tail = (n & 63) != 0 ? (1ULL << (n & 63)) - 1 : ~0ULL;
+  for (std::size_t r = 0; r < n; ++r) rows[r * aw + aw - 1] = tail;
+}
+}  // namespace
+
 DynamicMatrixStrategy::DynamicMatrixStrategy(MatmulConfig config,
                                              std::uint32_t workers,
                                              std::uint64_t seed,
@@ -15,7 +29,8 @@ DynamicMatrixStrategy::DynamicMatrixStrategy(MatmulConfig config,
       n_workers_(workers),
       phase2_tasks_(phase2_tasks),
       pool_(config.total_tasks(), /*presence_view=*/true, /*lazy_dense=*/true),
-      removed_t_(config.total_tasks()),
+      mir_stride_(((config.n + 63) >> 6) << 6),
+      removed_t_(static_cast<std::uint64_t>(config.n) * config.n * mir_stride_),
       rng_(derive_stream(seed, "matmul.dynamic")),
       lanes_requested_(lanes > 0 ? lanes : 1) {
   validate(config_);
@@ -42,6 +57,16 @@ DynamicMatrixStrategy::DynamicMatrixStrategy(MatmulConfig config,
       s.unknown_k[v] = v;
     }
     state_.push_back(std::move(s));
+  }
+  refill_alive(alive_row_, config_.n);
+  refill_alive(alive_col_, config_.n);
+  refill_alive(alive_face_, config_.n);
+  const std::size_t nmw = (config_.n + 63) >> 6;
+  if (nmw <= kMaxFlatWords) {
+    // Branchless emission bound of one flat request: every scan unit
+    // (corner + i-slab + j-slab + faces <= 3n + 1 of them) may leave
+    // one run per mask word.
+    run_scratch_.resize((static_cast<std::size_t>(3) * config_.n + 1) * nmw);
   }
 }
 
@@ -82,11 +107,20 @@ bool DynamicMatrixStrategy::reset(std::uint64_t seed) {
     w.mask_i.clear();
     w.mask_j.clear();
     w.mask_k.clear();
+    // The serial hot path writes the masks with the unstamped set_m:
+    // one per-rep pass makes every word current again after the O(1)
+    // clears above (they are per-worker and a few words each).
+    w.mask_i.materialize_all();
+    w.mask_j.materialize_all();
+    w.mask_k.materialize_all();
     w.blocks.owned_a.clear();
     w.blocks.owned_b.clear();
     w.blocks.owned_c.clear();
     w.blocks_tracked = false;
   }
+  refill_alive(alive_row_, config_.n);
+  refill_alive(alive_col_, config_.n);
+  refill_alive(alive_face_, config_.n);
   rng_ = Rng(derive_stream(seed, "matmul.dynamic"));
   phase2_served_ = 0;
   fallback_served_ = 0;
@@ -126,6 +160,10 @@ LaneUtilization DynamicMatrixStrategy::lane_utilization() const {
 
 bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
                                             Assignment& out) {
+  // Both the lane phase and the serial _m fast path below need every
+  // word of the shared bitsets generation-current; one O(words) pass
+  // per rep buys stamp-free access for the whole drain.
+  ensure_lane_ready();
   WorkerState& w = state_[worker];
   if (w.unknown_i.empty() || w.unknown_j.empty() || w.unknown_k.empty()) {
     // Knowledge covers a full dimension: the structured extension is
@@ -159,19 +197,32 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
   if (!w.blocks_tracked) {
     // Untainted worker: ownership is exactly the three cross products,
     // and every shipped block has a fresh coordinate, so all are new —
-    // push without the per-block owned writes (the sets are rebuilt
-    // from the masks if this worker ever goes random).
-    for (const std::uint32_t k2 : w.known_k) out.blocks.push_back(BlockRef{Operand::kMatA, i, k2});
-    for (const std::uint32_t i2 : w.known_i) out.blocks.push_back(BlockRef{Operand::kMatA, i2, k});
-    out.blocks.push_back(BlockRef{Operand::kMatA, i, k});
-
-    for (const std::uint32_t j2 : w.known_j) out.blocks.push_back(BlockRef{Operand::kMatB, k, j2});
-    for (const std::uint32_t k2 : w.known_k) out.blocks.push_back(BlockRef{Operand::kMatB, k2, j});
-    out.blocks.push_back(BlockRef{Operand::kMatB, k, j});
-
-    for (const std::uint32_t j2 : w.known_j) out.blocks.push_back(BlockRef{Operand::kMatC, i, j2});
-    for (const std::uint32_t i2 : w.known_i) out.blocks.push_back(BlockRef{Operand::kMatC, i2, j});
-    out.blocks.push_back(BlockRef{Operand::kMatC, i, j});
+    // emit run-encoded (one BlockRun per occupied mask word) without
+    // the per-block owned writes (the sets are rebuilt from the masks
+    // if this worker ever goes random). Each extension leaves as a
+    // fixed-row group over mask ∪ {extra} ascending, then a fixed-col
+    // group over the other mask: the same block *set* and count as the
+    // former acquisition-order loops, in ascending index order.
+    const auto ship_runs = [&](Operand op, BlockRun::Axis axis,
+                               std::uint32_t fixed, const DynamicBitset& mask,
+                               std::uint32_t extra) {
+      const std::size_t words = mask.word_count();
+      for (std::size_t wd = 0; wd < words; ++wd) {
+        std::uint64_t bits = mask.word(wd);
+        if ((extra >> 6) == wd) bits |= 1ULL << (extra & 63);
+        if (bits == 0) continue;
+        out.block_runs.push_back(
+            BlockRun{op, axis, fixed, static_cast<std::uint32_t>(wd << 6),
+                     bits, static_cast<std::uint32_t>(std::popcount(bits))});
+      }
+    };
+    constexpr std::uint32_t kNoExtra = 0xffffffffu;  // (kNoExtra >> 6) > words
+    ship_runs(Operand::kMatA, BlockRun::Axis::kColVaries, i, w.mask_k, k);
+    ship_runs(Operand::kMatA, BlockRun::Axis::kRowVaries, k, w.mask_i, kNoExtra);
+    ship_runs(Operand::kMatB, BlockRun::Axis::kColVaries, k, w.mask_j, j);
+    ship_runs(Operand::kMatB, BlockRun::Axis::kRowVaries, j, w.mask_k, kNoExtra);
+    ship_runs(Operand::kMatC, BlockRun::Axis::kColVaries, i, w.mask_j, j);
+    ship_runs(Operand::kMatC, BlockRun::Axis::kRowVaries, j, w.mask_i, kNoExtra);
   } else {
     // After a random serve the cross-product invariant is gone:
     // set_if_clear keeps the accounting exact.
@@ -205,7 +256,7 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
   // the assignment set matches the former nested-loop rescan; the
   // enumeration order documented in the header is what the goldens
   // pin.
-  w.mask_k.set(k);  // runs scan K + k
+  w.mask_k.set_m(k);  // runs scan K + k (set_m: masks stay materialized)
   if (team_ != nullptr && team_->lanes() > 1 &&
       w.known_j.size() + 2 * w.known_i.size() >= 1) {
     // Lane-parallel scan/retire/fill. Bit-identical to the serial
@@ -214,22 +265,177 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
     // depend on runtime state without affecting outputs.
     parallel_take(w, i, j, k, out);
     ++parallel_requests_;
+  } else if (std::uint64_t* rem = w.mask_k.word_count() <= kMaxFlatWords
+                                      ? pool_.raw_removed_words_m()
+                                      : nullptr) {
+    if (team_ != nullptr) ++serial_requests_;
+    // Flattened twin of the _m branch below: raw word pointers hoisted
+    // out of the loops, one branchless two-word gather and write-back
+    // per (unit, mask word), and the pool bookkeeping settled once per
+    // request instead of once per window. The taken set, the emission
+    // order (corner, i-slab J ascending, j-slab I ascending, k-faces I
+    // ascending) and every emitted run are identical to that branch —
+    // only call and stamp overhead differs.
+    std::uint64_t* mir = removed_t_.raw_words_m();
+    const std::size_t total_words = pool_.removed_view().word_count();
+    const std::uint64_t n64 = n;
+    // The knowledge masks are re-read once per scanned unit otherwise;
+    // one stamped copy to the stack up front keeps the loops on plain
+    // registers and local words.
+    const std::size_t nmw = w.mask_k.word_count();
+    std::uint64_t mk[kMaxFlatWords], mi_w[kMaxFlatWords], mj_w[kMaxFlatWords];
+    std::uint64_t kfull[kMaxFlatWords];
+    for (std::size_t wd = 0; wd < nmw; ++wd) {
+      mk[wd] = w.mask_k.word_m(wd);
+      mi_w[wd] = w.mask_i.word_m(wd);
+      mj_w[wd] = w.mask_j.word_m(wd);
+      kfull[wd] = ~0ULL;
+    }
+    if ((n & 63) != 0) kfull[nmw - 1] = (1ULL << (n & 63)) - 1;
+    // Exhaustion filters: a clear bit proves the unit cannot hit, so
+    // the slab/face loops iterate mask AND alive and skip the dead
+    // windows without touching the pool words at all. A scan that
+    // observes a unit fully retired clears the matching bits (exact:
+    // the gather just read every present-bit of the unit).
+    const std::uint64_t* arow = alive_row_.data() + std::size_t{i} * nmw;
+    const std::uint64_t* acol = alive_col_.data() + std::size_t{j} * nmw;
+    const std::uint64_t* aface = alive_face_.data() + std::size_t{k} * nmw;
+    // Emission goes through a cursor into pre-sized scratch: the slot
+    // write is unconditional and the cursor advances by (hits != 0),
+    // so the ~50% zero-hit units cost no mispredicting branch. One
+    // bulk insert publishes the surviving runs at the end.
+    TaskRun* const rp = run_scratch_.data();
+    std::size_t rn = 0;
+    std::uint64_t taken = 0;
+    const auto take_runs_flat = [&](std::uint64_t ti, std::uint64_t tj) {
+      const std::uint64_t base = matmul_task_id(n, static_cast<std::uint32_t>(ti),
+                                                static_cast<std::uint32_t>(tj), 0);
+      // Padded-mirror row of (ti, k0): line stride nmw words, so the
+      // scatter below or-stores a constant single-bit mask at adjacent
+      // word indices — no per-bit position split.
+      std::uint64_t* const mrow = mir + (ti * n64) * nmw + (tj >> 6);
+      const std::uint64_t jbit = 1ULL << (tj & 63);
+      std::uint64_t live_left = 0;
+      for (std::size_t wd = 0; wd < nmw; ++wd) {
+        const std::uint64_t mask = mk[wd];
+        if (mask == 0) {
+          live_left = 1;  // unexamined window word: assume survivors
+          continue;
+        }
+        const std::uint64_t wbase = base + (wd << 6);
+        const auto q = static_cast<std::size_t>(wbase >> 6);
+        const auto sh = static_cast<unsigned>(wbase & 63);
+        // Branchless two-word window: the double shift maps sh == 0 to a
+        // zero contribution without a data-dependent branch (sh is an
+        // arbitrary bit offset here, so a branch on it mispredicts).
+        const std::uint64_t lo = rem[q];
+        const bool two = q + 1 < total_words;
+        const std::uint64_t hi = two ? rem[q + 1] : 0;
+        const std::uint64_t gone = (lo >> sh) | ((hi << 1) << (63 - sh));
+        const std::uint64_t hits = mask & ~gone;
+        live_left |= kfull[wd] & ~(gone | hits);
+        // hits == 0 makes every write below an identity; doing them
+        // anyway beats a 50/50 data-dependent branch.
+        rem[q] = lo | (hits << sh);
+        if (two) rem[q + 1] = hi | ((hits >> 1) >> (63 - sh));
+        const auto pc = static_cast<std::uint32_t>(std::popcount(hits));
+        taken += pc;
+        std::uint64_t* const mw = mrow + (wd << 6) * nmw;
+        std::uint64_t rest = hits;
+        while (rest != 0) {
+          mw[static_cast<std::size_t>(std::countr_zero(rest)) * nmw] |= jbit;
+          rest &= rest - 1;
+        }
+        rp[rn] = TaskRun{wbase, hits, 1, pc};
+        rn += static_cast<std::size_t>(hits != 0);
+      }
+      if (live_left == 0) {
+        alive_row_[ti * nmw + (tj >> 6)] &= ~(1ULL << (tj & 63));
+        alive_col_[tj * nmw + (ti >> 6)] &= ~(1ULL << (ti & 63));
+      }
+    };
+    if ((arow[j >> 6] >> (j & 63)) & 1) {
+      take_runs_flat(i, j);  // corner run (i, j, ·)
+    }
+    for (std::size_t wd = 0; wd < nmw; ++wd) {  // i-slab
+      std::uint64_t bits = mj_w[wd] & arow[wd];
+      while (bits != 0) {
+        take_runs_flat(i, (wd << 6) +
+                              static_cast<std::uint64_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+    for (std::size_t wd = 0; wd < nmw; ++wd) {  // j-slab
+      std::uint64_t bits = mi_w[wd] & acol[wd];
+      while (bits != 0) {
+        take_runs_flat((wd << 6) +
+                           static_cast<std::uint64_t>(std::countr_zero(bits)),
+                       j);
+        bits &= bits - 1;
+      }
+    }
+    for (std::size_t wdi = 0; wdi < nmw; ++wdi) {  // k-face
+      std::uint64_t ibits = mi_w[wdi] & aface[wdi];
+      while (ibits != 0) {
+        const std::uint64_t i2 =
+            (wdi << 6) + static_cast<std::uint64_t>(std::countr_zero(ibits));
+        ibits &= ibits - 1;
+        // Padded mirror: the (i2, k) j-line starts word-aligned, so the
+        // gather is one aligned load per mask word — no two-word split.
+        std::uint64_t* const fline = mir + (i2 * n64 + k) * nmw;
+        const std::uint64_t id_base = i2 * n64 * n64 + k;
+        std::uint64_t live_left = 0;
+        for (std::size_t wd = 0; wd < nmw; ++wd) {
+          const std::uint64_t mask = mj_w[wd];
+          if (mask == 0) {
+            live_left = 1;  // unexamined window word: assume survivors
+            continue;
+          }
+          const std::uint64_t gone = fline[wd];
+          const std::uint64_t hits = mask & ~gone;
+          live_left |= kfull[wd] & ~(gone | hits);
+          fline[wd] = gone | hits;  // identity when hits == 0
+          const auto pc = static_cast<std::uint32_t>(std::popcount(hits));
+          taken += pc;
+          const TaskId first = id_base + (static_cast<TaskId>(wd) << 6) * n64;
+          std::uint64_t rest = hits;
+          while (rest != 0) {
+            const std::uint64_t pos =
+                first + static_cast<std::uint64_t>(std::countr_zero(rest)) * n64;
+            rem[pos >> 6] |= 1ULL << (pos & 63);
+            rest &= rest - 1;
+          }
+          rp[rn] = TaskRun{first, hits, n64, pc};
+          rn += static_cast<std::size_t>(hits != 0);
+        }
+        if (live_left == 0) {
+          alive_face_[k * nmw + (i2 >> 6)] &= ~(1ULL << (i2 & 63));
+        }
+      }
+    }
+    out.task_runs.insert(out.task_runs.end(), rp, rp + rn);
+    pool_.commit_serial_removals(taken);
   } else {
     if (team_ != nullptr) ++serial_requests_;
+    // Serial scan through the unstamped _m accessors: the layouts
+    // without a raw-word fast path (compact / non-lazy pools) land
+    // here; ensure_lane_ready above established the same materialized
+    // invariant the lane phase needs, and the request loop re-reads
+    // these bitsets constantly — skipping the stamp arrays halves the
+    // cache lines per window.
     const DynamicBitset& removed = pool_.removed_view();
     auto take_run = [&](std::uint32_t ti, std::uint32_t tj) {
       const std::uint64_t base = matmul_task_id(n, ti, tj, 0);
-      const std::uint64_t mirror_base = static_cast<std::uint64_t>(ti) * n * n + tj;
-      for_each_masked_present_word(
+      const std::uint64_t mirror_base =
+          static_cast<std::uint64_t>(ti) * n * mir_stride_ + tj;
+      for_each_masked_present_word_m(
           w.mask_k, removed, base, [&](std::size_t wd, std::uint64_t hits) {
-            pool_.remove_present_bits(base + (wd << 6), hits);  // batch side
-            do {
-              const std::size_t k2 =
-                  (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-              removed_t_.set(mirror_base + k2 * n);  // scattered side
-              out.tasks.push_back(base + k2);
-              hits &= hits - 1;
-            } while (hits != 0);
+            pool_.remove_present_bits_m(base + (wd << 6), hits);  // batch side
+            removed_t_.set_run_m(mirror_base + (wd << 6) * mir_stride_, hits,
+                                 mir_stride_);  // scattered side
+            out.task_runs.push_back(
+                TaskRun{base + (wd << 6), hits, 1,
+                        static_cast<std::uint32_t>(std::popcount(hits))});
           });
     };
     take_run(i, j);     // corner run (i, j, ·)
@@ -240,23 +446,22 @@ bool DynamicMatrixStrategy::dynamic_request(std::uint32_t worker,
       take_run(static_cast<std::uint32_t>(i2), j);
     });
     w.mask_i.for_each_set_in_range(0, n, [&](std::size_t i2) {  // k-face
-      const std::uint64_t face_base = (static_cast<std::uint64_t>(i2) * n + k) * n;
+      const std::uint64_t face_base =
+          (static_cast<std::uint64_t>(i2) * n + k) * mir_stride_;
       const std::uint64_t id_base = static_cast<std::uint64_t>(i2) * n * n + k;
-      for_each_masked_present_word(
+      for_each_masked_present_word_m(
           w.mask_j, removed_t_, face_base, [&](std::size_t wd, std::uint64_t hits) {
-            removed_t_.or_shifted(face_base + (wd << 6), hits);  // batch side
-            do {
-              const std::size_t j2 =
-                  (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-              pool_.remove_present_bits(id_base + j2 * n, 1);  // scattered side
-              out.tasks.push_back(id_base + j2 * n);
-              hits &= hits - 1;
-            } while (hits != 0);
+            removed_t_.or_shifted_m(face_base + (wd << 6), hits);  // batch side
+            const TaskId first = id_base + (static_cast<TaskId>(wd) << 6) * n;
+            pool_.remove_present_run_m(first, hits, n);  // scattered side
+            out.task_runs.push_back(
+                TaskRun{first, hits, n,
+                        static_cast<std::uint32_t>(std::popcount(hits))});
           });
     });
   }
-  w.mask_i.set(i);
-  w.mask_j.set(j);
+  w.mask_i.set_m(i);
+  w.mask_j.set_m(j);
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
@@ -277,18 +482,17 @@ void DynamicMatrixStrategy::lane_take_run(const WorkerState& w,
                                           LaneSeg& seg) {
   const std::uint32_t n = config_.n;
   const std::uint64_t base = matmul_task_id(n, ti, tj, 0);
-  const std::uint64_t mirror_base = static_cast<std::uint64_t>(ti) * n * n + tj;
+  const std::uint64_t mirror_base =
+      static_cast<std::uint64_t>(ti) * n * mir_stride_ + tj;
   for_each_masked_present_word_relaxed(
       w.mask_k, pool_.removed_view(), base, 0, w.mask_k.word_count(),
       [&](std::size_t wd, std::uint64_t hits) {
         pool_.remove_present_bits_relaxed(base + (wd << 6), hits);
-        do {
-          const std::size_t k2 =
-              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-          removed_t_.set_relaxed(mirror_base + k2 * n);
-          seg.tasks.push_back(base + k2);
-          hits &= hits - 1;
-        } while (hits != 0);
+        removed_t_.set_run_relaxed(mirror_base + (wd << 6) * mir_stride_, hits,
+                                   mir_stride_);
+        seg.task_runs.push_back(
+            TaskRun{base + (wd << 6), hits, 1,
+                    static_cast<std::uint32_t>(std::popcount(hits))});
       });
 }
 
@@ -297,19 +501,18 @@ void DynamicMatrixStrategy::lane_take_face(const WorkerState& w,
                                            std::uint32_t i2, std::uint32_t k,
                                            LaneSeg& seg) {
   const std::uint32_t n = config_.n;
-  const std::uint64_t face_base = (static_cast<std::uint64_t>(i2) * n + k) * n;
+  const std::uint64_t face_base =
+      (static_cast<std::uint64_t>(i2) * n + k) * mir_stride_;
   const std::uint64_t id_base = static_cast<std::uint64_t>(i2) * n * n + k;
   for_each_masked_present_word_relaxed(
       w.mask_j, removed_t_, face_base, 0, w.mask_j.word_count(),
       [&](std::size_t wd, std::uint64_t hits) {
         removed_t_.or_shifted_relaxed(face_base + (wd << 6), hits);
-        do {
-          const std::size_t j2 =
-              (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-          pool_.remove_present_bits_relaxed(id_base + j2 * n, 1);
-          seg.tasks.push_back(id_base + j2 * n);
-          hits &= hits - 1;
-        } while (hits != 0);
+        const TaskId first = id_base + (static_cast<TaskId>(wd) << 6) * n;
+        pool_.remove_present_run_relaxed(first, hits, n);
+        seg.task_runs.push_back(
+            TaskRun{first, hits, n,
+                    static_cast<std::uint32_t>(std::popcount(hits))});
       });
 }
 
@@ -338,7 +541,7 @@ void DynamicMatrixStrategy::parallel_take(WorkerState& w, std::uint32_t i,
   const std::uint32_t lanes = team_->lanes();
   auto body = [&](std::uint32_t lane) {
     LaneSeg& seg = lane_out_[lane];
-    seg.tasks.clear();
+    seg.task_runs.clear();
     const auto [u0, u1] = LaneTeam::split(units, lanes, lane);
     for (std::uint64_t u = u0; u < u1; ++u) {
       if (u == 0) {
@@ -353,13 +556,17 @@ void DynamicMatrixStrategy::parallel_take(WorkerState& w, std::uint32_t i,
     }
   };
   team_->run(body);
-  // Owner-side merge: segments in lane index order, then one counter
-  // commit (every task was exactly one pool removal).
+  // Owner-side merge: run segments in lane index order, then one counter
+  // commit (every encoded task was exactly one pool removal). Lane
+  // units are whole (ti, tj) runs or faces and a gathered window never
+  // crosses a word, so the concatenated run list is byte-identical to
+  // the serial branch's, not just equal after expansion.
   std::uint64_t taken = 0;
   for (std::uint32_t lane = 0; lane < lanes; ++lane) {
     const LaneSeg& seg = lane_out_[lane];
-    taken += seg.tasks.size();
-    out.tasks.insert(out.tasks.end(), seg.tasks.begin(), seg.tasks.end());
+    for (const TaskRun& r : seg.task_runs) taken += r.count;
+    out.task_runs.insert(out.task_runs.end(), seg.task_runs.begin(),
+                         seg.task_runs.end());
   }
   pool_.commit_lane_removals(taken);
 }
@@ -414,7 +621,7 @@ bool DynamicMatrixStrategy::random_request(std::uint32_t worker,
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j, k] = matmul_task_coords(config_.n, id);
   removed_t_.set(
-      (static_cast<std::uint64_t>(i) * config_.n + k) * config_.n + j);
+      (static_cast<std::uint64_t>(i) * config_.n + k) * mir_stride_ + j);
 
   charge_matmul_task_blocks(config_.n, i, j, k, w.blocks, out);
   out.tasks.push_back(id);

@@ -15,19 +15,26 @@
 // view in one AND-NOT per 64 candidates, and the k-face candidates
 // (I x J x {k}) scan a strategy-owned (i, k, j)-major mirror of the
 // removed set — contiguous j-runs per (i2, k) — against the J mask the
-// same way. Each gathered window is also *retired* word-level: one
-// batch write (TaskPool::remove_present_bits or or_shifted) clears all
-// its hits on the scanned orientation, leaving one scattered bit write
-// on the other orientation per task — the per-task minimum for a
-// two-orientation presence structure. The pool runs in lazy-dense mode
-// (common/task_pool.hpp): phase-1 removals are bitset writes only, and
-// the swap-remove index is rebuilt once, at the phase-2 switch.
+// same way. Each gathered window leaves the request as one run-encoded
+// grant (TaskRun: occupancy word + stride, see sim/strategy.hpp) and
+// is *retired* word-level on both orientations: one batch write
+// (TaskPool::remove_present_bits or or_shifted) clears all its hits on
+// the scanned side, and one set_run / remove_present_run call scatters
+// the mirror side — the per-task bit writes there are the minimum for
+// a two-orientation presence structure, but no per-task push_back or
+// counter update survives. Untainted block shipping is run-encoded
+// too (BlockRun per occupied mask word, each extension in ascending
+// index order — same set and count as the former acquisition-order
+// loops). The pool runs in lazy-dense mode (common/task_pool.hpp):
+// phase-1 removals are bitset writes only, and the swap-remove index
+// is rebuilt once, at the phase-2 switch.
 // Enumeration order: the corner run (i, j, ·), then the i-slab
 // runs (i, j2, ·) for j2 in J ascending, then the j-slab runs
 // (i2, j, ·) for i2 in I ascending, then the k-face probes (i2, j2, k)
 // for i2 in I, j2 in J ascending; every candidate is taken iff still
 // pooled, so the assignment *set* equals the former nested-loop scan
-// (tests/integration/frontier_reference_test.cpp pins this).
+// (tests/integration/frontier_reference_test.cpp pins this, and pins
+// the run expansion against the per-task order).
 //
 // Two-phase variant: once fewer than `phase2_tasks` tasks remain
 // unallocated (strictly fewer — a request arriving with exactly
@@ -77,6 +84,7 @@ class DynamicMatrixStrategy : public Strategy {
 
   bool requeue(const std::vector<TaskId>& tasks) override {
     bool all_inserted = true;
+    const std::size_t aw = (config_.n + 63) >> 6;
     for (const TaskId id : tasks) {
       if (!pool_.insert(id)) {
         all_inserted = false;
@@ -84,7 +92,13 @@ class DynamicMatrixStrategy : public Strategy {
       }
       const auto [i, j, k] = matmul_task_coords(config_.n, id);
       removed_t_.reset(
-          (static_cast<std::uint64_t>(i) * config_.n + k) * config_.n + j);
+          (static_cast<std::uint64_t>(i) * config_.n + k) * mir_stride_ + j);
+      // A reinserted task resurrects its row/column/face in the
+      // exhaustion filters: clear bits must stay final only while
+      // removals are monotone.
+      alive_row_[i * aw + (j >> 6)] |= 1ULL << (j & 63);
+      alive_col_[j * aw + (i >> 6)] |= 1ULL << (i & 63);
+      alive_face_[k * aw + (i >> 6)] |= 1ULL << (i & 63);
     }
     return all_inserted;
   }
@@ -145,10 +159,12 @@ class DynamicMatrixStrategy : public Strategy {
   /// "Once fewer than phase2_tasks tasks remain": strict comparison.
   bool in_phase2() const noexcept { return pool_.size() < phase2_tasks_; }
 
-  /// Per-lane output slot: tasks appended in unit order, concatenated
-  /// by the owner in lane index order (= the serial enumeration).
+  /// Per-lane output slot: task runs appended in unit order,
+  /// concatenated by the owner in lane index order (= the serial run
+  /// emission — units are whole runs/faces, so runs never straddle
+  /// lanes).
   struct LaneSeg {
-    std::vector<TaskId> tasks;
+    std::vector<TaskRun> task_runs;
   };
 
   bool dynamic_request(std::uint32_t worker, Assignment& out);
@@ -169,12 +185,30 @@ class DynamicMatrixStrategy : public Strategy {
   std::uint32_t n_workers_;
   std::uint64_t phase2_tasks_;
   TaskPool pool_;
+  /// Padded line stride of removed_t_: n rounded up to whole 64-bit
+  /// words, so every (i, k) j-line starts word-aligned. Gathers become
+  /// one aligned load per mask word and the k-run scatter or-stores a
+  /// constant mask at adjacent word indices; the pad bits are never
+  /// set and every mask is tail-clipped, so they can never produce a
+  /// hit.
+  std::uint64_t mir_stride_;
   /// (i, k, j)-major mirror of the pool's removed set (bit
-  /// (i*n + k)*n + j set <=> task (i, j, k) gone), kept exact across
-  /// every take / pop / requeue / reset: it lays the k-face candidates
-  /// I x J x {k} out as contiguous j-runs, so they scan word-parallel
-  /// like the (·,·,k)-runs instead of as stride-n bit probes.
+  /// (i*n + k)*mir_stride_ + j set <=> task (i, j, k) gone), kept
+  /// exact across every take / pop / requeue / reset: it lays the
+  /// k-face candidates I x J x {k} out as contiguous j-runs, so they
+  /// scan word-parallel like the (·,·,k)-runs instead of as stride-n
+  /// bit probes.
   DynamicBitset removed_t_;
+  /// Exhaustion filters over the serial scan's unit space, one
+  /// ceil(n/64)-word row per index. Bit tj of alive_row_ row ti clear
+  /// <=> cell (ti, tj) was observed fully retired along k, so no
+  /// future scan of it can hit; alive_col_ mirrors that over ti for a
+  /// fixed tj, and alive_face_ tracks the mirror's (i2, k) cells over
+  /// j. These are monotone observations of the shared pool, so they
+  /// are strategy-global, purely advisory (a stale 1 bit only costs a
+  /// rescan) and exact in the other direction — requeue() resurrects
+  /// the affected bits, reset()/the constructor refill them.
+  std::vector<std::uint64_t> alive_row_, alive_col_, alive_face_;
   std::vector<WorkerState> state_;
   Rng rng_;
   std::uint64_t phase2_served_ = 0;
@@ -189,6 +223,12 @@ class DynamicMatrixStrategy : public Strategy {
   std::uint32_t lanes_requested_ = 1;
   bool lane_ready_ = false;  // shared bitsets materialized this rep
   std::vector<LaneSeg> lane_out_;
+  /// Pre-sized emission buffer of the flat serial branch: units write
+  /// their run slot unconditionally and bump a cursor by (hits != 0),
+  /// so zero-hit windows cost no branch; the survivors are published
+  /// with one bulk insert. Sized in the constructor for the worst
+  /// request, so the request loop never allocates through it.
+  std::vector<TaskRun> run_scratch_;
   std::vector<std::uint32_t> lane_i2_;  // I ascending (unit list scratch)
   std::vector<std::uint32_t> lane_j2_;  // J ascending
   std::uint64_t parallel_requests_ = 0;

@@ -607,8 +607,9 @@ NormTrace normalize(const RecordingTrace& trace,
     NormAssign a;
     a.worker = ev.worker;
     a.time = ev.time;
-    a.tasks.assign(ev.assignment.tasks.begin(), ev.assignment.tasks.end());
-    a.blocks = ev.assignment.blocks.size();
+    a.tasks.reserve(ev.assignment.task_count());
+    ev.assignment.for_each_task([&](TaskId t) { a.tasks.push_back(t); });
+    a.blocks = ev.assignment.block_count();
     out.assigns.push_back(std::move(a));
   }
   out.completes.reserve(trace.completions().size());
@@ -705,10 +706,11 @@ void write_trace_jsonl(std::ostream& out, const RecordingTrace& trace,
     json.field("t", ev.time);
     json.key("tasks");
     json.begin_array();
-    for (const TaskId task : ev.assignment.tasks) json.value(task);
+    // Lazy expansion: runs stream straight into the writer, so the
+    // export never materializes a per-task list. Byte format unchanged.
+    ev.assignment.for_each_task([&](TaskId task) { json.value(task); });
     json.end_array();
-    json.field("blocks",
-               static_cast<std::uint64_t>(ev.assignment.blocks.size()));
+    json.field("blocks", ev.assignment.block_count());
     json.end_object();
     out << '\n';
   }

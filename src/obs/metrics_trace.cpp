@@ -71,21 +71,24 @@ void MetricsTrace::flush() {
 void MetricsTrace::on_assignment(std::uint32_t worker, double now,
                                  const Assignment& assignment) {
   if (registry_ != nullptr) {
+    // Counts only — run-encoded assignments are never expanded here.
+    const std::uint64_t tasks = assignment.task_count();
+    const std::uint64_t blocks = assignment.block_count();
     ++d_assignments_;
-    d_tasks_assigned_ += assignment.tasks.size();
-    d_blocks_fetched_ += assignment.blocks.size();
+    d_tasks_assigned_ += tasks;
+    d_blocks_fetched_ += blocks;
     if (blocks_per_task_ != 0) {
       // Inputs the kernel needs minus inputs actually shipped = hits in
       // the worker's block cache. Clamped: a structured matmul batch
       // can ship C-blocks ahead of the tasks that will write them.
       const std::uint64_t required =
-          assignment.tasks.size() * static_cast<std::uint64_t>(blocks_per_task_);
-      if (required > assignment.blocks.size()) {
-        d_blocks_reused_ += required - assignment.blocks.size();
+          tasks * static_cast<std::uint64_t>(blocks_per_task_);
+      if (required > blocks) {
+        d_blocks_reused_ += required - blocks;
       }
     }
-    assignment_tasks_.observe(static_cast<double>(assignment.tasks.size()));
-    assignment_blocks_.observe(static_cast<double>(assignment.blocks.size()));
+    assignment_tasks_.observe(static_cast<double>(tasks));
+    assignment_blocks_.observe(static_cast<double>(blocks));
   }
   if (downstream_ != nullptr) downstream_->on_assignment(worker, now, assignment);
 }

@@ -16,7 +16,8 @@ DynamicOuterStrategy::DynamicOuterStrategy(OuterConfig config,
       n_workers_(workers),
       phase2_tasks_(phase2_tasks),
       pool_(config.total_tasks(), /*presence_view=*/true, /*lazy_dense=*/true),
-      removed_t_(config.total_tasks()),
+      mir_stride_(((config.n + 63) >> 6) << 6),
+      removed_t_(static_cast<std::uint64_t>(config.n) * mir_stride_),
       rng_(derive_stream(seed, "outer.dynamic")),
       lanes_requested_(lanes > 0 ? lanes : 1) {
   validate(config_);
@@ -42,6 +43,9 @@ DynamicOuterStrategy::DynamicOuterStrategy(OuterConfig config,
     w.known_i.reserve(config_.n);
     w.known_j.reserve(config_.n);
   }
+  // Branchless emission bound of one flat request: the row scan and
+  // the column scan each leave at most one run per mask word.
+  run_scratch_.resize(2 * ((static_cast<std::size_t>(config_.n) + 63) >> 6));
 }
 
 std::string DynamicOuterStrategy::name() const {
@@ -79,6 +83,13 @@ bool DynamicOuterStrategy::reset(std::uint64_t seed) {
     w.mask_j.clear();
     w.owned_a.clear();
     w.owned_b.clear();
+    // The serial hot path writes these with the unstamped set_m: one
+    // per-rep pass makes every word current again after the O(1)
+    // clears above (they are per-worker and a few words each).
+    w.mask_i.materialize_all();
+    w.mask_j.materialize_all();
+    w.owned_a.materialize_all();
+    w.owned_b.materialize_all();
   }
   rng_ = Rng(derive_stream(seed, "outer.dynamic"));
   phase2_served_ = 0;
@@ -119,6 +130,10 @@ LaneUtilization DynamicOuterStrategy::lane_utilization() const {
 
 bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
                                            Assignment& out) {
+  // Both the lane phase and the serial _m fast path below need every
+  // word of the shared bitsets generation-current; one O(words) pass
+  // per rep buys stamp-free access for the whole drain.
+  ensure_lane_ready();
   WorkerState& w = state_[worker];
   if (w.unknown_i.empty() || w.unknown_j.empty()) {
     // The worker knows a whole dimension, so every task it could enable
@@ -148,8 +163,8 @@ bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
 
   out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});
   out.blocks.push_back(BlockRef{Operand::kVecB, j, 0});
-  w.owned_a.set(i);
-  w.owned_b.set(j);
+  w.owned_a.set_m(i);  // set_m: kept materialized since reset()
+  w.owned_b.set_m(j);
 
   // Allocate every unprocessed task the new data enables: row i against
   // J + j, and column j against I. Row i's task ids are the contiguous
@@ -161,8 +176,8 @@ bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
   // (i2, j) ascending — any candidate is taken iff still pooled, so the
   // assignment *set* matches the former per-element rescan exactly.
   const std::uint64_t row_base = outer_task_id(config_.n, i, 0);
-  const std::uint64_t col_base = static_cast<std::uint64_t>(j) * config_.n;
-  w.mask_j.set(j);
+  const std::uint64_t col_base = static_cast<std::uint64_t>(j) * mir_stride_;
+  w.mask_j.set_m(j);
   if (team_ != nullptr && team_->lanes() > 1) {
     // Lane-parallel scan/retire/fill. Bit-identical to the serial
     // branch below for any lane count (the fixed word-chunk partition
@@ -170,35 +185,116 @@ bool DynamicOuterStrategy::dynamic_request(std::uint32_t worker,
     // the gate may depend on runtime state without affecting outputs.
     parallel_take(w, i, j, out);
     ++parallel_requests_;
+  } else if (std::uint64_t* rem = pool_.raw_removed_words_m()) {
+    if (team_ != nullptr) ++serial_requests_;
+    // Flattened twin of the _m branch below: raw word pointers hoisted
+    // out of the loops, one branchless two-word gather and write-back
+    // per mask word, pool bookkeeping settled once per request. The
+    // taken set, the emission order (row (i, j2) ascending then column
+    // (i2, j) ascending) and every emitted run are identical to that
+    // branch — only call and stamp overhead differs.
+    std::uint64_t* mir = removed_t_.raw_words_m();
+    const std::size_t total_words = pool_.removed_view().word_count();
+    const std::uint64_t n64 = config_.n;
+    // Emission cursor into pre-sized scratch: the slot write is
+    // unconditional and the cursor advances by (hits != 0), so a
+    // zero-hit window costs no mispredicting branch.
+    TaskRun* const rp = run_scratch_.data();
+    std::size_t rn = 0;
+    std::uint64_t taken = 0;
+    const std::size_t nw = w.mask_j.word_count();
+    // Padded mirror: line j2 starts at word j2 * nw, so the row-take
+    // scatter or-stores a constant single-bit mask at stride-nw word
+    // indexes and the column gather below is one aligned load per mask
+    // word.
+    std::uint64_t* const mcol = mir + (static_cast<std::size_t>(i) >> 6);
+    const std::uint64_t ibit = 1ULL << (i & 63);
+    for (std::size_t wd = 0; wd < nw; ++wd) {  // row i against J + j
+      const std::uint64_t mask = w.mask_j.word_m(wd);
+      if (mask == 0) continue;
+      const std::uint64_t wbase = row_base + (wd << 6);
+      const auto q = static_cast<std::size_t>(wbase >> 6);
+      const auto sh = static_cast<unsigned>(wbase & 63);
+      // Branchless two-word window: the double shift maps sh == 0 to a
+      // zero contribution without a data-dependent branch (sh is an
+      // arbitrary bit offset here, so a branch on it mispredicts).
+      const std::uint64_t lo = rem[q];
+      const bool two = q + 1 < total_words;
+      const std::uint64_t hi = two ? rem[q + 1] : 0;
+      const std::uint64_t gone = (lo >> sh) | ((hi << 1) << (63 - sh));
+      const std::uint64_t hits = mask & ~gone;
+      // hits == 0 makes every write below an identity; doing them
+      // anyway beats a 50/50 data-dependent branch.
+      rem[q] = lo | (hits << sh);
+      if (two) rem[q + 1] = hi | ((hits >> 1) >> (63 - sh));
+      const auto pc = static_cast<std::uint32_t>(std::popcount(hits));
+      taken += pc;
+      std::uint64_t* const mw = mcol + (wd << 6) * nw;
+      std::uint64_t rest = hits;
+      while (rest != 0) {
+        mw[static_cast<std::size_t>(std::countr_zero(rest)) * nw] |= ibit;
+        rest &= rest - 1;
+      }
+      rp[rn] = TaskRun{wbase, hits, 1, pc};
+      rn += static_cast<std::size_t>(hits != 0);
+    }
+    std::uint64_t* const cline = mir + static_cast<std::size_t>(j) * nw;
+    for (std::size_t wd = 0; wd < nw; ++wd) {  // column j against I
+      const std::uint64_t mask = w.mask_i.word_m(wd);
+      if (mask == 0) continue;
+      // Padded mirror: column j's line starts word-aligned, so the
+      // gather is one aligned load per mask word — no two-word split.
+      const std::uint64_t gone = cline[wd];
+      const std::uint64_t hits = mask & ~gone;
+      cline[wd] = gone | hits;  // identity when hits == 0
+      const auto pc = static_cast<std::uint32_t>(std::popcount(hits));
+      taken += pc;
+      const TaskId first = (static_cast<TaskId>(wd) << 6) * n64 + j;
+      std::uint64_t rest = hits;
+      while (rest != 0) {
+        const std::uint64_t pos =
+            first + static_cast<std::uint64_t>(std::countr_zero(rest)) * n64;
+        rem[pos >> 6] |= 1ULL << (pos & 63);
+        rest &= rest - 1;
+      }
+      rp[rn] = TaskRun{first, hits, n64, pc};
+      rn += static_cast<std::size_t>(hits != 0);
+    }
+    out.task_runs.insert(out.task_runs.end(), rp, rp + rn);
+    pool_.commit_serial_removals(taken);
   } else {
     if (team_ != nullptr) ++serial_requests_;
+    // Serial scan through the unstamped _m accessors: the layouts
+    // without a raw-word fast path (compact / non-lazy pools) land
+    // here; ensure_lane_ready above established the same materialized
+    // invariant the lane phase needs, and the request loop re-reads
+    // these bitsets constantly.
     const DynamicBitset& removed = pool_.removed_view();
-    for_each_masked_present_word(
+    // Each gathered window leaves as one TaskRun instead of per-task
+    // pushes: the row window is a stride-1 run over task ids, the
+    // column window a stride-n run, and each is retired with one batch
+    // write per orientation (remove_present_bits / or_shifted on the
+    // scanned side, set_run / remove_present_run on the mirror side).
+    for_each_masked_present_word_m(
         w.mask_j, removed, row_base, [&](std::size_t wd, std::uint64_t hits) {
-          pool_.remove_present_bits(row_base + (wd << 6), hits);  // batch side
-          do {
-            const std::size_t j2 =
-                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-            removed_t_.set(j2 * config_.n + i);  // scattered side
-            out.tasks.push_back(row_base + j2);
-            hits &= hits - 1;
-          } while (hits != 0);
+          pool_.remove_present_bits_m(row_base + (wd << 6), hits);  // batch side
+          removed_t_.set_run_m((wd << 6) * mir_stride_ + i, hits,
+                               mir_stride_);  // scattered side
+          out.task_runs.push_back(
+              TaskRun{row_base + (wd << 6), hits, 1,
+                      static_cast<std::uint32_t>(std::popcount(hits))});
         });
-    for_each_masked_present_word(
+    for_each_masked_present_word_m(
         w.mask_i, removed_t_, col_base, [&](std::size_t wd, std::uint64_t hits) {
-          removed_t_.or_shifted(col_base + (wd << 6), hits);  // batch side
-          do {
-            const std::size_t i2 =
-                (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-            const TaskId id =
-                outer_task_id(config_.n, static_cast<std::uint32_t>(i2), j);
-            pool_.remove_present_bits(id, 1);  // scattered side
-            out.tasks.push_back(id);
-            hits &= hits - 1;
-          } while (hits != 0);
+          removed_t_.or_shifted_m(col_base + (wd << 6), hits);  // batch side
+          const TaskId first = (static_cast<TaskId>(wd) << 6) * config_.n + j;
+          pool_.remove_present_run_m(first, hits, config_.n);  // scattered side
+          out.task_runs.push_back(
+              TaskRun{first, hits, config_.n,
+                      static_cast<std::uint32_t>(std::popcount(hits))});
         });
   }
-  w.mask_i.set(i);
+  w.mask_i.set_m(i);
 
   w.known_i.push_back(i);
   w.known_j.push_back(j);
@@ -224,14 +320,14 @@ void DynamicOuterStrategy::parallel_take(WorkerState& w, std::uint32_t i,
   ensure_lane_ready();
   const std::uint32_t n = config_.n;
   const std::uint64_t row_base = outer_task_id(config_.n, i, 0);
-  const std::uint64_t col_base = static_cast<std::uint64_t>(j) * n;
+  const std::uint64_t col_base = static_cast<std::uint64_t>(j) * mir_stride_;
   const std::uint64_t words = w.mask_j.word_count();
   const std::uint64_t chunks = (words + kLaneChunkWords - 1) / kLaneChunkWords;
   const std::uint64_t units = 2 * chunks;  // row chunks, then column chunks
   const std::uint32_t lanes = team_->lanes();
   auto body = [&](std::uint32_t lane) {
     LaneSeg& seg = lane_out_[lane];
-    seg.tasks.clear();
+    seg.task_runs.clear();
     const auto [u0, u1] = LaneTeam::split(units, lanes, lane);
     for (std::uint64_t u = u0; u < u1; ++u) {
       const bool row = u < chunks;
@@ -243,40 +339,38 @@ void DynamicOuterStrategy::parallel_take(WorkerState& w, std::uint32_t i,
             w.mask_j, pool_.removed_view(), row_base, w0, w1,
             [&](std::size_t wd, std::uint64_t hits) {
               pool_.remove_present_bits_relaxed(row_base + (wd << 6), hits);
-              do {
-                const std::size_t j2 =
-                    (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-                removed_t_.set_relaxed(j2 * n + i);
-                seg.tasks.push_back(row_base + j2);
-                hits &= hits - 1;
-              } while (hits != 0);
+              removed_t_.set_run_relaxed((wd << 6) * mir_stride_ + i, hits,
+                                         mir_stride_);
+              seg.task_runs.push_back(
+                  TaskRun{row_base + (wd << 6), hits, 1,
+                          static_cast<std::uint32_t>(std::popcount(hits))});
             });
       } else {
         for_each_masked_present_word_relaxed(
             w.mask_i, removed_t_, col_base, w0, w1,
             [&](std::size_t wd, std::uint64_t hits) {
               removed_t_.or_shifted_relaxed(col_base + (wd << 6), hits);
-              do {
-                const std::size_t i2 =
-                    (wd << 6) + static_cast<std::size_t>(std::countr_zero(hits));
-                const TaskId id =
-                    outer_task_id(config_.n, static_cast<std::uint32_t>(i2), j);
-                pool_.remove_present_bits_relaxed(id, 1);
-                seg.tasks.push_back(id);
-                hits &= hits - 1;
-              } while (hits != 0);
+              const TaskId first = (static_cast<TaskId>(wd) << 6) * n + j;
+              pool_.remove_present_run_relaxed(first, hits, n);
+              seg.task_runs.push_back(
+                  TaskRun{first, hits, n,
+                          static_cast<std::uint32_t>(std::popcount(hits))});
             });
       }
     }
   };
   team_->run(body);
-  // Owner-side merge: segments in lane index order, then one counter
-  // commit (every task was exactly one pool removal).
+  // Owner-side merge: run segments in lane index order, then one counter
+  // commit (every encoded task was exactly one pool removal). Chunk
+  // boundaries are word-aligned and a gathered window never crosses a
+  // word, so the concatenated run list is byte-identical to the serial
+  // branch's, not just equal after expansion.
   std::uint64_t taken = 0;
   for (std::uint32_t lane = 0; lane < lanes; ++lane) {
     const LaneSeg& seg = lane_out_[lane];
-    taken += seg.tasks.size();
-    out.tasks.insert(out.tasks.end(), seg.tasks.begin(), seg.tasks.end());
+    for (const TaskRun& r : seg.task_runs) taken += r.count;
+    out.task_runs.insert(out.task_runs.end(), seg.task_runs.begin(),
+                         seg.task_runs.end());
   }
   pool_.commit_lane_removals(taken);
 }
@@ -287,7 +381,7 @@ bool DynamicOuterStrategy::random_request(std::uint32_t worker,
   WorkerState& w = state_[worker];
   const TaskId id = pool_.pop_random(rng_);
   const auto [i, j] = outer_task_coords(config_.n, id);
-  removed_t_.set(static_cast<std::uint64_t>(j) * config_.n + i);
+  removed_t_.set(static_cast<std::uint64_t>(j) * mir_stride_ + i);
 
   if (w.owned_a.set_if_clear(i)) {
     out.blocks.push_back(BlockRef{Operand::kVecA, i, 0});

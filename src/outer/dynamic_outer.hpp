@@ -13,10 +13,13 @@
 // (common/task_pool.hpp) instead of per-element pool probes. The
 // stride-n column candidates scan a strategy-owned column-major mirror
 // of the removed set (bit j*n + i) the same way, so they cost one
-// AND-NOT per 64 candidates too. Each gathered window is retired
-// word-level (TaskPool::remove_present_bits / or_shifted on the
-// scanned orientation), leaving one scattered bit write per task on
-// the other orientation. The pool itself runs in lazy-dense mode:
+// AND-NOT per 64 candidates too. Each gathered window leaves the
+// request as one run-encoded grant (TaskRun: occupancy word + stride,
+// see sim/strategy.hpp) and is retired word-level on both orientations
+// (TaskPool::remove_present_bits / or_shifted on the scanned side,
+// set_run / remove_present_run on the mirror side) — no per-task
+// push_back or bookkeeping survives on this path. The pool itself runs
+// in lazy-dense mode:
 // phase-1 removals are bitset writes only, and the swap-remove index
 // is rebuilt once, at the phase-2 switch.
 //
@@ -75,7 +78,7 @@ class DynamicOuterStrategy : public Strategy {
         continue;
       }
       const auto [i, j] = outer_task_coords(config_.n, id);
-      removed_t_.reset(static_cast<std::uint64_t>(j) * config_.n + i);
+      removed_t_.reset(static_cast<std::uint64_t>(j) * mir_stride_ + i);
     }
     return all_inserted;
   }
@@ -132,10 +135,11 @@ class DynamicOuterStrategy : public Strategy {
   /// lane count.
   static constexpr std::uint64_t kLaneChunkWords = 8;
 
-  /// Per-lane output slot: tasks appended in unit order, concatenated
-  /// by the owner in lane index order (= the serial enumeration).
+  /// Per-lane output slot: task runs appended in unit order,
+  /// concatenated by the owner in lane index order (= the serial run
+  /// emission — chunks are word-aligned, so runs never straddle lanes).
   struct LaneSeg {
-    std::vector<TaskId> tasks;
+    std::vector<TaskRun> task_runs;
   };
 
   bool dynamic_request(std::uint32_t worker, Assignment& out);
@@ -152,11 +156,22 @@ class DynamicOuterStrategy : public Strategy {
   std::uint32_t n_workers_;
   std::uint64_t phase2_tasks_;
   TaskPool pool_;
-  /// Column-major mirror of the pool's removed set (bit j*n + i set <=>
-  /// task (i, j) gone), kept exact across every take / pop / requeue /
-  /// reset: it turns the stride-n column-j candidates into one
-  /// contiguous word-parallel scan, symmetric to the row run.
+  /// Padded line stride of removed_t_: n rounded up to whole 64-bit
+  /// words, so every column line starts word-aligned (aligned gathers,
+  /// constant-mask stride-word scatters). Pad bits are never set and
+  /// every mask is tail-clipped, so they can never produce a hit.
+  std::uint64_t mir_stride_;
+  /// Column-major mirror of the pool's removed set (bit
+  /// j*mir_stride_ + i set <=> task (i, j) gone), kept exact across
+  /// every take / pop / requeue / reset: it turns the stride-n
+  /// column-j candidates into one contiguous word-parallel scan,
+  /// symmetric to the row run.
   DynamicBitset removed_t_;
+  /// Pre-sized emission buffer of the flat serial branch: windows
+  /// write their run slot unconditionally and bump a cursor by
+  /// (hits != 0), so zero-hit windows cost no mispredicting branch;
+  /// the survivors are published with one bulk insert.
+  std::vector<TaskRun> run_scratch_;
   std::vector<WorkerState> state_;
   Rng rng_;
   std::uint64_t phase2_served_ = 0;

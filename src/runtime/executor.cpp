@@ -80,7 +80,7 @@ RuntimeResult run_outer_runtime(Strategy& strategy, const BlockVector& a,
       }
 
       // "Receive" the blocks: copy from master storage to local cache.
-      for (const BlockRef& ref : assignment.blocks) {
+      assignment.for_each_block([&](const BlockRef& ref) {
         ++blocks_got;
         switch (ref.operand) {
           case Operand::kVecA: {
@@ -97,9 +97,9 @@ RuntimeResult run_outer_runtime(Strategy& strategy, const BlockVector& a,
             throw std::logic_error(
                 "run_outer_runtime: matrix operand from an outer strategy");
         }
-      }
+      });
 
-      for (const TaskId id : assignment.tasks) {
+      assignment.for_each_task([&](TaskId id) {
         const auto [i, j] = outer_task_coords(n, id);
         const auto& ai = local_block_or_throw(local_a, key_of(i, 0), "a_i");
         const auto& bj = local_block_or_throw(local_b, key_of(j, 0), "b_j");
@@ -109,7 +109,7 @@ RuntimeResult run_outer_runtime(Strategy& strategy, const BlockVector& a,
         outer_block(ai, bj, out.block(i, j), l);
         ++tasks_done;
         throttle(config, w);
-      }
+      });
     }
     const std::lock_guard<std::mutex> lock(master_mutex);
     result.per_worker_tasks[w] = tasks_done;
@@ -173,7 +173,7 @@ RuntimeResult run_matmul_runtime(Strategy& strategy, const BlockMatrix& a,
         if (!strategy.on_request(w, assignment)) break;
       }
 
-      for (const BlockRef& ref : assignment.blocks) {
+      assignment.for_each_block([&](const BlockRef& ref) {
         ++blocks_got;
         switch (ref.operand) {
           case Operand::kMatA: {
@@ -197,9 +197,9 @@ RuntimeResult run_matmul_runtime(Strategy& strategy, const BlockMatrix& a,
             throw std::logic_error(
                 "run_matmul_runtime: vector operand from a matmul strategy");
         }
-      }
+      });
 
-      for (const TaskId id : assignment.tasks) {
+      assignment.for_each_task([&](TaskId id) {
         const auto [i, j, k] = matmul_task_coords(n, id);
         const auto& aik = local_block_or_throw(local_a, key_of(i, k), "A_{i,k}");
         const auto& bkj = local_block_or_throw(local_b, key_of(k, j), "B_{k,j}");
@@ -211,7 +211,7 @@ RuntimeResult run_matmul_runtime(Strategy& strategy, const BlockMatrix& a,
         gemm_block_accumulate(aik, bkj, cit->second, l);
         ++tasks_done;
         throttle(config, w);
-      }
+      });
     }
     const std::lock_guard<std::mutex> lock(master_mutex);
     result.per_worker_tasks[w] = tasks_done;

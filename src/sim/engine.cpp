@@ -81,9 +81,10 @@ class FlatEngine final : public EventCoreClient {
         core_->retire_worker(k, now);
         return;
       }
-      stats.blocks_received += scratch_.blocks.size();
-      core_->stats().total_blocks += scratch_.blocks.size();
-      for (const TaskId t : scratch_.tasks) w.queue.push_back(t);
+      const std::uint64_t blocks = scratch_.block_count();
+      stats.blocks_received += blocks;
+      core_->stats().total_blocks += blocks;
+      scratch_.for_each_task([&](TaskId t) { w.queue.push_back(t); });
       if (core_->trace() != nullptr) {
         core_->trace()->on_assignment(k, now, scratch_);
       }
@@ -102,12 +103,13 @@ class FlatEngine final : public EventCoreClient {
   // holds a straggler split's remainder.
   void start_next_batched(std::uint32_t k, double now, EventCore::Worker& w) {
     Batch& b = batches_[k];
-    std::vector<TaskId>& tasks = b.asg.tasks;
+    std::uint64_t count = 0;
     if (!w.queue.empty()) {
       // Rare path: a straggler split or post-crash restart left queued
       // tasks; they run before anything newly requested.
       b.asg.clear();
-      w.queue.drain_into(tasks);
+      w.queue.drain_into(b.asg.tasks);
+      count = b.asg.tasks.size();
     } else {
       WorkerSimStats& stats = core_->stats().workers[k];
       for (;;) {
@@ -116,9 +118,11 @@ class FlatEngine final : public EventCoreClient {
           core_->retire_worker(k, now);
           return;
         }
-        stats.blocks_received += b.asg.blocks.size();
-        core_->stats().total_blocks += b.asg.blocks.size();
-        if (!tasks.empty()) break;
+        const std::uint64_t blocks = b.asg.block_count();
+        stats.blocks_received += blocks;
+        core_->stats().total_blocks += blocks;
+        count = b.asg.task_count();
+        if (count != 0) break;
         // Zero-task assignments loop straight into another request, as
         // a real demand-driven worker would (no trace in batched mode).
       }
@@ -127,8 +131,11 @@ class FlatEngine final : public EventCoreClient {
     b.start = now;
     const double d = inv_speed_[k];
     b.duration = d;
+    // The batch stays run-encoded: the end time needs only the count,
+    // accumulated with the identical per-task fp adds (end += d, count
+    // times) the per-task mode performs.
     double end = now;
-    for (std::size_t i = 0; i < tasks.size(); ++i) end += d;
+    for (std::uint64_t i = 0; i < count; ++i) end += d;
     b.active = true;
     core_->push_batch_event(k, end, b.gen);
   }
@@ -145,7 +152,7 @@ class FlatEngine final : public EventCoreClient {
     // straggler rebuilds the batch (done = 0, fresh gen) and a crash
     // deactivates it, so this event always credits the whole run.
     assert(b.done == 0);
-    core_->credit_batch_run(worker, b.start, b.duration, b.asg.tasks.size());
+    core_->credit_batch_run(worker, b.start, b.duration, b.asg.task_count());
     b.active = false;
     start_next(worker, now);
   }
@@ -160,6 +167,9 @@ class FlatEngine final : public EventCoreClient {
     inv_speed_[worker] = 1.0 / w.speed;
     Batch& b = batches_[worker];
     if (!b.active) return;
+    // Rare fault path: materialize the run-encoded batch so the split
+    // below can index into it. Facade order == credited order.
+    b.asg.flatten();
     double t = b.start;
     std::size_t i = b.done;
     std::vector<TaskId>& tasks = b.asg.tasks;
@@ -193,6 +203,9 @@ class FlatEngine final : public EventCoreClient {
     if (!batched_) return;
     Batch& b = batches_[worker];
     if (!b.active) return;
+    // Rare fault path: materialize the run-encoded batch (see
+    // on_speed_change) before slicing it at the epoch boundary.
+    b.asg.flatten();
     const double fault_time = core_->now();
     double t = b.start;
     std::size_t i = b.done;
@@ -234,7 +247,7 @@ class FlatEngine final : public EventCoreClient {
   /// marks the prefix already credited by a fault split; `gen` tags
   /// the batch-end event so a retime can drop the superseded one.
   struct Batch {
-    Assignment asg;  // asg.tasks is the batch; filled by on_request
+    Assignment asg;  // the batch, possibly run-encoded; filled by on_request
     std::size_t done = 0;
     double start = 0.0;
     double duration = 0.0;

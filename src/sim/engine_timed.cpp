@@ -45,9 +45,10 @@ class TimedEngine final : public EventCoreClient {
       }
       InFlight msg;
       // The message owns its task list (it outlives this request), so
-      // copy out of the scratch rather than stealing its capacity.
-      msg.tasks.assign(scratch_.tasks.begin(), scratch_.tasks.end());
-      msg.blocks = scratch_.blocks.size();
+      // expand out of the scratch rather than stealing its capacity.
+      msg.tasks.reserve(scratch_.task_count());
+      scratch_.for_each_task([&](TaskId t) { msg.tasks.push_back(t); });
+      msg.blocks = scratch_.block_count();
       x.pending_tasks += msg.tasks.size();
       core_->stats().total_blocks += msg.blocks;
       core_->stats().workers[k].blocks_received += msg.blocks;

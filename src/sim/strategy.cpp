@@ -4,12 +4,11 @@
 
 namespace hetsched {
 
-void Strategy::notify_fetches(std::uint32_t worker,
-                              const Assignment& assignment) {
-  if (!has_observer()) return;
-  for (const BlockRef& block : assignment.blocks) {
+void Strategy::notify_fetches_slow(std::uint32_t worker,
+                                   const Assignment& assignment) {
+  assignment.for_each_block([&](const BlockRef& block) {
     obs_sink_->on_data_fetch(worker, *obs_clock_, block);
-  }
+  });
 }
 
 void Strategy::notify_phase_switch(std::uint64_t tasks_remaining) {

@@ -7,6 +7,7 @@
 // (Random/Sorted/Dynamic/Dynamic2Phases x Outer/Matrix) implement it.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -38,19 +39,142 @@ struct BlockRef {
   friend bool operator==(const BlockRef&, const BlockRef&) = default;
 };
 
+/// A run of allocated tasks, encoded at the granularity the word-parallel
+/// frontiers discover them: one 64-bit occupancy word over an arithmetic
+/// progression of task ids. Bit b set means task `first + b * stride` is
+/// part of the run (stride 1 = a row segment, stride N = an outer column
+/// or matmul k-face segment). This is the word-granular generalization of
+/// a {first_id, count, stride} run: because enabled-task masks are sparse
+/// (a mean matmul request touches ~7 of 40 bits per word), forcing
+/// maximal consecutive runs would decay to per-task entries, while one
+/// entry per nonzero mask word keeps the request output at a handful of
+/// 24-byte records. Expansion order is ascending bit index, which is
+/// exactly the legacy per-task push order of the frontier scans.
+struct TaskRun {
+  TaskId first = 0;            // task id at bit 0 of the occupancy word
+  std::uint64_t bits = 0;      // bit b set => task first + b * stride
+  std::uint64_t stride = 1;    // id distance between adjacent bits
+  std::uint32_t count = 0;     // popcount(bits), cached for bookkeeping
+
+  /// Calls fn(TaskId) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t rest = bits;
+    while (rest != 0) {
+      fn(first + static_cast<TaskId>(std::countr_zero(rest)) * stride);
+      rest &= rest - 1;
+    }
+  }
+
+  friend bool operator==(const TaskRun&, const TaskRun&) = default;
+};
+
+/// Block-transfer analogue of TaskRun: one operand, one fixed
+/// coordinate, and a 64-bit occupancy word over the other coordinate.
+/// Bit b set means the block whose varying coordinate is `base + b` is
+/// shipped. Expansion order is ascending bit index.
+struct BlockRun {
+  enum class Axis : std::uint8_t {
+    kColVaries,  // expands to BlockRef{operand, fixed, base + b}
+    kRowVaries,  // expands to BlockRef{operand, base + b, fixed}
+  };
+
+  Operand operand = Operand::kVecA;
+  Axis axis = Axis::kColVaries;
+  std::uint32_t fixed = 0;     // the coordinate shared by every block
+  std::uint32_t base = 0;      // varying coordinate at bit 0
+  std::uint64_t bits = 0;      // bit b set => block with coord base + b
+  std::uint32_t count = 0;     // popcount(bits), cached
+
+  /// Calls fn(BlockRef) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t rest = bits;
+    while (rest != 0) {
+      const std::uint32_t v =
+          base + static_cast<std::uint32_t>(std::countr_zero(rest));
+      fn(axis == Axis::kColVaries ? BlockRef{operand, fixed, v}
+                                  : BlockRef{operand, v, fixed});
+      rest &= rest - 1;
+    }
+  }
+
+  friend bool operator==(const BlockRun&, const BlockRun&) = default;
+};
+
 /// The master's answer to one work request. Engines own one instance
 /// as a scratch buffer reused across requests: clear() drops the
-/// contents but keeps both vectors' heap blocks, which is what makes
-/// the steady-state request loop allocation-free.
+/// contents but keeps all four vectors' heap blocks, which is what
+/// makes the steady-state request loop allocation-free.
+///
+/// Grants travel on two channels: the scalar `tasks`/`blocks` vectors
+/// (random service, single-task grants, tainted-block shipping) and the
+/// run vectors (the word-parallel data-aware frontiers, which discover
+/// enabled tasks one mask word at a time). A producer uses one channel
+/// per category per request, never both; the iteration facade visits
+/// scalars first, then runs, which therefore always matches the legacy
+/// per-task order. Consumers that only need totals use task_count() /
+/// block_count() and never expand.
 struct Assignment {
-  std::vector<BlockRef> blocks;  // transfers charged to this request
-  std::vector<TaskId> tasks;     // tasks the worker must now compute
+  std::vector<BlockRef> blocks;     // transfers charged to this request
+  std::vector<TaskId> tasks;        // tasks the worker must now compute
+  std::vector<TaskRun> task_runs;   // run-encoded task grants
+  std::vector<BlockRun> block_runs; // run-encoded block transfers
 
-  bool empty() const noexcept { return blocks.empty() && tasks.empty(); }
+  bool empty() const noexcept {
+    return blocks.empty() && tasks.empty() && task_runs.empty() &&
+           block_runs.empty();
+  }
 
   void clear() noexcept {
     blocks.clear();
     tasks.clear();
+    task_runs.clear();
+    block_runs.clear();
+  }
+
+  /// Total tasks granted, across both channels.
+  std::uint64_t task_count() const noexcept {
+    std::uint64_t n = tasks.size();
+    for (const TaskRun& r : task_runs) n += r.count;
+    return n;
+  }
+
+  /// Total blocks transferred, across both channels.
+  std::uint64_t block_count() const noexcept {
+    std::uint64_t n = blocks.size();
+    for (const BlockRun& r : block_runs) n += r.count;
+    return n;
+  }
+
+  /// Calls fn(TaskId) for every granted task: scalars first, then runs
+  /// in order, each expanded ascending — the legacy per-task order.
+  template <typename Fn>
+  void for_each_task(Fn&& fn) const {
+    for (const TaskId t : tasks) fn(t);
+    for (const TaskRun& r : task_runs) r.for_each(fn);
+  }
+
+  /// Calls fn(BlockRef) for every transferred block, scalars first.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) const {
+    for (const BlockRef& b : blocks) fn(b);
+    for (const BlockRun& r : block_runs) r.for_each(fn);
+  }
+
+  /// Expands both run channels into the scalar vectors (appended in
+  /// facade order) and clears the run vectors. Used by the allocating
+  /// wrapper and by rare engine paths (crash/straggler splits) that
+  /// need indexed access; hot paths stay in run space.
+  void flatten() {
+    for (const TaskRun& r : task_runs) {
+      r.for_each([this](TaskId t) { tasks.push_back(t); });
+    }
+    task_runs.clear();
+    for (const BlockRun& r : block_runs) {
+      r.for_each([this](const BlockRef& b) { blocks.push_back(b); });
+    }
+    block_runs.clear();
   }
 };
 
@@ -95,10 +219,12 @@ class Strategy {
   virtual bool on_request(std::uint32_t worker, Assignment& out) = 0;
 
   /// Allocating convenience wrapper over the scratch form (tests,
-  /// tools, one-shot callers).
+  /// tools, one-shot callers). Flattens run-encoded grants into the
+  /// scalar vectors so callers see the plain per-task/per-block view.
   std::optional<Assignment> on_request(std::uint32_t worker) {
     Assignment out;
     if (!on_request(worker, out)) return std::nullopt;
+    out.flatten();
     return out;
   }
 
@@ -174,9 +300,13 @@ class Strategy {
   bool has_observer() const noexcept {
     return obs_sink_ != nullptr && obs_clock_ != nullptr;
   }
-  /// Emits on_data_fetch for every block of `assignment` (no-op when
-  /// no observer is attached). Implemented in sim/strategy.cpp.
-  void notify_fetches(std::uint32_t worker, const Assignment& assignment);
+  /// Emits on_data_fetch for every block of `assignment`. The no-op
+  /// case is decided inline so detached hot paths pay one predictable
+  /// branch instead of a cross-TU call per request.
+  void notify_fetches(std::uint32_t worker, const Assignment& assignment) {
+    if (has_observer()) notify_fetches_slow(worker, assignment);
+  }
+  void notify_fetches_slow(std::uint32_t worker, const Assignment& assignment);
   /// Emits on_phase_switch at the current simulated time.
   void notify_phase_switch(std::uint64_t tasks_remaining);
   /// Emits on_fallback at the current simulated time (a data-aware

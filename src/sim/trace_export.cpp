@@ -42,11 +42,10 @@ void export_chrome_trace(std::ostream& out, const RecordingTrace& trace,
   }
 
   for (const auto& ev : trace.assignments()) {
-    if (ev.assignment.blocks.empty()) continue;
+    const std::uint64_t blocks = ev.assignment.block_count();
+    if (blocks == 0) continue;
     json.begin_object();
-    json.field("name",
-               "recv " + std::to_string(ev.assignment.blocks.size()) +
-                   " block(s)");
+    json.field("name", "recv " + std::to_string(blocks) + " block(s)");
     json.field("cat", "comm");
     json.field("ph", "i");  // instant event
     json.field("s", "t");   // thread scope

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <set>
 #include <vector>
@@ -298,6 +299,278 @@ TEST(FrontierReference, MatmulMatchesReferenceAfterRequeue) {
 
   for (int r = 0; r < 6; ++r) serve(static_cast<std::uint32_t>(r % 2));
   ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+}
+
+
+// ---- Run-expansion order pinning (the run-length Assignment protocol) ----
+//
+// The tests above pin the allocated *set*; these pin the *sequence*: the
+// run-encoded grants (Assignment::task_runs, expanded scalars-first then
+// runs ascending-bit by the iteration facade) must replay the legacy
+// per-task push order exactly — corner, i-slab (J ascending), j-slab
+// (I ascending), k-faces (I x J ascending) for matmul; row (J + j
+// ascending) then column (I ascending) for the outer product — across
+// n / workers / seed / lane grids, multi-word masks (n > 64) and
+// crash-requeue reps.
+
+// Legacy per-task emission order of one outer request, recomputed from
+// the mirror: row i against J + j ascending, then column j against I
+// ascending, each taken iff still pooled.
+std::vector<TaskId> outer_expected_order(std::set<TaskId>& pooled,
+                                         const OuterMirror& m, std::uint32_t n,
+                                         std::uint32_t i, std::uint32_t j) {
+  std::vector<TaskId> expected;
+  std::vector<std::uint32_t> all_j = m.known_j;
+  all_j.push_back(j);
+  std::sort(all_j.begin(), all_j.end());
+  std::vector<std::uint32_t> all_i = m.known_i;
+  std::sort(all_i.begin(), all_i.end());
+  auto try_take = [&](TaskId id) {
+    if (pooled.erase(id) != 0) expected.push_back(id);
+  };
+  for (const std::uint32_t j2 : all_j) try_take(outer_task_id(n, i, j2));
+  for (const std::uint32_t i2 : all_i) try_take(outer_task_id(n, i2, j));
+  return expected;
+}
+
+// Legacy per-task emission order of one matmul request: the corner
+// k-run (i, j, ·), the i-slab runs (i, j2, ·) for j2 in J ascending,
+// the j-slab runs (i2, j, ·) for i2 in I ascending, then the k-face
+// probes (i2, j2, k) for i2 in I, j2 in J ascending; every k-run scans
+// K + k ascending, every candidate taken iff still pooled.
+std::vector<TaskId> matmul_expected_order(std::set<TaskId>& pooled,
+                                          const MatmulMirror& m,
+                                          std::uint32_t n, std::uint32_t i,
+                                          std::uint32_t j, std::uint32_t k) {
+  std::vector<TaskId> expected;
+  std::vector<std::uint32_t> all_k = m.known_k;
+  all_k.push_back(k);
+  std::sort(all_k.begin(), all_k.end());
+  std::vector<std::uint32_t> old_i = m.known_i;
+  std::sort(old_i.begin(), old_i.end());
+  std::vector<std::uint32_t> old_j = m.known_j;
+  std::sort(old_j.begin(), old_j.end());
+  auto try_take = [&](std::uint32_t ti, std::uint32_t tj, std::uint32_t tk) {
+    const TaskId id = matmul_task_id(n, ti, tj, tk);
+    if (pooled.erase(id) != 0) expected.push_back(id);
+  };
+  auto k_run = [&](std::uint32_t ti, std::uint32_t tj) {
+    for (const std::uint32_t tk : all_k) try_take(ti, tj, tk);
+  };
+  k_run(i, j);                                      // corner
+  for (const std::uint32_t j2 : old_j) k_run(i, j2);  // i-slab
+  for (const std::uint32_t i2 : old_i) k_run(i2, j);  // j-slab
+  for (const std::uint32_t i2 : old_i) {              // k-face
+    for (const std::uint32_t j2 : old_j) try_take(i2, j2, k);
+  }
+  return expected;
+}
+
+// Expands an assignment's task channels in facade order and checks the
+// run-level invariants the protocol promises: runs carry a correct
+// cached popcount, no empty runs, and the data-aware path emits tasks
+// only run-encoded.
+std::vector<TaskId> expand_tasks_checked(const Assignment& a) {
+  EXPECT_TRUE(a.tasks.empty())
+      << "data-aware grant leaked onto the scalar channel";
+  std::uint64_t counted = 0;
+  for (const TaskRun& r : a.task_runs) {
+    EXPECT_NE(r.bits, 0u) << "empty task run emitted";
+    EXPECT_EQ(r.count, static_cast<std::uint32_t>(std::popcount(r.bits)));
+    counted += r.count;
+  }
+  std::vector<TaskId> out;
+  a.for_each_task([&](TaskId t) { out.push_back(t); });
+  EXPECT_EQ(out.size(), counted);
+  EXPECT_EQ(a.task_count(), counted);
+  return out;
+}
+
+TEST(FrontierReference, OuterRunExpansionMatchesLegacyOrder) {
+  const BudgetOverride cap(8);
+  for (const std::uint32_t n : {3u, 30u, 65u, 130u}) {
+    for (const std::uint32_t workers : {1u, 3u}) {
+      for (const std::uint64_t seed : {1ull, 42ull}) {
+       for (const std::uint32_t lanes : {1u, 4u}) {
+        SCOPED_TRACE(testing::Message()
+                     << "n=" << n << " workers=" << workers << " seed=" << seed
+                     << " lanes=" << lanes);
+        DynamicOuterStrategy strategy(OuterConfig{n}, workers, seed,
+                                      /*phase2_tasks=*/0, lanes);
+        Rng rng(derive_stream(seed, "outer.dynamic"));
+        std::vector<OuterMirror> mirror(workers, OuterMirror(n));
+        std::set<TaskId> pooled;
+        for (TaskId id = 0; id < static_cast<TaskId>(n) * n; ++id) {
+          pooled.insert(id);
+        }
+
+        Assignment out;
+        std::uint32_t w = 0;
+        // Stop when the pool drains (on_request returns false then) or
+        // the round-robin worker's unknown sets run dry (its next
+        // service would be the random fallback, covered elsewhere).
+        while (!pooled.empty() && !mirror[w].unknown_i.empty() &&
+               !mirror[w].unknown_j.empty()) {
+          OuterMirror& m = mirror[w];
+          ASSERT_TRUE(strategy.on_request(w, out));
+          const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+          const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+          const std::vector<TaskId> expected =
+              outer_expected_order(pooled, m, n, i, j);
+          m.known_i.push_back(i);
+          m.known_j.push_back(j);
+          ASSERT_EQ(expand_tasks_checked(out), expected);
+          w = (w + 1) % workers;
+        }
+        ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+       }
+      }
+    }
+  }
+}
+
+TEST(FrontierReference, MatmulRunExpansionMatchesLegacyOrder) {
+  const BudgetOverride cap(8);
+  for (const std::uint32_t n : {2u, 5u, 17u, 40u, 70u}) {
+    for (const std::uint32_t workers : {1u, 3u}) {
+      for (const std::uint64_t seed : {1ull, 42ull}) {
+       for (const std::uint32_t lanes : {1u, 4u}) {
+        // n = 70 exercises the multi-word (two mask words) flat scan;
+        // one grid cell keeps its reference-model cost in check.
+        if (n == 70 && (workers != 3 || seed != 1)) continue;
+        SCOPED_TRACE(testing::Message()
+                     << "n=" << n << " workers=" << workers << " seed=" << seed
+                     << " lanes=" << lanes);
+        DynamicMatrixStrategy strategy(MatmulConfig{n}, workers, seed,
+                                       /*phase2_tasks=*/0, lanes);
+        Rng rng(derive_stream(seed, "matmul.dynamic"));
+        std::vector<MatmulMirror> mirror(workers, MatmulMirror(n));
+        std::set<TaskId> pooled;
+        const TaskId total = static_cast<TaskId>(n) * n * n;
+        for (TaskId id = 0; id < total; ++id) pooled.insert(id);
+
+        Assignment out;
+        std::uint32_t w = 0;
+        // As in the outer test: a drained pool fails on_request, and a
+        // dry unknown set would switch the worker to the fallback path.
+        while (!pooled.empty() && !mirror[w].unknown_i.empty()) {
+          MatmulMirror& m = mirror[w];
+          // Untainted data-aware service ships exactly 3 * (2y + 1)
+          // blocks; the run channel must account them all.
+          const auto y = static_cast<std::uint64_t>(m.known_i.size());
+          ASSERT_TRUE(strategy.on_request(w, out));
+          ASSERT_EQ(out.block_count(), 3 * (2 * y + 1));
+          const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+          const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+          const std::uint32_t k = mirror_pick(rng, m.unknown_k);
+          const std::vector<TaskId> expected =
+              matmul_expected_order(pooled, m, n, i, j, k);
+          m.known_i.push_back(i);
+          m.known_j.push_back(j);
+          m.known_k.push_back(k);
+          ASSERT_EQ(expand_tasks_checked(out), expected);
+          w = (w + 1) % workers;
+        }
+        ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+       }
+      }
+    }
+  }
+}
+
+TEST(FrontierReference, OuterRunExpansionOrderAfterRequeue) {
+  const BudgetOverride cap(8);
+  const std::uint32_t n = 67;  // multi-word masks through the crash path
+  const std::uint64_t seed = 9;
+  for (const std::uint32_t lanes : {1u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "lanes=" << lanes);
+    DynamicOuterStrategy strategy(OuterConfig{n}, 2, seed, /*phase2_tasks=*/0,
+                                  lanes);
+    Rng rng(derive_stream(seed, "outer.dynamic"));
+    std::vector<OuterMirror> mirror(2, OuterMirror(n));
+    std::set<TaskId> pooled;
+    for (TaskId id = 0; id < static_cast<TaskId>(n) * n; ++id) {
+      pooled.insert(id);
+    }
+
+    Assignment out;
+    std::vector<TaskId> assigned;
+    auto serve = [&](std::uint32_t w) {
+      OuterMirror& m = mirror[w];
+      ASSERT_FALSE(m.unknown_i.empty());
+      ASSERT_TRUE(strategy.on_request(w, out));
+      const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+      const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+      const std::vector<TaskId> expected =
+          outer_expected_order(pooled, m, n, i, j);
+      m.known_i.push_back(i);
+      m.known_j.push_back(j);
+      const std::vector<TaskId> actual = expand_tasks_checked(out);
+      ASSERT_EQ(actual, expected);
+      assigned.insert(assigned.end(), actual.begin(), actual.end());
+    };
+
+    for (int r = 0; r < 8; ++r) serve(static_cast<std::uint32_t>(r % 2));
+
+    std::vector<TaskId> requeued;
+    for (std::size_t t = 0; t < assigned.size(); t += 3) {
+      requeued.push_back(assigned[t]);
+    }
+    ASSERT_TRUE(strategy.requeue(requeued));
+    for (const TaskId id : requeued) pooled.insert(id);
+
+    for (int r = 0; r < 12; ++r) serve(static_cast<std::uint32_t>(r % 2));
+    ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+  }
+}
+
+TEST(FrontierReference, MatmulRunExpansionOrderAfterRequeue) {
+  const BudgetOverride cap(8);
+  const std::uint32_t n = 70;  // multi-word masks through the crash path
+  const std::uint64_t seed = 13;
+  for (const std::uint32_t lanes : {1u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "lanes=" << lanes);
+    DynamicMatrixStrategy strategy(MatmulConfig{n}, 2, seed,
+                                   /*phase2_tasks=*/0, lanes);
+    Rng rng(derive_stream(seed, "matmul.dynamic"));
+    std::vector<MatmulMirror> mirror(2, MatmulMirror(n));
+    std::set<TaskId> pooled;
+    const TaskId total = static_cast<TaskId>(n) * n * n;
+    for (TaskId id = 0; id < total; ++id) pooled.insert(id);
+
+    Assignment out;
+    std::vector<TaskId> assigned;
+    auto serve = [&](std::uint32_t w) {
+      MatmulMirror& m = mirror[w];
+      ASSERT_FALSE(m.unknown_i.empty());
+      ASSERT_TRUE(strategy.on_request(w, out));
+      const std::uint32_t i = mirror_pick(rng, m.unknown_i);
+      const std::uint32_t j = mirror_pick(rng, m.unknown_j);
+      const std::uint32_t k = mirror_pick(rng, m.unknown_k);
+      const std::vector<TaskId> expected =
+          matmul_expected_order(pooled, m, n, i, j, k);
+      m.known_i.push_back(i);
+      m.known_j.push_back(j);
+      m.known_k.push_back(k);
+      const std::vector<TaskId> actual = expand_tasks_checked(out);
+      ASSERT_EQ(actual, expected);
+      assigned.insert(assigned.end(), actual.begin(), actual.end());
+    };
+
+    // Enough serves that the requeued ids land inside later windows
+    // (the exhaustion filters must resurrect their rows/columns/faces).
+    for (int r = 0; r < 16; ++r) serve(static_cast<std::uint32_t>(r % 2));
+
+    std::vector<TaskId> requeued;
+    for (std::size_t t = 0; t < assigned.size(); t += 3) {
+      requeued.push_back(assigned[t]);
+    }
+    ASSERT_TRUE(strategy.requeue(requeued));
+    for (const TaskId id : requeued) pooled.insert(id);
+
+    for (int r = 0; r < 16; ++r) serve(static_cast<std::uint32_t>(r % 2));
+    ASSERT_EQ(strategy.unassigned_tasks(), pooled.size());
+  }
 }
 
 }  // namespace

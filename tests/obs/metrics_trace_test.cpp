@@ -59,9 +59,9 @@ TEST(MetricsTrace, CountersMatchSimResultTotals) {
   // so recompute the expectation from the recorded assignments.
   std::uint64_t expected_reused = 0;
   for (const auto& event : rep.recording.assignments()) {
-    const std::uint64_t required = 2 * event.assignment.tasks.size();
-    if (required > event.assignment.blocks.size()) {
-      expected_reused += required - event.assignment.blocks.size();
+    const std::uint64_t required = 2 * event.assignment.task_count();
+    if (required > event.assignment.block_count()) {
+      expected_reused += required - event.assignment.block_count();
     }
   }
   EXPECT_EQ(counter_value(rep.registry, "trace.blocks_reused"),
